@@ -1,0 +1,440 @@
+// Package qtls's top-level benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (§5), plus ablation benchmarks for the
+// design choices DESIGN.md calls out (heuristic thresholds, ring
+// capacity, engine count, notification scheme) and micro-benchmarks of
+// the functional stack.
+//
+// Figure benchmarks execute the corresponding experiment on the
+// calibrated discrete-event model at smoke scale and report the headline
+// number as a custom metric. Run the full-scale experiments with
+// cmd/qtlsbench.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig7a -benchtime=1x
+package qtls
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qtls/internal/asynclib"
+	"qtls/internal/engine"
+	"qtls/internal/minitls"
+	"qtls/internal/perf"
+	"qtls/internal/perf/figures"
+	"qtls/internal/qat"
+)
+
+// benchFigure runs a figure generator once per iteration and reports the
+// requested cell as a metric.
+func benchFigure(b *testing.B, gen func(figures.Opts) figures.Table, series string, col int, unit string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tab := gen(figures.Quick())
+		for _, s := range tab.Series {
+			if s.Name == series {
+				last = s.Values[col]
+			}
+		}
+	}
+	b.ReportMetric(last, unit)
+}
+
+// --- one benchmark per table/figure ---------------------------------------
+
+// BenchmarkTable1_HandshakeOps regenerates Table 1 on the real minitls
+// stack (RSA/ECC/PRF-HKDF op counts per full handshake).
+func BenchmarkTable1_HandshakeOps(b *testing.B) {
+	var prf float64
+	for i := 0; i < b.N; i++ {
+		tab := figures.Table1()
+		prf = tab.Series[0].Values[2] // TLS-RSA PRF count
+	}
+	b.ReportMetric(prf, "prf-ops/handshake")
+}
+
+// BenchmarkFig7a_FullHandshakeRSA reports QTLS CPS at 8 workers,
+// TLS 1.2 TLS-RSA (paper: 38.8K, 9x SW).
+func BenchmarkFig7a_FullHandshakeRSA(b *testing.B) {
+	benchFigure(b, figures.Fig7a, "QTLS", 2, "qtls-cps@8HT")
+}
+
+// BenchmarkFig7b_FullHandshakeECDHERSA reports QTLS CPS at 16 workers,
+// ECDHE-RSA (paper: the 40K card limit).
+func BenchmarkFig7b_FullHandshakeECDHERSA(b *testing.B) {
+	benchFigure(b, figures.Fig7b, "QTLS", 4, "qtls-cps@16HT")
+}
+
+// BenchmarkFig7c_FullHandshakeECDSACurves reports QTLS CPS on P-384
+// (paper: 14x the software baseline).
+func BenchmarkFig7c_FullHandshakeECDSACurves(b *testing.B) {
+	benchFigure(b, figures.Fig7c, "QTLS", 1, "qtls-cps-p384")
+}
+
+// BenchmarkFig8_TLS13Handshake reports QTLS CPS at 8 workers for TLS 1.3
+// (paper: 3.5x SW — HKDF not offloadable).
+func BenchmarkFig8_TLS13Handshake(b *testing.B) {
+	benchFigure(b, figures.Fig8, "QTLS", 2, "qtls-cps@8HT")
+}
+
+// BenchmarkFig9a_Resumption100 reports QTLS CPS at 8 workers with 100%
+// abbreviated handshakes (paper: 30-40% over SW).
+func BenchmarkFig9a_Resumption100(b *testing.B) {
+	benchFigure(b, figures.Fig9a, "QTLS", 2, "qtls-cps@8HT")
+}
+
+// BenchmarkFig9b_ResumptionMix19 reports QTLS CPS at 8 workers with a 1:9
+// full:abbreviated mix (paper: >2x SW).
+func BenchmarkFig9b_ResumptionMix19(b *testing.B) {
+	benchFigure(b, figures.Fig9b, "QTLS", 2, "qtls-cps@8HT")
+}
+
+// BenchmarkFig10_Throughput reports QTLS goodput for 128 KB transfers
+// (paper: >2x SW).
+func BenchmarkFig10_Throughput(b *testing.B) {
+	benchFigure(b, figures.Fig10, "QTLS", 4, "qtls-gbps@128KB")
+}
+
+// BenchmarkFig11_ResponseTime reports QTLS average response time at
+// concurrency 64 in milliseconds (paper: ~85% below SW).
+func BenchmarkFig11_ResponseTime(b *testing.B) {
+	benchFigure(b, figures.Fig11, "QTLS", 8, "qtls-ms@c64")
+}
+
+// BenchmarkFig12a_PollingCPS reports heuristic-polling CPS at 8 workers
+// (paper: ~20% above the 10µs polling thread).
+func BenchmarkFig12a_PollingCPS(b *testing.B) {
+	benchFigure(b, figures.Fig12a, "Heuristic", 2, "heuristic-cps@8w")
+}
+
+// BenchmarkFig12b_PollingThroughput reports heuristic-polling goodput at
+// 16 clients (paper: the 1ms thread collapses here).
+func BenchmarkFig12b_PollingThroughput(b *testing.B) {
+	benchFigure(b, figures.Fig12b, "Heuristic", 0, "heuristic-gbps@16c")
+}
+
+// BenchmarkFig12c_PollingLatency reports heuristic-polling response time
+// at concurrency 1 in milliseconds.
+func BenchmarkFig12c_PollingLatency(b *testing.B) {
+	benchFigure(b, figures.Fig12c, "Heuristic", 0, "heuristic-ms@c1")
+}
+
+// --- ablation benchmarks ---------------------------------------------------
+
+func quickCPS(cfg perf.Config, clients int) float64 {
+	res := perf.Run(perf.RunOptions{
+		Config:  cfg,
+		Warmup:  150 * time.Millisecond,
+		Measure: 200 * time.Millisecond,
+		Install: func(m *perf.Model) {
+			perf.STimeWorkload{Clients: clients, Spec: perf.ScriptSpec{Suite: perf.SuiteRSA}}.Install(m)
+		},
+	})
+	return res.CPS
+}
+
+// BenchmarkAblationHeuristicThresholds sweeps the efficiency thresholds
+// (qat_heuristic_poll_asym_threshold): too small polls too often, too
+// large risks timeliness.
+func BenchmarkAblationHeuristicThresholds(b *testing.B) {
+	for _, thr := range []int{1, 8, 24, 48, 96} {
+		b.Run(fmt.Sprintf("asym=%d", thr), func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				p := perf.DefaultParams()
+				p.AsymThreshold = thr
+				p.SymThreshold = thr / 2
+				if p.SymThreshold < 1 {
+					p.SymThreshold = 1
+				}
+				res := perf.Run(perf.RunOptions{
+					Params:  p,
+					Config:  perf.QTLS(8),
+					Warmup:  150 * time.Millisecond,
+					Measure: 200 * time.Millisecond,
+					Install: func(m *perf.Model) {
+						perf.STimeWorkload{Clients: 420, Spec: perf.ScriptSpec{Suite: perf.SuiteRSA}}.Install(m)
+					},
+				})
+				cps = res.CPS
+			}
+			b.ReportMetric(cps, "cps")
+		})
+	}
+}
+
+// BenchmarkAblationRingCapacity sweeps the request-ring capacity: a tiny
+// ring forces submission retries and throttles concurrency.
+func BenchmarkAblationRingCapacity(b *testing.B) {
+	for _, capN := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("ring=%d", capN), func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				p := perf.DefaultParams()
+				p.RingCapacity = capN
+				res := perf.Run(perf.RunOptions{
+					Params:  p,
+					Config:  perf.QTLS(8),
+					Warmup:  150 * time.Millisecond,
+					Measure: 200 * time.Millisecond,
+					Install: func(m *perf.Model) {
+						perf.STimeWorkload{Clients: 420, Spec: perf.ScriptSpec{Suite: perf.SuiteRSA}}.Install(m)
+					},
+				})
+				cps = res.CPS
+			}
+			b.ReportMetric(cps, "cps")
+		})
+	}
+}
+
+// BenchmarkAblationEngines sweeps the per-endpoint PKE engine count (the
+// card's parallel capacity).
+func BenchmarkAblationEngines(b *testing.B) {
+	for _, engines := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("engines=%d", engines), func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				p := perf.DefaultParams()
+				p.AsymEnginesPerEndpoint = engines
+				res := perf.Run(perf.RunOptions{
+					Params:  p,
+					Config:  perf.QTLS(16),
+					Warmup:  150 * time.Millisecond,
+					Measure: 200 * time.Millisecond,
+					Install: func(m *perf.Model) {
+						perf.STimeWorkload{Clients: 740, Spec: perf.ScriptSpec{Suite: perf.SuiteRSA}}.Install(m)
+					},
+				})
+				cps = res.CPS
+			}
+			b.ReportMetric(cps, "cps")
+		})
+	}
+}
+
+// BenchmarkAblationNotification isolates FD vs kernel-bypass notification
+// at fixed heuristic polling (QAT+AH vs QTLS).
+func BenchmarkAblationNotification(b *testing.B) {
+	for _, cfg := range []perf.Config{perf.QATAH(8), perf.QTLS(8)} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				cps = quickCPS(cfg, 420)
+			}
+			b.ReportMetric(cps, "cps")
+		})
+	}
+}
+
+// --- functional-stack micro-benchmarks ------------------------------------
+
+var (
+	benchIDOnce sync.Once
+	benchRSAID  *minitls.Identity
+)
+
+func benchIdentity(b *testing.B) *minitls.Identity {
+	b.Helper()
+	benchIDOnce.Do(func() {
+		var err error
+		benchRSAID, err = minitls.NewRSAIdentity(2048)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchRSAID
+}
+
+// BenchmarkEngineOffloadRoundTrip measures one async offload round trip
+// (submit + poll + consume) through the functional QAT device.
+func BenchmarkEngineOffloadRoundTrip(b *testing.B) {
+	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 2})
+	defer dev.Close()
+	inst, err := dev.AllocInstance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{Instance: inst})
+	if err != nil {
+		b.Fatal(err)
+	}
+	call := &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: &asynclib.StackOp{}}
+	work := func() (any, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Do(call, minitls.KindPRF, work); !errors.Is(err, minitls.ErrWantAsync) {
+			b.Fatalf("submit: %v", err)
+		}
+		for eng.Poll(0) == 0 {
+		}
+		if _, err := eng.Do(call, minitls.KindPRF, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFiberPauseResume measures one ASYNC_JOB pause/resume cycle
+// (two fiber context swaps).
+func BenchmarkFiberPauseResume(b *testing.B) {
+	st, job, err := asynclib.StartJob(nil, func(j *asynclib.Job) error {
+		for {
+			if err := j.Pause(); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil || st != asynclib.StatusPause {
+		b.Fatalf("start: %v %v", st, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st, _, err := asynclib.StartJob(job, nil); err != nil || st != asynclib.StatusPause {
+			b.Fatalf("resume: %v %v", st, err)
+		}
+	}
+}
+
+// BenchmarkHandshakeSoftware measures a full in-memory TLS-RSA handshake
+// pair (client + server) with software crypto.
+func BenchmarkHandshakeSoftware(b *testing.B) {
+	id := benchIdentity(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cliT, srvT := newBenchPipe()
+		server := minitls.Server(srvT, &minitls.Config{
+			Identity:     id,
+			CipherSuites: []uint16{minitls.TLS_RSA_WITH_AES_128_CBC_SHA},
+		})
+		client := minitls.ClientConn(cliT, &minitls.Config{})
+		errc := make(chan error, 1)
+		go func() { errc <- client.Handshake() }()
+		if err := server.Handshake(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecordSeal16KB measures sealing one 16 KB application record
+// with AES-128-CBC-HMAC-SHA1 through the record layer.
+func BenchmarkRecordSeal16KB(b *testing.B) {
+	id := benchIdentity(b)
+	cliT, srvT := newBenchPipe()
+	server := minitls.Server(srvT, &minitls.Config{
+		Identity:     id,
+		CipherSuites: []uint16{minitls.TLS_RSA_WITH_AES_128_CBC_SHA},
+	})
+	client := minitls.ClientConn(cliT, &minitls.Config{})
+	errc := make(chan error, 1)
+	go func() { errc <- client.Handshake() }()
+	if err := server.Handshake(); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 16384)
+	buf := make([]byte, 32768)
+	go func() {
+		for {
+			if _, err := client.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	b.SetBytes(16384)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchPipe returns an in-memory full-duplex byte pipe suitable for
+// benchmarks (buffered, unlike net.Pipe, so writes don't synchronize).
+func newBenchPipe() (a, bEnd *benchPipeEnd) {
+	ab := newBenchBuf()
+	ba := newBenchBuf()
+	return &benchPipeEnd{r: ba, w: ab}, &benchPipeEnd{r: ab, w: ba}
+}
+
+type benchBuf struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	data []byte
+}
+
+func newBenchBuf() *benchBuf {
+	b := &benchBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+type benchPipeEnd struct{ r, w *benchBuf }
+
+func (e *benchPipeEnd) Read(p []byte) (int, error) {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	for len(e.r.data) == 0 {
+		e.r.cond.Wait()
+	}
+	n := copy(p, e.r.data)
+	e.r.data = e.r.data[n:]
+	return n, nil
+}
+
+func (e *benchPipeEnd) Write(p []byte) (int, error) {
+	e.w.mu.Lock()
+	e.w.data = append(e.w.data, p...)
+	e.w.cond.Broadcast()
+	e.w.mu.Unlock()
+	return len(p), nil
+}
+
+// BenchmarkAblationAsyncImpl compares the fiber and stack crypto-pause
+// implementations (§4.1: stack is slightly faster but intrusive).
+func BenchmarkAblationAsyncImpl(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		impl perf.AsyncImpl
+	}{{"fiber", perf.ImplFiber}, {"stack", perf.ImplStack}} {
+		b.Run(impl.name, func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				cfg := perf.QTLS(8)
+				cfg.Impl = impl.impl
+				cps = quickCPS(cfg, 420)
+			}
+			b.ReportMetric(cps, "cps")
+		})
+	}
+}
+
+// BenchmarkAblationInterruptVsPolling compares interrupt-driven response
+// delivery against heuristic polling (§3.3's design rationale).
+func BenchmarkAblationInterruptVsPolling(b *testing.B) {
+	intr := perf.QTLS(8)
+	intr.Polling = perf.PollInterrupt
+	intr.Name = "interrupt"
+	for _, cfg := range []perf.Config{intr, perf.QTLS(8)} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				cps = quickCPS(cfg, 420)
+			}
+			b.ReportMetric(cps, "cps")
+		})
+	}
+}

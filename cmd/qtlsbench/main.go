@@ -1,0 +1,78 @@
+// Command qtlsbench regenerates the QTLS paper's evaluation tables and
+// figures (§5) on the discrete-event performance model, printing the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	qtlsbench                 # run every experiment (full durations)
+//	qtlsbench -run fig7a      # one experiment
+//	qtlsbench -run fig7a,fig10
+//	qtlsbench -quick          # short smoke durations
+//	qtlsbench -list           # list experiment ids
+//	qtlsbench -measure 2s -warmup 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qtls/internal/perf/figures"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "short smoke durations")
+		warmup  = flag.Duration("warmup", 0, "override warmup duration")
+		measure = flag.Duration("measure", 0, "override measurement window")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range figures.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := figures.Opts{}
+	if *quick {
+		opts = figures.Quick()
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+
+	ids := figures.IDs()
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
+	}
+	start := time.Now()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		gen, ok := figures.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "qtlsbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		table := gen(opts)
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Println(table.Format())
+			fmt.Printf("  [%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if !*csv {
+		fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,66 @@
+// Command qtlsload is the client-side load generator of the reproduction:
+// an OpenSSL s_time equivalent (closed-loop TLS connections measuring
+// connections per second) and an ApacheBench equivalent (keepalive
+// requests measuring throughput and response time), targeting a running
+// qtlsserver.
+//
+//	qtlsload -mode stime -addr 127.0.0.1:8443 -clients 50 -duration 10s
+//	qtlsload -mode stime -reuse 1.0            # 100% abbreviated handshakes
+//	qtlsload -mode ab -path /65536 -clients 40 # 64 KB keepalive transfers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"qtls/internal/loadgen"
+	"qtls/internal/minitls"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8443", "server address")
+		mode     = flag.String("mode", "stime", "workload: stime (handshakes) or ab (keepalive requests)")
+		clients  = flag.Int("clients", 10, "concurrent clients")
+		duration = flag.Duration("duration", 5*time.Second, "run duration")
+		reuse    = flag.Float64("reuse", 0, "fraction of resumed connections (stime mode)")
+		path     = flag.String("path", "/1024", "request path (ab mode, or stime per-connection request)")
+		request  = flag.Bool("request", false, "stime: issue one request per connection")
+		maxVer   = flag.String("max-version", "1.2", "maximum TLS version: 1.2 or 1.3")
+	)
+	flag.Parse()
+
+	tlsCfg := &minitls.Config{}
+	if *maxVer == "1.3" {
+		tlsCfg.MaxVersion = minitls.VersionTLS13
+	}
+
+	var res loadgen.Result
+	switch *mode {
+	case "stime":
+		opts := loadgen.STimeOptions{
+			Addr:           *addr,
+			Clients:        *clients,
+			Duration:       *duration,
+			TLS:            tlsCfg,
+			ResumeFraction: *reuse,
+		}
+		if *request {
+			opts.RequestPath = *path
+		}
+		res = loadgen.STime(opts)
+	case "ab":
+		res = loadgen.AB(loadgen.ABOptions{
+			Addr:     *addr,
+			Clients:  *clients,
+			Duration: *duration,
+			TLS:      tlsCfg,
+			Path:     *path,
+		})
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+	fmt.Println(res)
+}

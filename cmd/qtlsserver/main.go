@@ -1,0 +1,162 @@
+//go:build linux
+
+// Command qtlsserver runs the functional event-driven TLS server — the
+// Nginx-equivalent of the QTLS reproduction — over real TCP sockets with
+// the simulated QAT device. The offload configuration, worker count, TLS
+// version and resumption machinery are selectable, mirroring the SSL
+// Engine Framework directives of the paper's artifact (§A.7):
+//
+//	qtlsserver -addr 127.0.0.1:8443 -config QTLS -workers 4
+//	qtlsserver -config SW -max-version 1.3
+//	qtlsserver -config QAT+AH -asym-threshold 48 -sym-threshold 24
+//
+// Clients: cmd/qtlsload, or the examples. Responses are served for paths
+// of the form "/<bytes>" (e.g. GET /65536 returns 64 KiB).
+package main
+
+import (
+	"crypto/elliptic"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+	"qtls/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8443", "listen address")
+		cfgName  = flag.String("config", "QTLS", "offload configuration: SW, QAT+S, QAT+A, QAT+AH, QTLS")
+		confFile = flag.String("conf", "", "SSL Engine Framework config file (overrides -config/-workers, §A.7 dialect)")
+		workers  = flag.Int("workers", 2, "number of event-loop workers")
+		keyType  = flag.String("key", "rsa", "server key type: rsa or ecdsa")
+		maxVer   = flag.String("max-version", "1.2", "maximum TLS version: 1.2 or 1.3")
+		tickets  = flag.Bool("tickets", true, "enable session-ticket resumption")
+		cache    = flag.Bool("session-cache", true, "enable session-ID resumption")
+		asymThr  = flag.Int("asym-threshold", 48, "heuristic polling asym threshold")
+		symThr   = flag.Int("sym-threshold", 24, "heuristic polling sym threshold")
+		interval = flag.Duration("poll-interval", 10*time.Microsecond, "timer polling interval")
+		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
+		engines  = flag.Int("engines", 4, "engines per endpoint")
+		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
+	)
+	flag.Parse()
+
+	var run server.RunConfig
+	if *confFile != "" {
+		text, err := os.ReadFile(*confFile)
+		if err != nil {
+			log.Fatalf("read -conf: %v", err)
+		}
+		settings, err := server.ParseEngineConfig(string(text))
+		if err != nil {
+			log.Fatalf("parse -conf: %v", err)
+		}
+		run = settings.Run
+		if settings.Workers > 0 {
+			*workers = settings.Workers
+		}
+		if run.AsymThreshold == 0 {
+			run.AsymThreshold = *asymThr
+		}
+		if run.SymThreshold == 0 {
+			run.SymThreshold = *symThr
+		}
+		log.Printf("ssl_engine config: %s (offload %v)", run.Name, settings.Offload)
+	} else {
+		found := false
+		for _, rc := range server.Configurations() {
+			if rc.Name == *cfgName {
+				run = rc
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("unknown -config %q (want SW, QAT+S, QAT+A, QAT+AH or QTLS)", *cfgName)
+		}
+		run.AsymThreshold = *asymThr
+		run.SymThreshold = *symThr
+		run.PollInterval = *interval
+	}
+
+	log.Printf("generating %s identity...", *keyType)
+	var id *minitls.Identity
+	var err error
+	if *keyType == "ecdsa" {
+		id, err = minitls.NewECDSAIdentity(elliptic.P256())
+	} else {
+		id, err = minitls.NewRSAIdentity(2048)
+	}
+	if err != nil {
+		log.Fatalf("identity: %v", err)
+	}
+
+	tlsCfg := &minitls.Config{Identity: id}
+	if *maxVer == "1.3" {
+		tlsCfg.MaxVersion = minitls.VersionTLS13
+	}
+	if *cache {
+		tlsCfg.SessionCache = minitls.NewSessionCache(4096)
+	}
+	if *tickets {
+		var key [32]byte
+		copy(key[:], "qtlsserver-demo-ticket-key-32byte")
+		tlsCfg.TicketKey = &key
+	}
+
+	var dev *qat.Device
+	if run.UseQAT {
+		dev = qat.NewDevice(qat.DeviceSpec{
+			Endpoints:          *endpnts,
+			EnginesPerEndpoint: *engines,
+		})
+		defer dev.Close()
+	}
+
+	srv, err := server.New(server.Options{
+		Addr:    *addr,
+		Workers: *workers,
+		Run:     run,
+		TLS:     tlsCfg,
+		Device:  dev,
+		Handler: server.SizedBodyHandler(8 << 20),
+	})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	srv.Start()
+	log.Printf("qtlsserver: %s, %d workers, config %s, max %s — listening on %s",
+		*keyType, *workers, run.Name, *maxVer, srv.Addr())
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				st := srv.Stats()
+				line := fmt.Sprintf("handshakes=%d (resumed %d) requests=%d bytes=%d asyncEvents=%d heuristicPolls=%d timerPolls=%d retries=%d errors=%d",
+					st.Handshakes, st.Resumed, st.Requests, st.BytesOut,
+					st.AsyncEvents, st.HeuristicPolls, st.TimerPolls, st.RetryEvents, st.Errors)
+				if dev != nil {
+					var reqs uint64
+					for _, c := range dev.Counters() {
+						reqs += c.TotalRequests()
+					}
+					line += fmt.Sprintf(" fw_counters=%d", reqs)
+				}
+				log.Print(line)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	srv.Stop()
+}

@@ -1,0 +1,3 @@
+module qtls
+
+go 1.22

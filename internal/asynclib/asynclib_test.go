@@ -1,0 +1,337 @@
+package asynclib
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestJobRunsToCompletion(t *testing.T) {
+	ran := false
+	st, job, err := StartJob(nil, func(*Job) error {
+		ran = true
+		return nil
+	})
+	if st != StatusFinish || err != nil {
+		t.Fatalf("StartJob = %v, %v", st, err)
+	}
+	if !ran {
+		t.Fatal("job function did not run")
+	}
+	if !job.Finished() {
+		t.Fatal("Finished = false")
+	}
+}
+
+func TestJobErrorPropagates(t *testing.T) {
+	sentinel := errors.New("bad")
+	st, job, err := StartJob(nil, func(*Job) error { return sentinel })
+	if st != StatusFinish {
+		t.Fatalf("status = %v", st)
+	}
+	if !errors.Is(err, sentinel) || !errors.Is(job.Err(), sentinel) {
+		t.Fatalf("err = %v / %v", err, job.Err())
+	}
+}
+
+func TestPauseAndResume(t *testing.T) {
+	var trace []string
+	st, job, err := StartJob(nil, func(j *Job) error {
+		trace = append(trace, "start")
+		if err := j.Pause(); err != nil {
+			return err
+		}
+		trace = append(trace, "resumed")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusPause {
+		t.Fatalf("status = %v, want pause", st)
+	}
+	if len(trace) != 1 || trace[0] != "start" {
+		t.Fatalf("trace = %v", trace)
+	}
+	st, _, err = StartJob(job, nil)
+	if st != StatusFinish || err != nil {
+		t.Fatalf("resume = %v, %v", st, err)
+	}
+	if len(trace) != 2 || trace[1] != "resumed" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestMultiplePauses(t *testing.T) {
+	const pauses = 10
+	count := 0
+	st, job, err := StartJob(nil, func(j *Job) error {
+		for i := 0; i < pauses; i++ {
+			count++
+			if err := j.Pause(); err != nil {
+				return err
+			}
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumes := 0
+	for st == StatusPause {
+		resumes++
+		st, _, err = StartJob(job, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resumes != pauses {
+		t.Fatalf("resumes = %d, want %d", resumes, pauses)
+	}
+	if count != pauses+1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestResumeFinishedJobFails(t *testing.T) {
+	_, job, _ := StartJob(nil, func(*Job) error { return nil })
+	st, _, err := StartJob(job, nil)
+	if st != StatusErr || !errors.Is(err, ErrJobFinished) {
+		t.Fatalf("resume finished = %v, %v", st, err)
+	}
+}
+
+func TestStartJobNilFn(t *testing.T) {
+	st, _, err := StartJob(nil, nil)
+	if st != StatusErr || err == nil {
+		t.Fatalf("StartJob(nil,nil) = %v, %v", st, err)
+	}
+}
+
+func TestPauseOutsideJob(t *testing.T) {
+	var j *Job
+	if err := j.Pause(); !errors.Is(err, ErrNotInJob) {
+		t.Fatalf("err = %v, want ErrNotInJob", err)
+	}
+}
+
+func TestManyInterleavedJobs(t *testing.T) {
+	// Simulates the event-driven worker: many connections' jobs paused and
+	// resumed in arbitrary (here round-robin) order in one goroutine.
+	const n = 50
+	jobs := make([]*Job, n)
+	progress := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		st, job, err := StartJob(nil, func(j *Job) error {
+			for step := 0; step < 3; step++ {
+				progress[i]++
+				if err := j.Pause(); err != nil {
+					return err
+				}
+			}
+			progress[i]++
+			return nil
+		})
+		if err != nil || st != StatusPause {
+			t.Fatalf("job %d start: %v %v", i, st, err)
+		}
+		jobs[i] = job
+	}
+	active := n
+	for active > 0 {
+		for i := 0; i < n; i++ {
+			if jobs[i] == nil {
+				continue
+			}
+			st, _, err := StartJob(jobs[i], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st == StatusFinish {
+				jobs[i] = nil
+				active--
+			}
+		}
+	}
+	for i, p := range progress {
+		if p != 4 {
+			t.Fatalf("job %d progress = %d, want 4", i, p)
+		}
+	}
+}
+
+func TestWaitCtxFD(t *testing.T) {
+	w := NewWaitCtx()
+	if _, ok := w.FD(); ok {
+		t.Fatal("new wait ctx should have no FD")
+	}
+	w.SetFD(7)
+	fd, ok := w.FD()
+	if !ok || fd != 7 {
+		t.Fatalf("FD = %d, %v", fd, ok)
+	}
+	w.ClearFD()
+	if _, ok := w.FD(); ok {
+		t.Fatal("FD should be cleared")
+	}
+}
+
+func TestWaitCtxCallback(t *testing.T) {
+	w := NewWaitCtx()
+	if w.Notify() {
+		t.Fatal("Notify without callback should report false")
+	}
+	var got any
+	w.SetCallback(func(arg any) { got = arg }, "handler-info")
+	cb, arg, ok := w.Callback()
+	if !ok || cb == nil || arg != "handler-info" {
+		t.Fatalf("Callback = (cb nil: %v) %v %v", cb == nil, arg, ok)
+	}
+	if !w.Notify() {
+		t.Fatal("Notify should fire")
+	}
+	if got != "handler-info" {
+		t.Fatalf("callback arg = %v", got)
+	}
+}
+
+func TestJobWaitCtxLazyInit(t *testing.T) {
+	_, job, _ := StartJob(nil, func(j *Job) error { return j.Pause() })
+	w1 := job.WaitCtx()
+	w2 := job.WaitCtx()
+	if w1 == nil || w1 != w2 {
+		t.Fatal("WaitCtx should be stable")
+	}
+	StartJob(job, nil)
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusFinish.String() != "ASYNC_FINISH" ||
+		StatusPause.String() != "ASYNC_PAUSE" ||
+		StatusErr.String() != "ASYNC_ERR" {
+		t.Fatal("unexpected status names")
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status should still render")
+	}
+}
+
+func TestStackOpLifecycle(t *testing.T) {
+	var op StackOp
+	if op.State() != StackIdle {
+		t.Fatalf("initial state = %v", op.State())
+	}
+	op.MarkInflight()
+	if op.State() != StackInflight {
+		t.Fatalf("state = %v", op.State())
+	}
+	op.MarkReady(42, nil)
+	if op.State() != StackReady {
+		t.Fatalf("state = %v", op.State())
+	}
+	res, err := op.Consume()
+	if res != 42 || err != nil {
+		t.Fatalf("Consume = %v, %v", res, err)
+	}
+	if op.State() != StackIdle {
+		t.Fatalf("state after consume = %v", op.State())
+	}
+}
+
+func TestStackOpRetryPath(t *testing.T) {
+	var op StackOp
+	op.MarkRetry()
+	if op.State() != StackRetry {
+		t.Fatalf("state = %v", op.State())
+	}
+	op.MarkRetry() // retry can repeat
+	op.MarkInflight()
+	op.MarkReady(nil, errors.New("x"))
+	if _, err := op.Consume(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStackOpInvalidTransitionsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*StackOp)
+	}{
+		{"ready without inflight", func(o *StackOp) { o.MarkReady(nil, nil) }},
+		{"consume idle", func(o *StackOp) { o.Consume() }},
+		{"inflight twice", func(o *StackOp) { o.MarkInflight(); o.MarkInflight() }},
+		{"retry while inflight", func(o *StackOp) { o.MarkInflight(); o.MarkRetry() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			var op StackOp
+			tc.fn(&op)
+		})
+	}
+}
+
+func TestStackOpReset(t *testing.T) {
+	var op StackOp
+	op.MarkInflight()
+	op.MarkReady("r", nil)
+	op.Reset()
+	if op.State() != StackIdle {
+		t.Fatalf("state = %v", op.State())
+	}
+	// After reset the op is reusable.
+	op.MarkInflight()
+	op.MarkReady("s", nil)
+	if res, _ := op.Consume(); res != "s" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+// Property: for any sequence of pause counts, driving jobs to completion
+// takes exactly pauses+1 StartJob calls.
+func TestJobDriveCountProperty(t *testing.T) {
+	f := func(pausesRaw uint8) bool {
+		pauses := int(pausesRaw % 20)
+		st, job, err := StartJob(nil, func(j *Job) error {
+			for i := 0; i < pauses; i++ {
+				if err := j.Pause(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		calls := 1
+		for st == StatusPause {
+			st, _, err = StartJob(job, nil)
+			if err != nil {
+				return false
+			}
+			calls++
+		}
+		return calls == pauses+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackStateStrings(t *testing.T) {
+	want := map[StackState]string{StackIdle: "idle", StackInflight: "inflight", StackReady: "ready", StackRetry: "retry"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("String(%d) = %q", int32(s), s.String())
+		}
+	}
+	if StackState(12).String() == "" {
+		t.Fatal("unknown state should render")
+	}
+}

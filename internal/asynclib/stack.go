@@ -1,0 +1,122 @@
+package asynclib
+
+import "fmt"
+
+// StackState is the state flag of the paper's original "stack async"
+// implementation (Fig. 5). Instead of swapping fiber contexts, the crypto
+// API alters its normal execution sequence according to this flag:
+//
+//	StackIdle     -> first call: submit the crypto request.
+//	StackInflight -> submitted; the TLS API returns a pause indication and
+//	                 the application re-invokes it later.
+//	StackReady    -> the QAT response was retrieved; the re-invoked crypto
+//	                 API jumps over the submission and consumes the result.
+//	StackRetry    -> the submission failed (ring full); the re-invoked
+//	                 crypto API retries the submission.
+//
+// The stack-async approach performs slightly better than fiber async (no
+// fiber management or context swaps) but is intrusive: the TLS API must
+// carefully skip already-completed operations on re-entry. The engine and
+// minitls layers in this repository support both modes; see
+// minitls.AsyncModeStack.
+type StackState int32
+
+const (
+	// StackIdle means no async operation is outstanding.
+	StackIdle StackState = iota
+	// StackInflight means a crypto request has been submitted and its
+	// response has not been retrieved yet.
+	StackInflight
+	// StackReady means the response has been retrieved and the result can
+	// be consumed by re-entering the paused operation.
+	StackReady
+	// StackRetry means the submission failed and must be retried.
+	StackRetry
+)
+
+// String returns the state name.
+func (s StackState) String() string {
+	switch s {
+	case StackIdle:
+		return "idle"
+	case StackInflight:
+		return "inflight"
+	case StackReady:
+		return "ready"
+	case StackRetry:
+		return "retry"
+	default:
+		return fmt.Sprintf("StackState(%d)", int32(s))
+	}
+}
+
+// StackOp tracks one stack-async crypto operation: the state flag plus the
+// retrieved result. It is manipulated from the worker goroutine only
+// (submission, consumption) except MarkReady, which the QAT response
+// callback invokes from the polling goroutine — in QTLS both run on the
+// same worker thread, and this package preserves that single-owner model.
+type StackOp struct {
+	state  StackState
+	result any
+	err    error
+	wctx   *WaitCtx
+}
+
+// State returns the current state flag.
+func (o *StackOp) State() StackState { return o.state }
+
+// WaitCtx returns the operation's wait context, creating it on first use.
+func (o *StackOp) WaitCtx() *WaitCtx {
+	if o.wctx == nil {
+		o.wctx = NewWaitCtx()
+	}
+	return o.wctx
+}
+
+// MarkInflight transitions idle/retry -> inflight after a successful
+// submission. It panics on an invalid transition: that is a stack-async
+// sequencing bug.
+func (o *StackOp) MarkInflight() {
+	if o.state != StackIdle && o.state != StackRetry {
+		panic("asynclib: MarkInflight from state " + o.state.String())
+	}
+	o.state = StackInflight
+}
+
+// MarkRetry transitions idle/retry -> retry after a failed submission.
+func (o *StackOp) MarkRetry() {
+	if o.state != StackIdle && o.state != StackRetry {
+		panic("asynclib: MarkRetry from state " + o.state.String())
+	}
+	o.state = StackRetry
+}
+
+// MarkReady records the crypto result and transitions inflight -> ready.
+// The QAT response callback calls this when the response is retrieved.
+func (o *StackOp) MarkReady(result any, err error) {
+	if o.state != StackInflight {
+		panic("asynclib: MarkReady from state " + o.state.String())
+	}
+	o.result = result
+	o.err = err
+	o.state = StackReady
+}
+
+// Consume returns the result and resets the operation to idle. It panics
+// unless the state is ready.
+func (o *StackOp) Consume() (any, error) {
+	if o.state != StackReady {
+		panic("asynclib: Consume from state " + o.state.String())
+	}
+	res, err := o.result, o.err
+	o.result, o.err = nil, nil
+	o.state = StackIdle
+	return res, err
+}
+
+// Reset unconditionally returns the operation to idle, dropping any
+// result. Used when a connection is torn down mid-operation.
+func (o *StackOp) Reset() {
+	o.result, o.err = nil, nil
+	o.state = StackIdle
+}

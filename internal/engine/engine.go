@@ -1,0 +1,368 @@
+// Package engine is the QAT Engine layer of QTLS (§3.2, §4.3): the bridge
+// between the TLS library (internal/minitls) and the accelerator driver
+// (internal/qat). It implements minitls.Provider by submitting crypto work
+// to a QAT crypto instance and either
+//
+//   - blocking until the response arrives — the straight offload mode
+//     (QAT+S) whose offload-I/O blocking motivates the paper (§2.4); or
+//   - pausing the calling offload job immediately after submission and
+//     returning control to the application (the QTLS asynchronous offload
+//     framework); the pre-registered response callback later delivers the
+//     result and fires the connection's async notification.
+//
+// The engine also keeps the per-class in-flight request counters
+// (Rasym, Rcipher, Rprf) that feed the heuristic polling scheme (§4.3).
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+
+	"qtls/internal/asynclib"
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+)
+
+// Class groups op kinds the way the heuristic polling scheme counts them.
+type Class int
+
+const (
+	// ClassAsym covers RSA/ECDSA/ECDH (the slow asymmetric calculations).
+	ClassAsym Class = iota
+	// ClassCipher covers symmetric record protection.
+	ClassCipher
+	// ClassPRF covers TLS 1.2 PRF derivations.
+	ClassPRF
+
+	numClasses = 3
+)
+
+// classify maps an op kind to its in-flight counter class; ok is false
+// for kinds the engine never offloads (HKDF).
+func classify(kind minitls.OpKind) (Class, bool) {
+	switch kind {
+	case minitls.KindRSA, minitls.KindECDSA, minitls.KindECDH:
+		return ClassAsym, true
+	case minitls.KindCipher:
+		return ClassCipher, true
+	case minitls.KindPRF:
+		return ClassPRF, true
+	default:
+		return 0, false
+	}
+}
+
+func opTypeFor(kind minitls.OpKind) qat.OpType {
+	switch kind {
+	case minitls.KindRSA:
+		return qat.OpRSA
+	case minitls.KindECDSA:
+		return qat.OpECDSA
+	case minitls.KindECDH:
+		return qat.OpECDH
+	case minitls.KindPRF:
+		return qat.OpPRF
+	default:
+		return qat.OpCipher
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Instance is the QAT crypto instance assigned to this worker
+	// (one instance per Nginx worker in the paper's deployment).
+	Instance *qat.Instance
+	// Instances optionally assigns several crypto instances — typically
+	// one per endpoint — so a single worker can employ more computation
+	// engines (§2.3: "one process can be assigned with multiple QAT
+	// instances from different endpoints"). Submissions round-robin
+	// across instances; Poll drains all of them. Mutually additive with
+	// Instance.
+	Instances []*qat.Instance
+	// Offload selects which op kinds are offloaded; nil means all
+	// offloadable kinds (RSA, ECDSA, ECDH, PRF, Cipher). This mirrors the
+	// default_algorithm directive of the SSL Engine Framework (§A.7).
+	Offload []minitls.OpKind
+}
+
+// Engine implements minitls.Provider backed by one or more QAT crypto
+// instances. One engine belongs to one worker goroutine; Poll must be
+// called from that goroutine (response callbacks run inside Poll).
+type Engine struct {
+	insts   []*qat.Instance
+	next    int // round-robin submission cursor
+	offload [6]bool
+
+	inflight [numClasses]atomic.Int64
+
+	// Cumulative statistics.
+	submitted  atomic.Int64
+	retrieved  atomic.Int64
+	ringFulls  atomic.Int64
+	pollsEmpty atomic.Int64
+	polls      atomic.Int64
+}
+
+// New creates an engine bound to its QAT instances.
+func New(cfg Config) (*Engine, error) {
+	e := &Engine{}
+	if cfg.Instance != nil {
+		e.insts = append(e.insts, cfg.Instance)
+	}
+	e.insts = append(e.insts, cfg.Instances...)
+	if len(e.insts) == 0 {
+		return nil, errors.New("engine: at least one crypto instance is required")
+	}
+	if cfg.Offload == nil {
+		cfg.Offload = []minitls.OpKind{
+			minitls.KindRSA, minitls.KindECDSA, minitls.KindECDH,
+			minitls.KindPRF, minitls.KindCipher,
+		}
+	}
+	for _, k := range cfg.Offload {
+		if k == minitls.KindHKDF {
+			return nil, errors.New("engine: HKDF cannot be offloaded through the QAT Engine")
+		}
+		e.offload[k] = true
+	}
+	return e, nil
+}
+
+// submit places the request on the next instance in round-robin order,
+// falling back to the other instances when a ring is full. It returns
+// qat.ErrRingFull only when every instance's ring is full.
+func (e *Engine) submit(req qat.Request) error {
+	var lastErr error
+	for i := 0; i < len(e.insts); i++ {
+		inst := e.insts[e.next%len(e.insts)]
+		e.next++
+		lastErr = inst.Submit(req)
+		if lastErr == nil {
+			return nil
+		}
+		if !errors.Is(lastErr, qat.ErrRingFull) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// Instances returns the engine's crypto instances.
+func (e *Engine) Instances() []*qat.Instance { return e.insts }
+
+// Name implements minitls.Provider.
+func (e *Engine) Name() string { return "qat-engine" }
+
+// Do implements minitls.Provider.
+func (e *Engine) Do(call *minitls.OpCall, kind minitls.OpKind, work func() (any, error)) (any, error) {
+	class, offloadable := classify(kind)
+	if !offloadable || !e.offload[kind] {
+		// Software fallback on the worker core (e.g. HKDF, or algorithms
+		// excluded from default_algorithm).
+		return work()
+	}
+	switch call.Mode {
+	case minitls.AsyncModeFiber:
+		return e.doFiber(call, kind, class, work)
+	case minitls.AsyncModeStack:
+		return e.doStack(call, kind, class, work)
+	default:
+		return e.doStraight(call, kind, class, work)
+	}
+}
+
+// doStraight is the straight offload mode (§2.4, Fig. 3): replace the
+// crypto function call with an offload I/O call and busy-wait for the
+// response. The worker core spins, and at most one engine computes for
+// this worker at any time — the blocking the paper measures.
+func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	var done atomic.Bool
+	var result any
+	var resultErr error
+	req := qat.Request{
+		Op:   opTypeFor(kind),
+		Work: work,
+		Callback: func(r qat.Response) {
+			result, resultErr = r.Result, r.Err
+			e.onResponse(class)
+			done.Store(true)
+		},
+	}
+	for {
+		err := e.submit(req)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, qat.ErrRingFull) {
+			e.ringFulls.Add(1)
+			e.pollAll(0)
+			continue
+		}
+		return nil, err
+	}
+	e.onSubmit(class)
+	for !done.Load() {
+		if e.pollAll(0) == 0 {
+			runtime.Gosched()
+		}
+	}
+	return result, resultErr
+}
+
+// doFiber submits the request and pauses the calling ASYNC_JOB (§3.2
+// pre-processing / Fig. 6). The response callback stores the result on
+// the OpCall and fires the connection's notification; the application
+// then resumes the job, and execution continues right here.
+func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	if call.Job == nil {
+		return nil, errors.New("engine: fiber mode without a job")
+	}
+	for {
+		delivered := false
+		req := qat.Request{
+			Op:   opTypeFor(kind),
+			Work: work,
+			Callback: func(r qat.Response) {
+				call.SetResult(r.Result, r.Err)
+				e.onResponse(class)
+				delivered = true
+				if call.WaitCtx != nil {
+					call.WaitCtx.Notify()
+				}
+			},
+		}
+		if err := e.submit(req); err != nil {
+			if errors.Is(err, qat.ErrRingFull) {
+				// Pause with the retry indication; the application
+				// reschedules this handler later and we resubmit (§3.2
+				// "failure of crypto submission").
+				e.ringFulls.Add(1)
+				call.SubmitFailed = true
+				if perr := call.Job.Pause(); perr != nil {
+					return nil, perr
+				}
+				continue
+			}
+			return nil, err
+		}
+		e.onSubmit(class)
+		call.SubmitFailed = false
+		call.SetResult(nil, nil)
+		// Tolerate spurious resumes: stay paused until the response
+		// callback has actually delivered a result.
+		for !delivered {
+			if err := call.Job.Pause(); err != nil {
+				return nil, err
+			}
+		}
+		return call.Result()
+	}
+}
+
+// doStack drives the stack-async state flag (Fig. 5): first entry submits
+// and returns ErrWantAsync; the re-entered call consumes the ready result.
+func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	st := call.Stack
+	if st == nil {
+		return nil, errors.New("engine: stack mode without a StackOp")
+	}
+	switch st.State() {
+	case asynclib.StackReady:
+		return st.Consume()
+	case asynclib.StackIdle, asynclib.StackRetry:
+		req := qat.Request{
+			Op:   opTypeFor(kind),
+			Work: work,
+			Callback: func(r qat.Response) {
+				st.MarkReady(r.Result, r.Err)
+				e.onResponse(class)
+				if call.WaitCtx != nil {
+					call.WaitCtx.Notify()
+				}
+			},
+		}
+		if err := e.submit(req); err != nil {
+			if errors.Is(err, qat.ErrRingFull) {
+				e.ringFulls.Add(1)
+				st.MarkRetry()
+				return nil, minitls.ErrWantAsyncRetry
+			}
+			return nil, err
+		}
+		e.onSubmit(class)
+		st.MarkInflight()
+		return nil, minitls.ErrWantAsync
+	default:
+		return nil, errors.New("engine: stack op already in flight")
+	}
+}
+
+func (e *Engine) onSubmit(class Class) {
+	e.inflight[class].Add(1)
+	e.submitted.Add(1)
+}
+
+func (e *Engine) onResponse(class Class) {
+	e.inflight[class].Add(-1)
+	e.retrieved.Add(1)
+}
+
+// Poll retrieves up to max QAT responses (0 = all available), running
+// response callbacks on the calling goroutine. It returns the number
+// retrieved.
+func (e *Engine) Poll(max int) int {
+	n := e.pollAll(max)
+	e.polls.Add(1)
+	if n == 0 {
+		e.pollsEmpty.Add(1)
+	}
+	return n
+}
+
+// pollAll drains responses from every assigned instance.
+func (e *Engine) pollAll(max int) int {
+	n := 0
+	for _, inst := range e.insts {
+		n += inst.Poll(max)
+	}
+	return n
+}
+
+// InflightTotal returns Rtotal — the number of submitted-but-unretrieved
+// crypto requests across all classes (§4.3).
+func (e *Engine) InflightTotal() int {
+	var t int64
+	for i := range e.inflight {
+		t += e.inflight[i].Load()
+	}
+	return int(t)
+}
+
+// InflightAsym returns Rasym, the in-flight asymmetric requests.
+func (e *Engine) InflightAsym() int { return int(e.inflight[ClassAsym].Load()) }
+
+// Inflight returns the in-flight count for one class.
+func (e *Engine) Inflight(c Class) int { return int(e.inflight[c].Load()) }
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Submitted  int64
+	Retrieved  int64
+	RingFulls  int64
+	Polls      int64
+	PollsEmpty int64
+}
+
+// Stats returns cumulative counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted:  e.submitted.Load(),
+		Retrieved:  e.retrieved.Load(),
+		RingFulls:  e.ringFulls.Load(),
+		Polls:      e.polls.Load(),
+		PollsEmpty: e.pollsEmpty.Load(),
+	}
+}
+
+var _ minitls.Provider = (*Engine)(nil)

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qtls/internal/asynclib"
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+)
+
+// A worker with instances on several endpoints can employ more engines
+// than any single endpoint offers (§2.3).
+func TestMultiInstanceSpansEndpoints(t *testing.T) {
+	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 3, EnginesPerEndpoint: 1})
+	defer dev.Close()
+	var insts []*qat.Instance
+	for i := 0; i < 3; i++ {
+		inst, err := dev.AllocInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	// Round-robin allocation puts each instance on a distinct endpoint.
+	seen := map[int]bool{}
+	for _, inst := range insts {
+		seen[inst.Endpoint()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("instances on %d endpoints, want 3", len(seen))
+	}
+	e, err := New(Config{Instances: insts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Instances()) != 3 {
+		t.Fatalf("engine instances = %d", len(e.Instances()))
+	}
+
+	// Submit 3 async ops; with one engine per endpoint, all three run
+	// concurrently only because submissions were spread across endpoints.
+	gate := make(chan struct{})
+	running := make(chan struct{}, 3)
+	var calls []*minitls.OpCall
+	for i := 0; i < 3; i++ {
+		call := &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: &asynclib.StackOp{}}
+		calls = append(calls, call)
+		_, err := e.Do(call, minitls.KindRSA, func() (any, error) {
+			running <- struct{}{}
+			<-gate
+			return nil, nil
+		})
+		if !errors.Is(err, minitls.ErrWantAsync) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-running:
+		case <-deadline:
+			t.Fatalf("only %d ops running concurrently; submissions not balanced across endpoints", i)
+		}
+	}
+	close(gate)
+	waitDeadline := time.Now().Add(5 * time.Second)
+	done := 0
+	for done < 3 {
+		e.Poll(0)
+		done = 0
+		for _, c := range calls {
+			if c.Stack.State() == asynclib.StackReady {
+				done++
+			}
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("responses not retrieved: %d/3", done)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	for _, c := range calls {
+		if _, err := e.Do(c, minitls.KindRSA, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.InflightTotal() != 0 {
+		t.Fatalf("inflight = %d", e.InflightTotal())
+	}
+}
+
+// When one instance's ring is full, submission falls over to the others;
+// ErrRingFull only surfaces when every ring is full.
+func TestMultiInstanceRingFallback(t *testing.T) {
+	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 2, EnginesPerEndpoint: 1, RingCapacity: 1})
+	defer dev.Close()
+	i1, _ := dev.AllocInstance()
+	i2, _ := dev.AllocInstance()
+	e, err := New(Config{Instances: []*qat.Instance{i1, i2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	blockWork := func() (any, error) { <-gate; return nil, nil }
+	// Two submissions fill both 1-slot rings.
+	for i := 0; i < 2; i++ {
+		call := &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: &asynclib.StackOp{}}
+		if _, err := e.Do(call, minitls.KindRSA, blockWork); !errors.Is(err, minitls.ErrWantAsync) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if i1.Inflight() != 1 || i2.Inflight() != 1 {
+		t.Fatalf("inflight not balanced: %d/%d", i1.Inflight(), i2.Inflight())
+	}
+	// Third fails everywhere.
+	call := &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: &asynclib.StackOp{}}
+	if _, err := e.Do(call, minitls.KindRSA, blockWork); !errors.Is(err, minitls.ErrWantAsyncRetry) {
+		t.Fatalf("third submit: %v, want retry", err)
+	}
+	if e.Stats().RingFulls == 0 {
+		t.Fatal("ring-full not counted")
+	}
+}

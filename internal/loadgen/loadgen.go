@@ -1,0 +1,341 @@
+// Package loadgen implements the client side of the paper's evaluation:
+// an OpenSSL s_time equivalent that opens TLS connections in a closed
+// loop to measure connections per second (§5.2, §5.3), and an
+// ApacheBench (ab) equivalent that issues keepalive HTTPS requests to
+// measure secure data transfer throughput (§5.4) and average response
+// time (§5.5).
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qtls/internal/metrics"
+	"qtls/internal/minitls"
+)
+
+// Result aggregates a load run.
+type Result struct {
+	// Connections is the number of completed TLS connections.
+	Connections int64
+	// Resumed is how many of those used an abbreviated handshake.
+	Resumed int64
+	// Requests is the number of completed HTTP requests.
+	Requests int64
+	// BytesIn is the number of response body bytes received.
+	BytesIn int64
+	// Errors counts failed connections/requests.
+	Errors int64
+	// Elapsed is the measured wall-clock interval.
+	Elapsed time.Duration
+	// Latency summarizes per-operation latency (handshake latency for
+	// STime, request latency for AB).
+	Latency metrics.Snapshot
+}
+
+// CPS returns completed connections per second.
+func (r Result) CPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Connections) / r.Elapsed.Seconds()
+}
+
+// RPS returns requests per second.
+func (r Result) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// ThroughputGbps returns the response-body goodput in gigabits/second.
+func (r Result) ThroughputGbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BytesIn) * 8 / r.Elapsed.Seconds() / 1e9
+}
+
+// STimeOptions configures the s_time-like closed-loop handshake load.
+type STimeOptions struct {
+	// Addr is the server address.
+	Addr string
+	// Clients is the number of concurrent client loops (the paper runs
+	// 2×1000 s_time processes).
+	Clients int
+	// Duration bounds the run.
+	Duration time.Duration
+	// TLS is the client TLS template (suites, max version).
+	TLS *minitls.Config
+	// ResumeFraction is the fraction of connections attempted as
+	// abbreviated handshakes once a session is available: 0 = all full
+	// (fresh s_time), 1 = all resumed (s_time -reuse), 0.9 = the paper's
+	// 1:9 full/abbreviated mix (§5.3).
+	ResumeFraction float64
+	// RequestPath, when non-empty, sends one GET per connection and reads
+	// the response (used for the latency evaluation, §5.5).
+	RequestPath string
+	// MaxConnections, when > 0, stops after this many connections.
+	MaxConnections int64
+}
+
+// STime runs the closed-loop handshake workload.
+func STime(opts STimeOptions) Result {
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.TLS == nil {
+		opts.TLS = &minitls.Config{}
+	}
+	var res Result
+	var conns, resumed, reqs, bytesIn, errCount atomic.Int64
+	lat := metrics.NewHistogram(1 << 14)
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var session *minitls.ClientSession
+			iter := 0
+			for time.Now().Before(deadline) {
+				if opts.MaxConnections > 0 && conns.Load() >= opts.MaxConnections {
+					return
+				}
+				iter++
+				cfg := *opts.TLS
+				wantResume := session != nil && opts.ResumeFraction > 0 &&
+					float64(iter%100)/100.0 < opts.ResumeFraction
+				if wantResume {
+					cfg.Session = session
+				}
+				t0 := time.Now()
+				conn, didResume, body, err := oneConnection(opts.Addr, &cfg, opts.RequestPath)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				lat.ObserveDuration(time.Since(t0))
+				conns.Add(1)
+				if didResume {
+					resumed.Add(1)
+				}
+				if opts.RequestPath != "" {
+					reqs.Add(1)
+					bytesIn.Add(int64(body))
+				}
+				if conn != nil && (session == nil || !didResume) {
+					if s := conn.ResumptionSession(); s != nil {
+						session = s
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Connections = conns.Load()
+	res.Resumed = resumed.Load()
+	res.Requests = reqs.Load()
+	res.BytesIn = bytesIn.Load()
+	res.Errors = errCount.Load()
+	res.Latency = lat.Snapshot()
+	return res
+}
+
+// oneConnection dials, handshakes, optionally issues one request, and
+// closes.
+func oneConnection(addr string, cfg *minitls.Config, path string) (*minitls.Conn, bool, int, error) {
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(10 * time.Second))
+	tc := minitls.ClientConn(raw, cfg)
+	if err := tc.Handshake(); err != nil {
+		return nil, false, 0, err
+	}
+	n := 0
+	if path != "" {
+		br := bufio.NewReaderSize(&tlsReader{tc}, 32<<10)
+		if n, err = doRequest(tc, br, path); err != nil {
+			return tc, tc.ConnectionState().DidResume, 0, err
+		}
+	}
+	tc.Close()
+	return tc, tc.ConnectionState().DidResume, n, nil
+}
+
+// doRequest sends one GET and reads the full response, returning the
+// body length. The buffered reader must be reused across requests on the
+// same connection (it may hold read-ahead bytes).
+func doRequest(tc *minitls.Conn, br *bufio.Reader, path string) (int, error) {
+	req := "GET " + path + " HTTP/1.1\r\nHost: qtls\r\n\r\n"
+	if _, err := tc.Write([]byte(req)); err != nil {
+		return 0, err
+	}
+	var contentLength = -1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		line = trimCRLF(line)
+		if line == "" {
+			break
+		}
+		if n, ok := cutPrefixFold(line, "content-length:"); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil {
+				return 0, err
+			}
+			contentLength = v
+		}
+	}
+	if contentLength < 0 {
+		return 0, errors.New("loadgen: response without Content-Length")
+	}
+	if _, err := io.CopyN(io.Discard, br, int64(contentLength)); err != nil {
+		return 0, err
+	}
+	return contentLength, nil
+}
+
+func trimCRLF(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// cutPrefixFold strips an ASCII-case-insensitive prefix and surrounding
+// spaces.
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) {
+		return "", false
+	}
+	for i := 0; i < len(prefix); i++ {
+		a, b := s[i], prefix[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if a != b {
+			return "", false
+		}
+	}
+	return string(bytes.TrimSpace([]byte(s[len(prefix):]))), true
+}
+
+type tlsReader struct{ c *minitls.Conn }
+
+func (r *tlsReader) Read(p []byte) (int, error) { return r.c.Read(p) }
+
+// ABOptions configures the ApacheBench-like keepalive request load.
+type ABOptions struct {
+	// Addr is the server address.
+	Addr string
+	// Clients is the number of concurrent keepalive connections (the
+	// paper uses 400 ab processes for throughput, 1–256 for latency).
+	Clients int
+	// Duration bounds the run.
+	Duration time.Duration
+	// TLS is the client TLS template.
+	TLS *minitls.Config
+	// Path is the requested object (e.g. "/65536" for a 64 KB file).
+	Path string
+	// MaxRequests, when > 0, stops after this many requests.
+	MaxRequests int64
+}
+
+// AB runs the keepalive request workload.
+func AB(opts ABOptions) Result {
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.TLS == nil {
+		opts.TLS = &minitls.Config{}
+	}
+	if opts.Path == "" {
+		opts.Path = "/1024"
+	}
+	var reqs, bytesIn, errCount, conns atomic.Int64
+	lat := metrics.NewHistogram(1 << 14)
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				raw, err := net.DialTimeout("tcp", opts.Addr, 5*time.Second)
+				if err != nil {
+					errCount.Add(1)
+					return
+				}
+				cfg := *opts.TLS
+				tc := minitls.ClientConn(raw, &cfg)
+				raw.SetDeadline(time.Now().Add(15 * time.Second))
+				if err := tc.Handshake(); err != nil {
+					errCount.Add(1)
+					raw.Close()
+					continue
+				}
+				conns.Add(1)
+				br := bufio.NewReaderSize(&tlsReader{tc}, 32<<10)
+				// Keepalive request loop on this connection.
+				for time.Now().Before(deadline) {
+					if opts.MaxRequests > 0 && reqs.Load() >= opts.MaxRequests {
+						break
+					}
+					raw.SetDeadline(time.Now().Add(15 * time.Second))
+					t0 := time.Now()
+					n, err := doRequest(tc, br, opts.Path)
+					if err != nil {
+						errCount.Add(1)
+						break
+					}
+					lat.ObserveDuration(time.Since(t0))
+					reqs.Add(1)
+					bytesIn.Add(int64(n))
+				}
+				raw.Close()
+				if opts.MaxRequests > 0 && reqs.Load() >= opts.MaxRequests {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Result{
+		Connections: conns.Load(),
+		Requests:    reqs.Load(),
+		BytesIn:     bytesIn.Load(),
+		Errors:      errCount.Load(),
+		Elapsed:     time.Since(start),
+		Latency:     lat.Snapshot(),
+	}
+}
+
+// String renders a result summary.
+func (r Result) String() string {
+	return fmt.Sprintf("conns=%d (%.0f cps, %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d lat{%s}",
+		r.Connections, r.CPS(), r.Resumed, r.Requests, r.RPS(), r.ThroughputGbps(), r.Errors, r.Latency)
+}

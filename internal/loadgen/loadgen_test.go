@@ -1,0 +1,175 @@
+//go:build linux
+
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"qtls/internal/minitls"
+	"qtls/internal/server"
+)
+
+var (
+	idOnce sync.Once
+	rsaID  *minitls.Identity
+)
+
+func identity(t testing.TB) *minitls.Identity {
+	t.Helper()
+	idOnce.Do(func() {
+		var err error
+		rsaID, err = minitls.NewRSAIdentity(2048)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return rsaID
+}
+
+func startServer(t *testing.T, extra func(*minitls.Config)) *server.Server {
+	t.Helper()
+	cfg := &minitls.Config{Identity: identity(t)}
+	if extra != nil {
+		extra(cfg)
+	}
+	srv, err := server.New(server.Options{
+		Addr:    "127.0.0.1:0",
+		Workers: 1,
+		Run:     server.ConfigSW,
+		TLS:     cfg,
+		Handler: server.SizedBodyHandler(1 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+func TestSTimeBasic(t *testing.T) {
+	srv := startServer(t, nil)
+	res := STime(STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        2,
+		Duration:       300 * time.Millisecond,
+		MaxConnections: 10,
+	})
+	if res.Connections == 0 {
+		t.Fatalf("no connections: %s", res)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("errors: %s", res)
+	}
+	if res.CPS() <= 0 {
+		t.Fatal("CPS should be positive")
+	}
+	if res.Latency.Count != res.Connections {
+		t.Fatalf("latency samples %d != connections %d", res.Latency.Count, res.Connections)
+	}
+}
+
+func TestSTimeWithRequest(t *testing.T) {
+	srv := startServer(t, nil)
+	res := STime(STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        2,
+		Duration:       300 * time.Millisecond,
+		RequestPath:    "/512",
+		MaxConnections: 6,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no requests: %s", res)
+	}
+	if res.BytesIn != res.Requests*512 {
+		t.Fatalf("bytes %d for %d requests of 512", res.BytesIn, res.Requests)
+	}
+}
+
+func TestSTimeResumption(t *testing.T) {
+	srv := startServer(t, func(c *minitls.Config) {
+		c.SessionCache = minitls.NewSessionCache(64)
+	})
+	res := STime(STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        2,
+		Duration:       400 * time.Millisecond,
+		ResumeFraction: 1.0,
+		MaxConnections: 16,
+	})
+	if res.Connections < 4 {
+		t.Fatalf("too few connections: %s", res)
+	}
+	if res.Resumed == 0 {
+		t.Fatalf("no resumptions: %s", res)
+	}
+	// First connection per client is necessarily full.
+	if res.Resumed >= res.Connections {
+		t.Fatalf("resumed %d of %d: first connections must be full", res.Resumed, res.Connections)
+	}
+}
+
+func TestABKeepalive(t *testing.T) {
+	srv := startServer(t, nil)
+	res := AB(ABOptions{
+		Addr:        srv.Addr(),
+		Clients:     2,
+		Duration:    400 * time.Millisecond,
+		Path:        "/2048",
+		MaxRequests: 12,
+	})
+	if res.Requests == 0 || res.Errors > 0 {
+		t.Fatalf("bad run: %s", res)
+	}
+	if res.Connections > res.Requests {
+		t.Fatalf("keepalive broken: %d conns for %d requests", res.Connections, res.Requests)
+	}
+	if res.ThroughputGbps() <= 0 || res.RPS() <= 0 {
+		t.Fatal("rates should be positive")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	var r Result
+	if r.String() == "" {
+		t.Fatal("empty render")
+	}
+	if r.CPS() != 0 || r.RPS() != 0 || r.ThroughputGbps() != 0 {
+		t.Fatal("zero-duration rates should be 0")
+	}
+}
+
+func TestDialFailureCounted(t *testing.T) {
+	// Nothing listening on this port.
+	res := STime(STimeOptions{
+		Addr:     "127.0.0.1:1",
+		Clients:  1,
+		Duration: 50 * time.Millisecond,
+	})
+	if res.Connections != 0 {
+		t.Fatalf("connections to dead port: %s", res)
+	}
+	if res.Errors == 0 {
+		t.Fatal("dial failures should count as errors")
+	}
+}
+
+func TestCutPrefixFold(t *testing.T) {
+	if v, ok := cutPrefixFold("Content-Length: 42", "content-length:"); !ok || v != "42" {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	if _, ok := cutPrefixFold("X-Other: 1", "content-length:"); ok {
+		t.Fatal("wrong prefix matched")
+	}
+	if _, ok := cutPrefixFold("short", "content-length:"); ok {
+		t.Fatal("short line matched")
+	}
+}
+
+func TestTrimCRLF(t *testing.T) {
+	if trimCRLF("abc\r\n") != "abc" || trimCRLF("abc") != "abc" || trimCRLF("\r\n") != "" {
+		t.Fatal("trimCRLF broken")
+	}
+}

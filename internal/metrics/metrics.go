@@ -1,0 +1,234 @@
+// Package metrics provides lightweight counters, gauges and latency
+// histograms used by both the functional QTLS stack and the discrete-event
+// performance model. All types are safe for concurrent use unless noted.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be >= 0) to the counter.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n as the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (possibly negative) to the current value.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records a distribution of values (typically durations in
+// nanoseconds). It keeps exact samples up to a cap, after which it
+// reservoir-samples, and it always tracks exact count/sum/min/max.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	capN    int
+	rng     uint64 // xorshift state for reservoir sampling
+}
+
+// NewHistogram returns a histogram that retains at most capN samples for
+// percentile estimation. capN <= 0 selects a default of 16384.
+func NewHistogram(capN int) *Histogram {
+	if capN <= 0 {
+		capN = 16384
+	}
+	return &Histogram{
+		samples: make([]float64, 0, min(capN, 1024)),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+		capN:    capN,
+		rng:     0x9e3779b97f4a7c15,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < h.capN {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Reservoir sampling: replace a random existing sample with
+	// probability capN/count.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	idx := h.rng % uint64(h.count)
+	if idx < uint64(h.capN) {
+		h.samples[idx] = v
+	}
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations (0 if none).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 if none).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 if none).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from the retained
+// samples. It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Snapshot is a point-in-time summary of a histogram.
+type Snapshot struct {
+	Count int64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+	P99   float64
+}
+
+// Snapshot returns a summary of the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the snapshot treating values as nanoseconds.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		s.Count,
+		time.Duration(s.Mean),
+		time.Duration(s.P50),
+		time.Duration(s.P90),
+		time.Duration(s.P99),
+		time.Duration(s.Max))
+}
+
+// Meter measures a rate of events over a wall-clock interval.
+type Meter struct {
+	start time.Time
+	n     atomic.Int64
+}
+
+// NewMeter returns a meter whose interval starts now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.n.Add(n) }
+
+// Rate returns events per second since the meter was created.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n.Load()) / el
+}
+
+// Total returns the total number of marked events.
+func (m *Meter) Total() int64 { return m.n.Load() }

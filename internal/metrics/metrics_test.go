@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestCounterAddNegativePanics(t *testing.T) {
+	var c Counter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-5)
+	if g.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 5.5 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5.5) > 1e-9 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("Q1 = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("Snapshot.Count = %d", s.Count)
+	}
+}
+
+func TestHistogramReservoirKeepsBounds(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 100000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 99999 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// Median estimate should land roughly mid-range despite sampling.
+	med := h.Quantile(0.5)
+	if med < 20000 || med > 80000 {
+		t.Fatalf("median estimate %v implausible", med)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram(8)
+	h.Observe(3)
+	if h.Quantile(-1) != 3 || h.Quantile(2) != 3 {
+		t.Fatal("quantile should clamp q to [0,1]")
+	}
+}
+
+// Property: mean always lies between min and max, and quantiles are
+// monotonic in q.
+func TestHistogramInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			// Durations in practice; avoid float summation overflow for
+			// astronomically large generated values.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		h := NewHistogram(1024)
+		for _, v := range clean {
+			h.Observe(v)
+		}
+		const eps = 1e-6
+		mean, lo, hi := h.Mean(), h.Min(), h.Max()
+		span := math.Max(1, math.Abs(lo)+math.Abs(hi))
+		if mean < lo-eps*span || mean > hi+eps*span {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Mark(10)
+	m.Mark(5)
+	if m.Total() != 15 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	time.Sleep(time.Millisecond)
+	if m.Rate() <= 0 {
+		t.Fatal("Rate should be positive after events")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram(8)
+	h.ObserveDuration(time.Millisecond)
+	s := h.Snapshot().String()
+	if s == "" {
+		t.Fatal("empty snapshot string")
+	}
+}

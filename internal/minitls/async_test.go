@@ -1,0 +1,417 @@
+package minitls
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"qtls/internal/asynclib"
+)
+
+// manualProvider mimics the QAT engine's async protocol without a device:
+// offloadable work is parked in a queue and completed only when the test
+// calls completeOne/completeAll, exactly like polling the accelerator.
+type manualProvider struct {
+	mu        sync.Mutex
+	queue     []*manualOp
+	completed int
+	failNext  int // fail the next N submissions with ring-full
+	notified  int // kernel-bypass callbacks fired
+}
+
+type manualOp struct {
+	call  *OpCall
+	stack *asynclib.StackOp
+	job   bool
+	work  func() (any, error)
+}
+
+func (p *manualProvider) Name() string { return "manual" }
+
+func (p *manualProvider) Do(call *OpCall, kind OpKind, work func() (any, error)) (any, error) {
+	if kind == KindHKDF || call.Mode == AsyncModeOff {
+		return work()
+	}
+	switch call.Mode {
+	case AsyncModeFiber:
+		p.mu.Lock()
+		if p.failNext > 0 {
+			p.failNext--
+			p.mu.Unlock()
+			call.SubmitFailed = true
+			if err := call.Job.Pause(); err != nil {
+				return nil, err
+			}
+			// Resumed after a failed submission: retry from scratch.
+			return p.Do(call, kind, work)
+		}
+		p.queue = append(p.queue, &manualOp{call: call, job: true, work: work})
+		p.mu.Unlock()
+		call.SubmitFailed = false
+		if err := call.Job.Pause(); err != nil {
+			return nil, err
+		}
+		return call.Result()
+	case AsyncModeStack:
+		switch call.Stack.State() {
+		case asynclib.StackReady:
+			return call.Stack.Consume()
+		case asynclib.StackIdle, asynclib.StackRetry:
+			p.mu.Lock()
+			if p.failNext > 0 {
+				p.failNext--
+				p.mu.Unlock()
+				call.Stack.MarkRetry()
+				return nil, ErrWantAsyncRetry
+			}
+			p.queue = append(p.queue, &manualOp{call: call, stack: call.Stack, work: work})
+			p.mu.Unlock()
+			call.Stack.MarkInflight()
+			return nil, ErrWantAsync
+		default:
+			return nil, errors.New("manual: Do while inflight")
+		}
+	}
+	return work()
+}
+
+// completeOne retrieves one "response", like one polled QAT completion.
+func (p *manualProvider) completeOne() bool {
+	p.mu.Lock()
+	if len(p.queue) == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	op := p.queue[0]
+	p.queue = p.queue[1:]
+	p.mu.Unlock()
+	res, err := op.work()
+	if op.stack != nil {
+		op.stack.MarkReady(res, err)
+	} else {
+		op.call.SetResult(res, err)
+	}
+	if op.call.WaitCtx != nil && op.call.WaitCtx.Notify() {
+		p.mu.Lock()
+		p.notified++
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.completed++
+	p.mu.Unlock()
+	return true
+}
+
+func (p *manualProvider) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// driveServer pumps a server handshake in async mode to completion,
+// counting how many times the handshake paused.
+func driveServer(t *testing.T, server *Conn, p *manualProvider) (pauses int) {
+	t.Helper()
+	for {
+		err := server.Handshake()
+		switch {
+		case err == nil:
+			return pauses
+		case errors.Is(err, ErrWantAsync):
+			pauses++
+			if !p.completeOne() {
+				t.Fatal("want-async with empty queue")
+			}
+		case errors.Is(err, ErrWantAsyncRetry):
+			pauses++
+			// Retry immediately (the event loop would reschedule).
+		default:
+			t.Fatalf("server handshake: %v", err)
+		}
+	}
+}
+
+func asyncPair(t *testing.T, mode AsyncMode, p *manualProvider, suite uint16, ops *OpCounts) (*Conn, *Conn, chan error) {
+	t.Helper()
+	rsaID, ecdsaID := testIdentities(t)
+	id := rsaID
+	if suite == TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA {
+		id = ecdsaID
+	}
+	cliT, srvT := net.Pipe()
+	t.Cleanup(func() { cliT.Close(); srvT.Close() })
+	server := Server(srvT, &Config{
+		Identity:     id,
+		Provider:     p,
+		AsyncMode:    mode,
+		CipherSuites: []uint16{suite},
+		OpCounter:    ops,
+	})
+	client := ClientConn(cliT, &Config{})
+	cliErr := make(chan error, 1)
+	go func() { cliErr <- client.Handshake() }()
+	return server, client, cliErr
+}
+
+func testAsyncHandshake(t *testing.T, mode AsyncMode, suite uint16, wantPauses int) {
+	p := &manualProvider{}
+	var ops OpCounts
+	server, client, cliErr := asyncPair(t, mode, p, suite, &ops)
+	pauses := driveServer(t, server, p)
+	if err := <-cliErr; err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if !server.HandshakeComplete() {
+		t.Fatal("server handshake incomplete")
+	}
+	if pauses != wantPauses {
+		t.Fatalf("pauses = %d, want %d (one per offloadable crypto op)", pauses, wantPauses)
+	}
+	if p.pending() != 0 {
+		t.Fatalf("unretrieved responses: %d", p.pending())
+	}
+	echoAsync(t, server, client, p)
+}
+
+// echoAsync exercises async Write on the server side.
+func echoAsync(t *testing.T, server, client *Conn, p *manualProvider) {
+	t.Helper()
+	msg := bytes.Repeat([]byte{0x42}, 40*1024) // 3 records → 3 cipher ops
+	done := make(chan error, 1)
+	got := make([]byte, len(msg))
+	go func() {
+		_, err := io.ReadFull(&connReader{client}, got)
+		done <- err
+	}()
+	for {
+		_, err := server.Write(msg)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrWantAsync) {
+			if !p.completeOne() {
+				t.Fatal("want-async with empty queue")
+			}
+			continue
+		}
+		t.Fatalf("server write: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("async transfer corrupted")
+	}
+}
+
+// TLS-RSA full handshake offloads RSA(1) + PRF(4) = 5 ops.
+func TestFiberAsyncHandshakeRSA(t *testing.T) {
+	testAsyncHandshake(t, AsyncModeFiber, TLS_RSA_WITH_AES_128_CBC_SHA, 5)
+}
+
+func TestStackAsyncHandshakeRSA(t *testing.T) {
+	testAsyncHandshake(t, AsyncModeStack, TLS_RSA_WITH_AES_128_CBC_SHA, 5)
+}
+
+// ECDHE-RSA offloads ECDH(2) + RSA(1) + PRF(4) = 7 ops.
+func TestFiberAsyncHandshakeECDHERSA(t *testing.T) {
+	testAsyncHandshake(t, AsyncModeFiber, TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA, 7)
+}
+
+func TestStackAsyncHandshakeECDHERSA(t *testing.T) {
+	testAsyncHandshake(t, AsyncModeStack, TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA, 7)
+}
+
+// ECDHE-ECDSA offloads ECDH(2) + ECDSA(1) + PRF(4) = 7 ops.
+func TestFiberAsyncHandshakeECDSA(t *testing.T) {
+	testAsyncHandshake(t, AsyncModeFiber, TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA, 7)
+}
+
+func TestStackAsyncHandshakeECDSA(t *testing.T) {
+	testAsyncHandshake(t, AsyncModeStack, TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA, 7)
+}
+
+// Submission failure (ring full): the job pauses/returns retry and the
+// re-driven handshake resubmits (§3.2 "failure of crypto submission").
+func TestFiberAsyncSubmitRetry(t *testing.T) {
+	p := &manualProvider{failNext: 2}
+	var ops OpCounts
+	server, _, cliErr := asyncPair(t, AsyncModeFiber, p, TLS_RSA_WITH_AES_128_CBC_SHA, &ops)
+	pauses := driveServer(t, server, p)
+	if err := <-cliErr; err != nil {
+		t.Fatal(err)
+	}
+	// 5 ops + 2 retry pauses.
+	if pauses != 7 {
+		t.Fatalf("pauses = %d, want 7", pauses)
+	}
+	if ops.Get(KindRSA) != 1 {
+		t.Fatalf("RSA ops = %d (retries must not double-count)", ops.Get(KindRSA))
+	}
+}
+
+func TestStackAsyncSubmitRetry(t *testing.T) {
+	p := &manualProvider{failNext: 3}
+	var ops OpCounts
+	server, _, cliErr := asyncPair(t, AsyncModeStack, p, TLS_RSA_WITH_AES_128_CBC_SHA, &ops)
+	pauses := driveServer(t, server, p)
+	if err := <-cliErr; err != nil {
+		t.Fatal(err)
+	}
+	if pauses != 8 {
+		t.Fatalf("pauses = %d, want 8", pauses)
+	}
+	rsaN, _, prfN := ops.Table1Row()
+	if rsaN != 1 || prfN != 4 {
+		t.Fatalf("op counts with retries: RSA:%d PRF:%d", rsaN, prfN)
+	}
+}
+
+// The kernel-bypass notification callback fires once per completed async
+// operation when installed (§4.4).
+func TestAsyncCallbackNotification(t *testing.T) {
+	p := &manualProvider{}
+	var ops OpCounts
+	server, _, cliErr := asyncPair(t, AsyncModeFiber, p, TLS_RSA_WITH_AES_128_CBC_SHA, &ops)
+	var events []any
+	server.SetAsyncCallback(func(arg any) { events = append(events, arg) }, "conn-1")
+	driveServer(t, server, p)
+	if err := <-cliErr; err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("callback fired %d times, want 5", len(events))
+	}
+	for _, e := range events {
+		if e != "conn-1" {
+			t.Fatalf("callback arg = %v", e)
+		}
+	}
+	if p.notified != 5 {
+		t.Fatalf("notified = %d", p.notified)
+	}
+}
+
+// AsyncInFlight reflects whether a paused offload job awaits a response.
+func TestAsyncInFlight(t *testing.T) {
+	for _, mode := range []AsyncMode{AsyncModeFiber, AsyncModeStack} {
+		p := &manualProvider{}
+		server, _, cliErr := asyncPair(t, mode, p, TLS_RSA_WITH_AES_128_CBC_SHA, nil)
+		if server.AsyncInFlight() {
+			t.Fatalf("%v: in-flight before start", mode)
+		}
+		err := server.Handshake()
+		if !errors.Is(err, ErrWantAsync) {
+			t.Fatalf("%v: first step err = %v", mode, err)
+		}
+		if !server.AsyncInFlight() {
+			t.Fatalf("%v: not in-flight after pause", mode)
+		}
+		// Retrieve the pending response before resuming: the event loop
+		// only reschedules a paused job after its async event fires.
+		if !p.completeOne() {
+			t.Fatalf("%v: nothing pending", mode)
+		}
+		driveServer(t, server, p)
+		if err := <-cliErr; err != nil {
+			t.Fatal(err)
+		}
+		if server.AsyncInFlight() {
+			t.Fatalf("%v: in-flight after completion", mode)
+		}
+	}
+}
+
+// Async off mode with the manual provider behaves synchronously.
+func TestAsyncOffRunsInline(t *testing.T) {
+	p := &manualProvider{}
+	var ops OpCounts
+	server, client, cliErr := asyncPair(t, AsyncModeOff, p, TLS_RSA_WITH_AES_128_CBC_SHA, &ops)
+	if err := server.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-cliErr; err != nil {
+		t.Fatal(err)
+	}
+	if p.pending() != 0 || p.completed != 0 {
+		t.Fatal("off mode must not queue work")
+	}
+	echoCheck(t, server, client)
+}
+
+// A resumed (abbreviated) handshake under async mode pauses once per PRF.
+func TestAsyncResumption(t *testing.T) {
+	rsaID, _ := testIdentities(t)
+	cache := NewSessionCache(4)
+
+	// Full handshake (sync) to seed the cache.
+	_, client1, _ := handshakePair(t,
+		&Config{Identity: rsaID, CipherSuites: []uint16{TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA}, SessionCache: cache},
+		&Config{})
+	sess := client1.ResumptionSession()
+	if sess == nil {
+		t.Fatal("no session")
+	}
+
+	p := &manualProvider{}
+	cliT, srvT := net.Pipe()
+	defer cliT.Close()
+	defer srvT.Close()
+	var ops OpCounts
+	server := Server(srvT, &Config{
+		Identity:     rsaID,
+		Provider:     p,
+		AsyncMode:    AsyncModeFiber,
+		CipherSuites: []uint16{TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+		SessionCache: cache,
+		OpCounter:    &ops,
+	})
+	client := ClientConn(cliT, &Config{Session: sess})
+	cliErr := make(chan error, 1)
+	go func() { cliErr <- client.Handshake() }()
+	pauses := driveServer(t, server, p)
+	if err := <-cliErr; err != nil {
+		t.Fatal(err)
+	}
+	if !server.ConnectionState().DidResume {
+		t.Fatal("did not resume")
+	}
+	if pauses != 3 {
+		t.Fatalf("pauses = %d, want 3 (PRF only)", pauses)
+	}
+}
+
+// TLS 1.3 under async mode: HKDF never pauses, so only ECDH + RSA pause.
+func TestAsyncTLS13HKDFInline(t *testing.T) {
+	rsaID, _ := testIdentities(t)
+	p := &manualProvider{}
+	cliT, srvT := net.Pipe()
+	defer cliT.Close()
+	defer srvT.Close()
+	var ops OpCounts
+	server := Server(srvT, &Config{
+		Identity:   rsaID,
+		Provider:   p,
+		AsyncMode:  AsyncModeFiber,
+		MaxVersion: VersionTLS13,
+		OpCounter:  &ops,
+	})
+	client := ClientConn(cliT, &Config{MaxVersion: VersionTLS13})
+	cliErr := make(chan error, 1)
+	go func() { cliErr <- client.Handshake() }()
+	pauses := driveServer(t, server, p)
+	if err := <-cliErr; err != nil {
+		t.Fatal(err)
+	}
+	// ECDH keygen + ECDH derive + RSA sign = 3 offloadable ops; the >4
+	// HKDF ops run inline (not offloadable through the QAT Engine, §5.2).
+	if pauses != 3 {
+		t.Fatalf("pauses = %d, want 3", pauses)
+	}
+	if ops.Get(KindHKDF) <= 4 {
+		t.Fatalf("HKDF ops = %d, want > 4", ops.Get(KindHKDF))
+	}
+}

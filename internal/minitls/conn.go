@@ -1,0 +1,608 @@
+package minitls
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+
+	"qtls/internal/asynclib"
+)
+
+// Conn is a TLS connection over an arbitrary transport. Unlike crypto/tls,
+// a Conn is single-goroutine: it is designed to be driven by an
+// event-loop worker, and Handshake/Read/Write surface ErrWantRead and
+// ErrWantAsync instead of blocking when the transport is non-blocking or
+// an async crypto offload is in flight.
+type Conn struct {
+	transport io.ReadWriter
+	config    *Config
+	isServer  bool
+	identity  *Identity // server identity (possibly selected via SNI)
+
+	in, out  halfConn
+	rawInput []byte // undecoded transport bytes
+	handBuf  []byte // reassembled handshake message stream
+	appData  []byte // decrypted application data not yet consumed
+
+	transcript hash.Hash // SHA-256 running handshake transcript
+	preMsgHash []byte    // transcript hash before the last-read message
+
+	// Handshake state machine.
+	state   hsState
+	version uint16
+	suite   uint16
+	hsrv    *serverHS
+	hcli    *clientHS
+
+	// Async machinery (§3.2). The wait context is shared across all async
+	// jobs of the connection ("share one FD across all async jobs from the
+	// same TLS connection", §4.4).
+	opCall  OpCall
+	job     *asynclib.Job
+	stackOp asynclib.StackOp
+	waitCtx *asynclib.WaitCtx
+
+	// Pending Write progress for async re-entry.
+	writeData []byte
+	writeOff  int
+
+	handshakeDone bool
+	didResume     bool
+	ticketSent    bool
+	pendingCCS    bool // client peeked a CCS record (resumption detection)
+	closed        bool
+	permErr       error // sticky fatal error
+}
+
+// hsState enumerates handshake state-machine states. Server and client
+// share the enum; each side uses its own subset.
+type hsState int
+
+const (
+	stateStart hsState = iota
+
+	// TLS 1.2 server states. States whose handler performs exactly one
+	// offloadable crypto operation are marked (crypto); they are the safe
+	// re-entry points for stack async.
+	stateS12ReadClientHello
+	stateS12GenServerKey  // (crypto: ECDH keygen)
+	stateS12SignSKX       // (crypto: RSA/ECDSA sign)
+	stateS12FlushHello    // send SH [+Cert+SKX] +SHD
+	stateS12ReadCKE       // read ClientKeyExchange
+	stateS12ProcessCKE    // (crypto: RSA decrypt | ECDH derive)
+	stateS12DeriveMaster  // (crypto: PRF master secret)
+	stateS12DeriveKeys    // (crypto: PRF key expansion)
+	stateS12ReadCCS       // read ChangeCipherSpec
+	stateS12ReadFinished  // read client Finished
+	stateS12VerifyFin     // (crypto: PRF client verify_data)
+	stateS12ComputeFin    // (crypto: PRF server verify_data)
+	stateS12SendFinished  // send [ticket] CCS+Finished
+
+	// TLS 1.2 server abbreviated-handshake (resumption) states.
+	stateS12ResumeKeys    // (crypto: PRF key expansion)
+	stateS12ResumeSrvFin  // (crypto: PRF server verify_data)
+	stateS12ResumeSend    // send SH+CCS+Finished
+	stateS12ResumeReadCCS // read client CCS
+	stateS12ResumeReadFin // read client Finished
+	stateS12ResumeVerify  // (crypto: PRF client verify_data)
+
+	// TLS 1.3 server states.
+	stateS13ReadClientHello
+	stateS13GenKey    // (crypto: ECDH keygen)
+	stateS13Derive    // (crypto: ECDH derive)
+	stateS13Schedule1 // HKDF batch: handshake secrets (inline-only ops)
+	stateS13SignCV    // (crypto: RSA/ECDSA sign CertificateVerify)
+	stateS13Flush     // send SH..Finished, derive app keys
+	stateS13ReadFin   // read client Finished
+
+	stateDone
+)
+
+// Server returns a server-side TLS connection over transport.
+func Server(transport io.ReadWriter, config *Config) *Conn {
+	c := newConn(transport, config, true)
+	c.state = stateStart
+	return c
+}
+
+// ClientConn returns a client-side TLS connection over transport. The
+// client always computes crypto synchronously in software (the paper's
+// clients are s_time/ab load generators).
+func ClientConn(transport io.ReadWriter, config *Config) *Conn {
+	return newConn(transport, config, false)
+}
+
+func newConn(transport io.ReadWriter, config *Config, server bool) *Conn {
+	if config == nil {
+		config = &Config{}
+	}
+	return &Conn{
+		transport:  transport,
+		config:     config,
+		isServer:   server,
+		transcript: sha256.New(),
+		state:      stateStart,
+	}
+}
+
+// WaitCtx returns the connection's async wait context, creating it on
+// first use. The event loop installs its notification scheme here.
+func (c *Conn) WaitCtx() *asynclib.WaitCtx {
+	if c.waitCtx == nil {
+		c.waitCtx = asynclib.NewWaitCtx()
+	}
+	return c.waitCtx
+}
+
+// SetAsyncCallback installs the kernel-bypass notification callback
+// (mirrors SSL_set_async_callback, §4.4).
+func (c *Conn) SetAsyncCallback(cb func(arg any), arg any) {
+	c.WaitCtx().SetCallback(cb, arg)
+}
+
+// AsyncInFlight reports whether the connection has a paused offload job
+// awaiting a crypto response.
+func (c *Conn) AsyncInFlight() bool {
+	if c.config.AsyncMode == AsyncModeFiber {
+		return c.job != nil && !c.job.Finished()
+	}
+	return c.stackOp.State() == asynclib.StackInflight
+}
+
+// ConnectionState summarizes the negotiated parameters.
+type ConnectionState struct {
+	Version           uint16
+	CipherSuite       uint16
+	HandshakeComplete bool
+	DidResume         bool
+}
+
+// ConnectionState returns the current connection state.
+func (c *Conn) ConnectionState() ConnectionState {
+	return ConnectionState{
+		Version:           c.version,
+		CipherSuite:       c.suite,
+		HandshakeComplete: c.handshakeDone,
+		DidResume:         c.didResume,
+	}
+}
+
+// asyncMode returns the effective async mode: only the server side
+// offloads asynchronously.
+func (c *Conn) asyncMode() AsyncMode {
+	if !c.isServer {
+		return AsyncModeOff
+	}
+	return c.config.AsyncMode
+}
+
+// do routes one crypto operation through the provider with the
+// connection's async context attached. Completed operations are counted
+// in Config.OpCounter (this backs the Table 1 reproduction).
+func (c *Conn) do(kind OpKind, work func() (any, error)) (any, error) {
+	call := &c.opCall
+	call.Mode = c.asyncMode()
+	call.Job = c.job
+	call.Stack = &c.stackOp
+	call.WaitCtx = c.waitCtx
+	res, err := c.config.provider().Do(call, kind, work)
+	if err == nil && c.config.OpCounter != nil {
+		c.config.OpCounter.Add(kind, 1)
+	}
+	return res, err
+}
+
+// doPRF derives length bytes with the TLS 1.2 PRF through the provider.
+func (c *Conn) doPRF(secret []byte, label string, seed []byte, length int) ([]byte, error) {
+	res, err := c.do(KindPRF, func() (any, error) {
+		return prf12(secret, label, seed, length), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+// drive executes fn under the connection's async regime:
+//
+//   - AsyncModeOff/AsyncModeStack: fn runs on the calling goroutine; in
+//     stack mode fn may surface ErrWantAsync / ErrWantAsyncRetry from a
+//     provider call and is re-entered on the next drive.
+//   - AsyncModeFiber: fn runs inside an ASYNC_JOB fiber. A paused fiber
+//     maps to ErrWantAsync (or ErrWantAsyncRetry when the pause was due
+//     to a failed submission); the next drive resumes it.
+func (c *Conn) drive(fn func() error) error {
+	if c.asyncMode() != AsyncModeFiber {
+		return fn()
+	}
+	var status asynclib.Status
+	var err error
+	if c.job != nil && !c.job.Finished() {
+		// Crypto resumption: jump back to the pause point (§3.2
+		// post-processing).
+		status, _, err = asynclib.StartJob(c.job, nil)
+	} else {
+		status, c.job, err = asynclib.StartJob(nil, func(j *asynclib.Job) error {
+			// The fiber needs to see itself as the connection's current
+			// job before any provider call; the driving goroutine is
+			// parked inside StartJob, so this write is race-free.
+			c.job = j
+			return fn()
+		})
+	}
+	if status == asynclib.StatusPause {
+		if c.opCall.SubmitFailed {
+			return ErrWantAsyncRetry
+		}
+		return ErrWantAsync
+	}
+	c.job = nil
+	return err
+}
+
+// Handshake runs or continues the handshake. It returns nil when the
+// handshake has completed, or one of ErrWantRead / ErrWantAsync /
+// ErrWantAsyncRetry when it must be re-invoked later (non-blocking
+// transport or async offload in flight). Any other error is fatal.
+func (c *Conn) Handshake() error {
+	if c.handshakeDone {
+		return nil
+	}
+	if c.permErr != nil {
+		return c.permErr
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	var err error
+	if c.isServer {
+		err = c.drive(c.serverHandshakeStep)
+	} else {
+		err = c.drive(c.clientHandshake)
+	}
+	if err != nil && !IsBusy(err) {
+		c.permErr = err
+	}
+	return err
+}
+
+// HandshakeComplete reports whether the handshake has finished.
+func (c *Conn) HandshakeComplete() bool { return c.handshakeDone }
+
+// --- record I/O ---------------------------------------------------------
+
+// fill reads more transport bytes into rawInput. It translates
+// would-block conditions into ErrWantRead.
+func (c *Conn) fill() error {
+	var buf [8192]byte
+	n, err := c.transport.Read(buf[:])
+	if n > 0 {
+		c.rawInput = append(c.rawInput, buf[:n]...)
+		return nil
+	}
+	if err == nil {
+		return nil
+	}
+	if isWouldBlock(err) {
+		return ErrWantRead
+	}
+	if errors.Is(err, io.EOF) && len(c.rawInput) > 0 {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// readRecord returns the next decrypted record. Incoming records are
+// decrypted inline in software: QTLS pauses on the receive path too
+// (ngx_ssl_handle_recv), but the evaluation's offload traffic is dominated
+// by the send path; DESIGN.md records this simplification.
+func (c *Conn) readRecord() (uint8, []byte, error) {
+	for {
+		if len(c.rawInput) >= recordHeaderLen {
+			bodyLen := int(binary.BigEndian.Uint16(c.rawInput[3:5]))
+			if bodyLen > maxCiphertext {
+				return 0, nil, errRecordOverflow
+			}
+			if len(c.rawInput) >= recordHeaderLen+bodyLen {
+				wireTyp := c.rawInput[0]
+				// Copy the body out: the null protection returns its
+				// input aliased, and rawInput is compacted below — more
+				// than one buffered record (TCP coalescing) would
+				// otherwise corrupt the returned payload.
+				body := make([]byte, bodyLen)
+				copy(body, c.rawInput[recordHeaderLen:recordHeaderLen+bodyLen])
+				typ, payload, err := c.in.protection().open(c.in.seq, wireTyp, body)
+				if err != nil {
+					return 0, nil, err
+				}
+				c.in.seq++
+				// Detach consumed bytes.
+				rest := len(c.rawInput) - (recordHeaderLen + bodyLen)
+				copy(c.rawInput, c.rawInput[recordHeaderLen+bodyLen:])
+				c.rawInput = c.rawInput[:rest]
+				if typ == recordAlert {
+					if len(payload) != 2 {
+						return 0, nil, errDecode
+					}
+					a := &alertError{level: payload[0], desc: payload[1]}
+					if a.desc == 0 {
+						return 0, nil, errCloseNotify
+					}
+					return 0, nil, a
+				}
+				return typ, payload, nil
+			}
+		}
+		if err := c.fill(); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// writeRecord seals and writes one record inline (handshake traffic,
+// CCS, alerts). Application data goes through writeAppRecord so the
+// cipher work can be offloaded.
+func (c *Conn) writeRecord(typ uint8, payload []byte) error {
+	wireTyp, body, err := c.out.protection().seal(c.out.seq, typ, payload, c.config.rand())
+	if err != nil {
+		return err
+	}
+	c.out.seq++
+	return c.writeWire(wireTyp, body)
+}
+
+func (c *Conn) writeWire(wireTyp uint8, body []byte) error {
+	if len(body) > maxCiphertext {
+		return errRecordOverflow
+	}
+	hdr := [recordHeaderLen]byte{wireTyp, 0x03, 0x03}
+	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(body)))
+	rec := make([]byte, 0, recordHeaderLen+len(body))
+	rec = append(rec, hdr[:]...)
+	rec = append(rec, body...)
+	_, err := c.transport.Write(rec)
+	return err
+}
+
+// writeHandshake writes handshake message bytes (already framed) and
+// extends the transcript.
+func (c *Conn) writeHandshake(msg []byte) error {
+	c.transcript.Write(msg)
+	for len(msg) > 0 {
+		n := len(msg)
+		if n > maxPlaintext {
+			n = maxPlaintext
+		}
+		if err := c.writeRecord(recordHandshake, msg[:n]); err != nil {
+			return err
+		}
+		msg = msg[n:]
+	}
+	return nil
+}
+
+// readHandshakeMsg returns the next handshake message (type, body). It
+// buffers partial messages across records. CCS records are rejected here;
+// states that expect CCS use readChangeCipherSpec.
+func (c *Conn) readHandshakeMsg() (uint8, []byte, error) {
+	for {
+		if len(c.handBuf) >= 4 {
+			n := int(c.handBuf[1])<<16 | int(c.handBuf[2])<<8 | int(c.handBuf[3])
+			if len(c.handBuf) >= 4+n {
+				typ := c.handBuf[0]
+				msg := make([]byte, 4+n)
+				copy(msg, c.handBuf[:4+n])
+				rest := len(c.handBuf) - (4 + n)
+				copy(c.handBuf, c.handBuf[4+n:])
+				c.handBuf = c.handBuf[:rest]
+				// Verification of Finished / CertificateVerify needs the
+				// transcript hash *before* the message itself.
+				c.preMsgHash = c.transcriptHash()
+				c.transcript.Write(msg)
+				return typ, msg[4:], nil
+			}
+		}
+		typ, payload, err := c.readRecord()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch typ {
+		case recordHandshake:
+			c.handBuf = append(c.handBuf, payload...)
+		case recordApplicationData:
+			return 0, nil, errors.New("minitls: application data during handshake")
+		default:
+			return 0, nil, fmt.Errorf("minitls: unexpected record type %d during handshake", typ)
+		}
+	}
+}
+
+// peekHandshakeType returns the type of the next buffered handshake
+// message without consuming it, reading records as needed.
+func (c *Conn) peekHandshakeType() (uint8, error) {
+	for {
+		if len(c.handBuf) >= 1 {
+			return c.handBuf[0], nil
+		}
+		typ, payload, err := c.readRecord()
+		if err != nil {
+			return 0, err
+		}
+		if typ != recordHandshake {
+			return 0, fmt.Errorf("minitls: unexpected record type %d during handshake", typ)
+		}
+		c.handBuf = append(c.handBuf, payload...)
+	}
+}
+
+// readChangeCipherSpec consumes a CCS record.
+func (c *Conn) readChangeCipherSpec() error {
+	typ, payload, err := c.readRecord()
+	if err != nil {
+		return err
+	}
+	if typ != recordChangeCipherSpec || len(payload) != 1 || payload[0] != 1 {
+		return errors.New("minitls: expected ChangeCipherSpec")
+	}
+	return nil
+}
+
+// transcriptHash returns the SHA-256 of the handshake transcript so far.
+func (c *Conn) transcriptHash() []byte {
+	return c.transcript.Sum(nil)
+}
+
+// --- application data ----------------------------------------------------
+
+// Read returns decrypted application data. It completes the handshake
+// first if necessary and surfaces the same retriable errors as Handshake.
+// A close-notify alert from the peer yields io.EOF.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if !c.handshakeDone {
+		if err := c.Handshake(); err != nil {
+			return 0, err
+		}
+	}
+	for len(c.appData) == 0 {
+		typ, payload, err := c.readRecord()
+		if err != nil {
+			if errors.Is(err, errCloseNotify) || errors.Is(err, io.EOF) {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		switch typ {
+		case recordApplicationData:
+			c.appData = append(c.appData, payload...)
+		case recordHandshake:
+			// Post-handshake messages (TLS 1.3 NewSessionTicket is
+			// captured for resumption; anything else is ignored).
+			c.handBuf = append(c.handBuf, payload...)
+			c.drainPostHandshake()
+		default:
+			return 0, fmt.Errorf("minitls: unexpected record type %d", typ)
+		}
+	}
+	n := copy(p, c.appData)
+	rest := copy(c.appData, c.appData[n:])
+	c.appData = c.appData[:rest]
+	return n, nil
+}
+
+func (c *Conn) drainPostHandshake() {
+	for len(c.handBuf) >= 4 {
+		n := int(c.handBuf[1])<<16 | int(c.handBuf[2])<<8 | int(c.handBuf[3])
+		if len(c.handBuf) < 4+n {
+			return
+		}
+		typ := c.handBuf[0]
+		body := make([]byte, n)
+		copy(body, c.handBuf[4:4+n])
+		rest := len(c.handBuf) - (4 + n)
+		copy(c.handBuf, c.handBuf[4+n:])
+		c.handBuf = c.handBuf[:rest]
+
+		// TLS 1.3 client: capture NewSessionTicket for resumption.
+		if typ == typeNewSessionTicket && !c.isServer && c.version == VersionTLS13 && c.hcli != nil {
+			var nst newSessionTicketMsg
+			if err := nst.unmarshal(body); err == nil && len(c.hcli.resMaster) > 0 {
+				c.hcli.session13 = &ClientSession{
+					Ticket:       nst.ticket,
+					Version:      VersionTLS13,
+					CipherSuite:  c.suite,
+					MasterSecret: resumptionPSKClient(c.hcli.resMaster),
+				}
+			}
+		}
+	}
+}
+
+// Write encrypts and sends application data, fragmenting into 16 KB
+// records. Record protection is routed through the provider as
+// KindCipher work, so the QAT engine can offload it (this is the traffic
+// measured in Fig. 10). On ErrWantAsync / ErrWantAsyncRetry the caller
+// must call Write again with the same buffer once the async event fires;
+// progress is kept internally. On success it returns len(p).
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if !c.handshakeDone {
+		if err := c.Handshake(); err != nil {
+			return 0, err
+		}
+	}
+	if c.writeData != nil {
+		if len(p) != len(c.writeData) {
+			return 0, errors.New("minitls: Write re-entered with a different buffer")
+		}
+	} else {
+		c.writeData = p
+		c.writeOff = 0
+	}
+	err := c.drive(func() error {
+		for c.writeOff < len(c.writeData) {
+			n := len(c.writeData) - c.writeOff
+			if n > maxPlaintext {
+				n = maxPlaintext
+			}
+			frag := c.writeData[c.writeOff : c.writeOff+n]
+			seq := c.out.seq
+			prot := c.out.protection()
+			rnd := c.config.rand()
+			res, err := c.do(KindCipher, func() (any, error) {
+				wireTyp, body, err := prot.seal(seq, recordApplicationData, frag, rnd)
+				if err != nil {
+					return nil, err
+				}
+				return sealedRecord{wireTyp: wireTyp, body: body}, nil
+			})
+			if err != nil {
+				return err
+			}
+			sr := res.(sealedRecord)
+			c.out.seq++
+			if err := c.writeWire(sr.wireTyp, sr.body); err != nil {
+				return err
+			}
+			c.writeOff += n
+		}
+		return nil
+	})
+	if err != nil {
+		if IsBusy(err) {
+			return 0, err
+		}
+		c.writeData, c.writeOff = nil, 0
+		c.permErr = err
+		return 0, err
+	}
+	n := len(c.writeData)
+	c.writeData, c.writeOff = nil, 0
+	return n, nil
+}
+
+type sealedRecord struct {
+	wireTyp uint8
+	body    []byte
+}
+
+// Close sends a close-notify alert (best effort) and marks the connection
+// closed. The underlying transport is not closed: its lifecycle belongs
+// to the caller (the event loop or the dialer).
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.handshakeDone && c.permErr == nil {
+		return c.writeRecord(recordAlert, []byte{1, 0})
+	}
+	return nil
+}

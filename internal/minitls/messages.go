@@ -1,0 +1,669 @@
+package minitls
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Handshake message types (RFC 5246 / RFC 8446 values).
+const (
+	typeClientHello         uint8 = 1
+	typeServerHello         uint8 = 2
+	typeNewSessionTicket    uint8 = 4
+	typeEncryptedExtensions uint8 = 8
+	typeCertificate         uint8 = 11
+	typeServerKeyExchange   uint8 = 12
+	typeServerHelloDone     uint8 = 14
+	typeCertificateVerify   uint8 = 15
+	typeClientKeyExchange   uint8 = 16
+	typeFinished            uint8 = 20
+)
+
+// Extension identifiers.
+const (
+	extServerName        uint16 = 0
+	extSessionTicket     uint16 = 35
+	extPreSharedKey      uint16 = 41
+	extSupportedVersions uint16 = 43
+	extKeyShare          uint16 = 51
+)
+
+// Named curve identifiers (RFC 8422).
+const (
+	curveP256 uint16 = 23
+	curveP384 uint16 = 24
+)
+
+// errDecode is returned on any malformed message.
+var errDecode = errors.New("minitls: malformed message")
+
+// builder assembles length-prefixed wire structures.
+type builder struct{ b []byte }
+
+func (w *builder) bytes() []byte          { return w.b }
+func (w *builder) u8(v uint8)             { w.b = append(w.b, v) }
+func (w *builder) u16(v uint16)           { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *builder) u24(v int)              { w.b = append(w.b, byte(v>>16), byte(v>>8), byte(v)) }
+func (w *builder) u32(v uint32)           { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *builder) raw(p []byte)           { w.b = append(w.b, p...) }
+func (w *builder) vec8(p []byte)          { w.u8(uint8(len(p))); w.raw(p) }
+func (w *builder) vec16(p []byte)         { w.u16(uint16(len(p))); w.raw(p) }
+func (w *builder) vec24(p []byte)         { w.u24(len(p)); w.raw(p) }
+
+// reader consumes length-prefixed wire structures.
+type reader struct{ b []byte }
+
+func (r *reader) empty() bool { return len(r.b) == 0 }
+
+func (r *reader) u8() (uint8, error) {
+	if len(r.b) < 1 {
+		return 0, errDecode
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, errDecode
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *reader) u24() (int, error) {
+	if len(r.b) < 3 {
+		return 0, errDecode
+	}
+	v := int(r.b[0])<<16 | int(r.b[1])<<8 | int(r.b[2])
+	r.b = r.b[3:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, errDecode
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, errDecode
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) vec8() ([]byte, error) {
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) vec16() ([]byte, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) vec24() ([]byte, error) {
+	n, err := r.u24()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(n)
+}
+
+// extension is a raw TLS extension.
+type extension struct {
+	typ  uint16
+	data []byte
+}
+
+func marshalExtensions(w *builder, exts []extension) {
+	var ew builder
+	for _, e := range exts {
+		ew.u16(e.typ)
+		ew.vec16(e.data)
+	}
+	w.vec16(ew.bytes())
+}
+
+func parseExtensions(r *reader) ([]extension, error) {
+	if r.empty() {
+		return nil, nil // extensions block is optional
+	}
+	body, err := r.vec16()
+	if err != nil {
+		return nil, err
+	}
+	er := reader{b: body}
+	var exts []extension
+	for !er.empty() {
+		typ, err := er.u16()
+		if err != nil {
+			return nil, err
+		}
+		data, err := er.vec16()
+		if err != nil {
+			return nil, err
+		}
+		exts = append(exts, extension{typ: typ, data: data})
+	}
+	return exts, nil
+}
+
+func findExtension(exts []extension, typ uint16) ([]byte, bool) {
+	for _, e := range exts {
+		if e.typ == typ {
+			return e.data, true
+		}
+	}
+	return nil, false
+}
+
+// handshakeMsg frames a handshake body: msg_type(1) || length(3) || body.
+func handshakeMsg(typ uint8, body []byte) []byte {
+	out := make([]byte, 0, 4+len(body))
+	out = append(out, typ, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	return append(out, body...)
+}
+
+// clientHelloMsg is the ClientHello handshake message.
+type clientHelloMsg struct {
+	version           uint16
+	random            [32]byte
+	sessionID         []byte
+	cipherSuites      []uint16
+	serverName        string
+	sessionTicket     []byte // nil: no ext; empty: empty ext (ticket requested)
+	hasTicketExt      bool
+	supportedVersions []uint16
+	keyShareGroup     uint16
+	keyShareData      []byte
+	hasKeyShare       bool
+	// TLS 1.3 PSK resumption (pre_shared_key must be the last extension,
+	// RFC 8446 §4.2.11; the binder covers the ClientHello up to the
+	// binders list).
+	pskIdentity []byte
+	pskBinder   []byte
+	hasPSK      bool
+}
+
+func (m *clientHelloMsg) marshal() []byte {
+	var w builder
+	w.u16(m.version)
+	w.raw(m.random[:])
+	w.vec8(m.sessionID)
+	var sw builder
+	for _, s := range m.cipherSuites {
+		sw.u16(s)
+	}
+	w.vec16(sw.bytes())
+	w.vec8([]byte{0}) // compression methods: null only
+	var exts []extension
+	if m.serverName != "" {
+		exts = append(exts, extension{extServerName, []byte(m.serverName)})
+	}
+	if m.hasTicketExt {
+		exts = append(exts, extension{extSessionTicket, m.sessionTicket})
+	}
+	if len(m.supportedVersions) > 0 {
+		var vw builder
+		for _, v := range m.supportedVersions {
+			vw.u16(v)
+		}
+		exts = append(exts, extension{extSupportedVersions, vw.bytes()})
+	}
+	if m.hasKeyShare {
+		var kw builder
+		kw.u16(m.keyShareGroup)
+		kw.vec16(m.keyShareData)
+		exts = append(exts, extension{extKeyShare, kw.bytes()})
+	}
+	if m.hasPSK {
+		// identities: one entry {identity<2..>, obfuscated_ticket_age u32}
+		// followed by binders: {binder<1..>}. Must be the final extension.
+		var pw builder
+		var iw builder
+		iw.vec16(m.pskIdentity)
+		iw.u32(0) // obfuscated_ticket_age: lifetimes are server-policed here
+		pw.vec16(iw.bytes())
+		var bw builder
+		binder := m.pskBinder
+		if len(binder) != binderLen {
+			binder = make([]byte, binderLen) // placeholder before patching
+		}
+		bw.vec8(binder)
+		pw.vec16(bw.bytes())
+		exts = append(exts, extension{extPreSharedKey, pw.bytes()})
+	}
+	marshalExtensions(&w, exts)
+	return handshakeMsg(typeClientHello, w.bytes())
+}
+
+func (m *clientHelloMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	var err error
+	if m.version, err = r.u16(); err != nil {
+		return err
+	}
+	rnd, err := r.take(32)
+	if err != nil {
+		return err
+	}
+	copy(m.random[:], rnd)
+	if m.sessionID, err = r.vec8(); err != nil {
+		return err
+	}
+	if len(m.sessionID) > 32 {
+		return errDecode
+	}
+	suites, err := r.vec16()
+	if err != nil {
+		return err
+	}
+	if len(suites)%2 != 0 || len(suites) == 0 {
+		return errDecode
+	}
+	m.cipherSuites = m.cipherSuites[:0]
+	for i := 0; i < len(suites); i += 2 {
+		m.cipherSuites = append(m.cipherSuites, binary.BigEndian.Uint16(suites[i:]))
+	}
+	if _, err = r.vec8(); err != nil { // compression
+		return err
+	}
+	exts, err := parseExtensions(&r)
+	if err != nil {
+		return err
+	}
+	if sn, ok := findExtension(exts, extServerName); ok {
+		m.serverName = string(sn)
+	}
+	if tk, ok := findExtension(exts, extSessionTicket); ok {
+		m.hasTicketExt = true
+		m.sessionTicket = tk
+	}
+	if sv, ok := findExtension(exts, extSupportedVersions); ok {
+		vr := reader{b: sv}
+		for !vr.empty() {
+			v, err := vr.u16()
+			if err != nil {
+				return err
+			}
+			m.supportedVersions = append(m.supportedVersions, v)
+		}
+	}
+	if ks, ok := findExtension(exts, extKeyShare); ok {
+		kr := reader{b: ks}
+		if m.keyShareGroup, err = kr.u16(); err != nil {
+			return err
+		}
+		if m.keyShareData, err = kr.vec16(); err != nil {
+			return err
+		}
+		m.hasKeyShare = true
+	}
+	if psk, ok := findExtension(exts, extPreSharedKey); ok {
+		pr := reader{b: psk}
+		ids, err := pr.vec16()
+		if err != nil {
+			return err
+		}
+		ir := reader{b: ids}
+		if m.pskIdentity, err = ir.vec16(); err != nil {
+			return err
+		}
+		if _, err = ir.u32(); err != nil { // obfuscated age
+			return err
+		}
+		binders, err := pr.vec16()
+		if err != nil {
+			return err
+		}
+		br := reader{b: binders}
+		if m.pskBinder, err = br.vec8(); err != nil {
+			return err
+		}
+		if len(m.pskBinder) != binderLen {
+			return errDecode
+		}
+		m.hasPSK = true
+	}
+	return nil
+}
+
+// serverHelloMsg is the ServerHello handshake message.
+type serverHelloMsg struct {
+	version       uint16
+	random        [32]byte
+	sessionID     []byte
+	cipherSuite   uint16
+	ticketOffered bool   // 1.2: server will send NewSessionTicket
+	keyShareGroup uint16 // 1.3
+	keyShareData  []byte // 1.3
+	hasKeyShare   bool
+	pskSelected   bool // 1.3: pre_shared_key accepted (identity 0)
+}
+
+func (m *serverHelloMsg) marshal() []byte {
+	var w builder
+	w.u16(m.version)
+	w.raw(m.random[:])
+	w.vec8(m.sessionID)
+	w.u16(m.cipherSuite)
+	w.u8(0) // compression
+	var exts []extension
+	if m.ticketOffered {
+		exts = append(exts, extension{extSessionTicket, nil})
+	}
+	if m.hasKeyShare {
+		var kw builder
+		kw.u16(m.keyShareGroup)
+		kw.vec16(m.keyShareData)
+		exts = append(exts, extension{extKeyShare, kw.bytes()})
+	}
+	if m.pskSelected {
+		exts = append(exts, extension{extPreSharedKey, []byte{0, 0}})
+	}
+	marshalExtensions(&w, exts)
+	return handshakeMsg(typeServerHello, w.bytes())
+}
+
+func (m *serverHelloMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	var err error
+	if m.version, err = r.u16(); err != nil {
+		return err
+	}
+	rnd, err := r.take(32)
+	if err != nil {
+		return err
+	}
+	copy(m.random[:], rnd)
+	if m.sessionID, err = r.vec8(); err != nil {
+		return err
+	}
+	if m.cipherSuite, err = r.u16(); err != nil {
+		return err
+	}
+	if _, err = r.u8(); err != nil {
+		return err
+	}
+	exts, err := parseExtensions(&r)
+	if err != nil {
+		return err
+	}
+	if _, ok := findExtension(exts, extSessionTicket); ok {
+		m.ticketOffered = true
+	}
+	if ks, ok := findExtension(exts, extKeyShare); ok {
+		kr := reader{b: ks}
+		if m.keyShareGroup, err = kr.u16(); err != nil {
+			return err
+		}
+		if m.keyShareData, err = kr.vec16(); err != nil {
+			return err
+		}
+		m.hasKeyShare = true
+	}
+	if _, ok := findExtension(exts, extPreSharedKey); ok {
+		m.pskSelected = true
+	}
+	return nil
+}
+
+// certificateMsg carries the certificate chain (leaf first).
+type certificateMsg struct {
+	chain [][]byte
+}
+
+func (m *certificateMsg) marshal() []byte {
+	var cw builder
+	for _, c := range m.chain {
+		cw.vec24(c)
+	}
+	var w builder
+	w.vec24(cw.bytes())
+	return handshakeMsg(typeCertificate, w.bytes())
+}
+
+func (m *certificateMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	list, err := r.vec24()
+	if err != nil {
+		return err
+	}
+	lr := reader{b: list}
+	m.chain = m.chain[:0]
+	for !lr.empty() {
+		c, err := lr.vec24()
+		if err != nil {
+			return err
+		}
+		m.chain = append(m.chain, c)
+	}
+	if len(m.chain) == 0 {
+		return errDecode
+	}
+	return nil
+}
+
+// Signature algorithm identifiers used in serverKeyExchange /
+// certificateVerify (subset of RFC 8446 SignatureScheme).
+const (
+	sigRSAPKCS1SHA256 uint16 = 0x0401
+	sigECDSAP256      uint16 = 0x0403
+	sigECDSAP384      uint16 = 0x0503
+)
+
+// serverKeyExchangeMsg carries the server's ephemeral ECDHE parameters
+// and their signature (ECDHE suites, TLS 1.2).
+type serverKeyExchangeMsg struct {
+	curveID   uint16
+	publicKey []byte
+	sigAlg    uint16
+	signature []byte
+}
+
+// paramsBytes returns the signed parameter block (curve_type || curve ||
+// pubkey), the portion covered by the signature together with the randoms.
+func (m *serverKeyExchangeMsg) paramsBytes() []byte {
+	var w builder
+	w.u8(3) // curve_type: named_curve
+	w.u16(m.curveID)
+	w.vec8(m.publicKey)
+	return w.bytes()
+}
+
+func (m *serverKeyExchangeMsg) marshal() []byte {
+	var w builder
+	w.raw(m.paramsBytes())
+	w.u16(m.sigAlg)
+	w.vec16(m.signature)
+	return handshakeMsg(typeServerKeyExchange, w.bytes())
+}
+
+func (m *serverKeyExchangeMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	ct, err := r.u8()
+	if err != nil || ct != 3 {
+		return errDecode
+	}
+	if m.curveID, err = r.u16(); err != nil {
+		return err
+	}
+	if m.publicKey, err = r.vec8(); err != nil {
+		return err
+	}
+	if m.sigAlg, err = r.u16(); err != nil {
+		return err
+	}
+	if m.signature, err = r.vec16(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// clientKeyExchangeMsg carries the RSA-encrypted premaster secret or the
+// client's ephemeral ECDHE public key.
+type clientKeyExchangeMsg struct {
+	// exchange is the encrypted premaster (RSA kx, 16-bit length prefix)
+	// or the EC point (ECDHE kx, 8-bit length prefix).
+	rsaCiphertext []byte
+	ecdhPublic    []byte
+	isRSA         bool
+}
+
+func (m *clientKeyExchangeMsg) marshal() []byte {
+	var w builder
+	if m.isRSA {
+		w.vec16(m.rsaCiphertext)
+	} else {
+		w.vec8(m.ecdhPublic)
+	}
+	return handshakeMsg(typeClientKeyExchange, w.bytes())
+}
+
+func (m *clientKeyExchangeMsg) unmarshal(body []byte, isRSA bool) error {
+	r := reader{b: body}
+	m.isRSA = isRSA
+	var err error
+	if isRSA {
+		m.rsaCiphertext, err = r.vec16()
+	} else {
+		m.ecdhPublic, err = r.vec8()
+	}
+	if err != nil {
+		return err
+	}
+	if !r.empty() {
+		return errDecode
+	}
+	return nil
+}
+
+// finishedMsg carries the verify_data.
+type finishedMsg struct {
+	verifyData []byte
+}
+
+func (m *finishedMsg) marshal() []byte {
+	return handshakeMsg(typeFinished, m.verifyData)
+}
+
+func (m *finishedMsg) unmarshal(body []byte) error {
+	if len(body) == 0 {
+		return errDecode
+	}
+	m.verifyData = body
+	return nil
+}
+
+// newSessionTicketMsg (unified 1.2/1.3 layout): lifetime(4) ||
+// ticket<2..>.
+type newSessionTicketMsg struct {
+	lifetimeSeconds uint32
+	ticket          []byte
+}
+
+func (m *newSessionTicketMsg) marshal() []byte {
+	var w builder
+	w.u32(m.lifetimeSeconds)
+	w.vec16(m.ticket)
+	return handshakeMsg(typeNewSessionTicket, w.bytes())
+}
+
+func (m *newSessionTicketMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	var err error
+	if m.lifetimeSeconds, err = r.u32(); err != nil {
+		return err
+	}
+	if m.ticket, err = r.vec16(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// certificateVerifyMsg (TLS 1.3).
+type certificateVerifyMsg struct {
+	sigAlg    uint16
+	signature []byte
+}
+
+func (m *certificateVerifyMsg) marshal() []byte {
+	var w builder
+	w.u16(m.sigAlg)
+	w.vec16(m.signature)
+	return handshakeMsg(typeCertificateVerify, w.bytes())
+}
+
+func (m *certificateVerifyMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	var err error
+	if m.sigAlg, err = r.u16(); err != nil {
+		return err
+	}
+	if m.signature, err = r.vec16(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encryptedExtensionsMsg (TLS 1.3); extensions are unused here but the
+// message is part of the flight and the transcript.
+type encryptedExtensionsMsg struct{}
+
+func (m *encryptedExtensionsMsg) marshal() []byte {
+	var w builder
+	marshalExtensions(&w, nil)
+	return handshakeMsg(typeEncryptedExtensions, w.bytes())
+}
+
+func (m *encryptedExtensionsMsg) unmarshal(body []byte) error {
+	r := reader{b: body}
+	_, err := parseExtensions(&r)
+	return err
+}
+
+// serverHelloDone is empty; helpers for symmetry.
+func marshalServerHelloDone() []byte { return handshakeMsg(typeServerHelloDone, nil) }
+
+func msgTypeName(t uint8) string {
+	switch t {
+	case typeClientHello:
+		return "ClientHello"
+	case typeServerHello:
+		return "ServerHello"
+	case typeNewSessionTicket:
+		return "NewSessionTicket"
+	case typeEncryptedExtensions:
+		return "EncryptedExtensions"
+	case typeCertificate:
+		return "Certificate"
+	case typeServerKeyExchange:
+		return "ServerKeyExchange"
+	case typeServerHelloDone:
+		return "ServerHelloDone"
+	case typeCertificateVerify:
+		return "CertificateVerify"
+	case typeClientKeyExchange:
+		return "ClientKeyExchange"
+	case typeFinished:
+		return "Finished"
+	default:
+		return fmt.Sprintf("handshake(%d)", t)
+	}
+}

@@ -1,0 +1,260 @@
+package minitls
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha1"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record content types.
+const (
+	recordChangeCipherSpec uint8 = 20
+	recordAlert            uint8 = 21
+	recordHandshake        uint8 = 22
+	recordApplicationData  uint8 = 23
+)
+
+// maxPlaintext is the maximum TLS plaintext fragment: data objects larger
+// than 16 KB are fragmented (§2.1), which is what makes the cipher-op
+// count grow with file size in Fig. 10 (one 128 KB response = 8 cipher
+// operations).
+const maxPlaintext = 16384
+
+const recordHeaderLen = 5
+
+// maxCiphertext bounds an encrypted record body (plaintext + IV + MAC +
+// padding + AEAD overhead, with slack).
+const maxCiphertext = maxPlaintext + 512
+
+var errRecordOverflow = errors.New("minitls: oversized record")
+
+// alertError is a fatal alert received from the peer.
+type alertError struct {
+	level uint8
+	desc  uint8
+}
+
+func (a *alertError) Error() string {
+	if a.level == 1 && a.desc == 0 {
+		return "minitls: close notify"
+	}
+	return fmt.Sprintf("minitls: alert level=%d desc=%d", a.level, a.desc)
+}
+
+// errCloseNotify is the orderly-shutdown alert.
+var errCloseNotify = &alertError{level: 1, desc: 0}
+
+// recordProtection seals and opens record payloads. Implementations:
+// nullProtection, cbcProtection (TLS 1.2 AES-128-CBC + HMAC-SHA1,
+// MAC-then-encrypt) and gcmProtection (TLS 1.3 AES-128-GCM).
+type recordProtection interface {
+	// seal encrypts payload of the given record type, returning the wire
+	// body and the wire record type.
+	seal(seq uint64, typ uint8, payload []byte, rnd io.Reader) (wireTyp uint8, body []byte, err error)
+	// open decrypts a wire body, returning the inner record type and
+	// plaintext.
+	open(seq uint64, wireTyp uint8, body []byte) (typ uint8, payload []byte, err error)
+	// overhead returns the per-record ciphertext expansion upper bound.
+	overhead() int
+}
+
+// nullProtection is the initial (plaintext) state.
+type nullProtection struct{}
+
+func (nullProtection) seal(_ uint64, typ uint8, payload []byte, _ io.Reader) (uint8, []byte, error) {
+	return typ, payload, nil
+}
+
+func (nullProtection) open(_ uint64, wireTyp uint8, body []byte) (uint8, []byte, error) {
+	return wireTyp, body, nil
+}
+
+func (nullProtection) overhead() int { return 0 }
+
+// cbcKeys is the directional key material for the CBC+HMAC suite.
+type cbcKeys struct {
+	cipherKey []byte // 16 bytes (AES-128)
+	macKey    []byte // 20 bytes (HMAC-SHA1)
+}
+
+// cbcProtection implements TLS 1.2 style AES-CBC with HMAC-SHA1,
+// MAC-then-encrypt with a per-record explicit IV.
+type cbcProtection struct {
+	keys cbcKeys
+}
+
+func newCBCProtection(k cbcKeys) (*cbcProtection, error) {
+	if len(k.cipherKey) != 16 || len(k.macKey) != 20 {
+		return nil, errors.New("minitls: bad CBC key lengths")
+	}
+	return &cbcProtection{keys: k}, nil
+}
+
+func (p *cbcProtection) overhead() int { return aes.BlockSize /*IV*/ + sha1.Size + aes.BlockSize /*pad*/ }
+
+func (p *cbcProtection) mac(seq uint64, typ uint8, payload []byte) []byte {
+	m := hmac.New(sha1.New, p.keys.macKey)
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	hdr[8] = typ
+	binary.BigEndian.PutUint16(hdr[9:11], VersionTLS12)
+	binary.BigEndian.PutUint16(hdr[11:13], uint16(len(payload)))
+	m.Write(hdr[:])
+	m.Write(payload)
+	return m.Sum(nil)
+}
+
+func (p *cbcProtection) seal(seq uint64, typ uint8, payload []byte, rnd io.Reader) (uint8, []byte, error) {
+	mac := p.mac(seq, typ, payload)
+	plain := make([]byte, 0, len(payload)+len(mac)+aes.BlockSize)
+	plain = append(plain, payload...)
+	plain = append(plain, mac...)
+	// TLS padding: padLen bytes each holding padLen, plus the length byte
+	// itself; total padded length is a multiple of the block size.
+	padLen := aes.BlockSize - (len(plain)+1)%aes.BlockSize
+	if padLen == aes.BlockSize {
+		padLen = 0
+	}
+	for i := 0; i <= padLen; i++ {
+		plain = append(plain, byte(padLen))
+	}
+	block, err := aes.NewCipher(p.keys.cipherKey)
+	if err != nil {
+		return 0, nil, err
+	}
+	body := make([]byte, aes.BlockSize+len(plain))
+	if _, err := io.ReadFull(rnd, body[:aes.BlockSize]); err != nil {
+		return 0, nil, err
+	}
+	cipher.NewCBCEncrypter(block, body[:aes.BlockSize]).CryptBlocks(body[aes.BlockSize:], plain)
+	return typ, body, nil
+}
+
+func (p *cbcProtection) open(seq uint64, wireTyp uint8, body []byte) (uint8, []byte, error) {
+	if len(body) < 2*aes.BlockSize || len(body)%aes.BlockSize != 0 {
+		return 0, nil, errDecode
+	}
+	block, err := aes.NewCipher(p.keys.cipherKey)
+	if err != nil {
+		return 0, nil, err
+	}
+	iv, ct := body[:aes.BlockSize], body[aes.BlockSize:]
+	plain := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(plain, ct)
+	padLen := int(plain[len(plain)-1])
+	if padLen+1+sha1.Size > len(plain) {
+		return 0, nil, errors.New("minitls: bad record padding")
+	}
+	for _, b := range plain[len(plain)-1-padLen:] {
+		if int(b) != padLen {
+			return 0, nil, errors.New("minitls: bad record padding")
+		}
+	}
+	plain = plain[:len(plain)-1-padLen]
+	payload, mac := plain[:len(plain)-sha1.Size], plain[len(plain)-sha1.Size:]
+	want := p.mac(seq, wireTyp, payload)
+	if subtle.ConstantTimeCompare(mac, want) != 1 {
+		return 0, nil, errors.New("minitls: record MAC mismatch")
+	}
+	return wireTyp, payload, nil
+}
+
+// gcmKeys is the directional key material for the TLS 1.3 AEAD.
+type gcmKeys struct {
+	key []byte // 16 bytes
+	iv  []byte // 12 bytes
+}
+
+// gcmProtection implements TLS 1.3 AES-128-GCM record protection with the
+// inner-content-type construction of RFC 8446 §5.2.
+type gcmProtection struct {
+	aead cipher.AEAD
+	iv   []byte
+}
+
+func newGCMProtection(k gcmKeys) (*gcmProtection, error) {
+	if len(k.key) != 16 || len(k.iv) != 12 {
+		return nil, errors.New("minitls: bad GCM key lengths")
+	}
+	block, err := aes.NewCipher(k.key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &gcmProtection{aead: aead, iv: k.iv}, nil
+}
+
+func (p *gcmProtection) overhead() int { return 1 + p.aead.Overhead() }
+
+func (p *gcmProtection) nonce(seq uint64) []byte {
+	n := make([]byte, 12)
+	copy(n, p.iv)
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= s[i]
+	}
+	return n
+}
+
+func aadFor(length int) []byte {
+	return []byte{recordApplicationData, 0x03, 0x03, byte(length >> 8), byte(length)}
+}
+
+func (p *gcmProtection) seal(seq uint64, typ uint8, payload []byte, _ io.Reader) (uint8, []byte, error) {
+	inner := make([]byte, 0, len(payload)+1)
+	inner = append(inner, payload...)
+	inner = append(inner, typ)
+	body := p.aead.Seal(nil, p.nonce(seq), inner, aadFor(len(inner)+p.aead.Overhead()))
+	return recordApplicationData, body, nil
+}
+
+func (p *gcmProtection) open(seq uint64, wireTyp uint8, body []byte) (uint8, []byte, error) {
+	if wireTyp != recordApplicationData {
+		// Unprotected CCS records may appear in TLS 1.3 middlebox-compat
+		// mode; this stack never sends them.
+		return 0, nil, errDecode
+	}
+	inner, err := p.aead.Open(nil, p.nonce(seq), body, aadFor(len(body)))
+	if err != nil {
+		return 0, nil, errors.New("minitls: record authentication failed")
+	}
+	// Strip zero padding then the inner content type.
+	i := len(inner) - 1
+	for i >= 0 && inner[i] == 0 {
+		i--
+	}
+	if i < 0 {
+		return 0, nil, errDecode
+	}
+	return inner[i], inner[:i], nil
+}
+
+// halfConn is one direction of a connection's record state.
+type halfConn struct {
+	prot recordProtection
+	seq  uint64
+}
+
+func (h *halfConn) protection() recordProtection {
+	if h.prot == nil {
+		return nullProtection{}
+	}
+	return h.prot
+}
+
+// setProtection installs new keys and resets the sequence number (as on
+// ChangeCipherSpec / TLS 1.3 key install).
+func (h *halfConn) setProtection(p recordProtection) {
+	h.prot = p
+	h.seq = 0
+}

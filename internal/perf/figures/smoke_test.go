@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"testing"
+	"time"
+)
+
+// tiny returns sub-smoke durations: the values are statistically
+// meaningless but every generator's full code path executes.
+func tiny() Opts {
+	return Opts{Warmup: 40 * time.Millisecond, Measure: 60 * time.Millisecond}
+}
+
+// Every figure generator runs end-to-end and produces a well-formed
+// table with positive values where the model guarantees activity.
+func TestAllGeneratorsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep")
+	}
+	cases := []struct {
+		id         string
+		gen        func(Opts) Table
+		wantSeries int
+	}{
+		{"fig7b", Fig7b, 5},
+		{"fig7c", Fig7c, 5},
+		{"fig8", Fig8, 5},
+		{"fig9b", Fig9b, 5},
+		{"fig11", Fig11, 4},
+		{"fig12a", Fig12a, 3},
+		{"fig12c", Fig12c, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			tab := tc.gen(tiny())
+			checkShape(t, tab, tc.wantSeries)
+			if tab.ID != tc.id {
+				t.Fatalf("ID = %q", tab.ID)
+			}
+			// The fastest configuration must show activity in every
+			// column even at tiny scale.
+			best := tab.Series[len(tab.Series)-1]
+			for i, v := range best.Values {
+				if v <= 0 {
+					t.Fatalf("%s/%s col %s = %v", tc.id, best.Name, tab.Columns[i], v)
+				}
+			}
+		})
+	}
+}

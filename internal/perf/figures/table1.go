@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"crypto/elliptic"
+	"net"
+	"sync"
+
+	"qtls/internal/minitls"
+)
+
+// Table 1 is reproduced on the *functional* stack, not the model: real
+// handshakes run through internal/minitls with an operation counter, and
+// the counted server-side RSA / ECC / PRF-HKDF operations are reported.
+
+var (
+	t1Once  sync.Once
+	t1RSA   *minitls.Identity
+	t1ECDSA *minitls.Identity
+)
+
+func table1Identities() (*minitls.Identity, *minitls.Identity) {
+	t1Once.Do(func() {
+		var err error
+		if t1RSA, err = minitls.NewRSAIdentity(2048); err != nil {
+			panic(err)
+		}
+		if t1ECDSA, err = minitls.NewECDSAIdentity(elliptic.P256()); err != nil {
+			panic(err)
+		}
+	})
+	return t1RSA, t1ECDSA
+}
+
+// countHandshakeOps runs one full handshake and returns the server's
+// Table-1 row (RSA, ECC, PRF/HKDF operation counts).
+func countHandshakeOps(serverCfg, clientCfg *minitls.Config) (rsaN, ecc, kdf int64) {
+	var ops minitls.OpCounts
+	serverCfg.OpCounter = &ops
+	cliT, srvT := net.Pipe()
+	defer cliT.Close()
+	defer srvT.Close()
+	server := minitls.Server(srvT, serverCfg)
+	client := minitls.ClientConn(cliT, clientCfg)
+	errc := make(chan error, 1)
+	go func() { errc <- client.Handshake() }()
+	if err := server.Handshake(); err != nil {
+		panic("table1: server handshake: " + err.Error())
+	}
+	if err := <-errc; err != nil {
+		panic("table1: client handshake: " + err.Error())
+	}
+	return ops.Table1Row()
+}
+
+// Table1 reproduces "Table 1: Server-side crypto operations for full
+// handshake" by counting real operations in the minitls stack.
+func Table1() Table {
+	rsaID, ecdsaID := table1Identities()
+	rows := []struct {
+		name      string
+		serverCfg *minitls.Config
+		clientCfg *minitls.Config
+	}{
+		{"1.2 TLS-RSA", &minitls.Config{
+			Identity:     rsaID,
+			CipherSuites: []uint16{minitls.TLS_RSA_WITH_AES_128_CBC_SHA},
+		}, &minitls.Config{}},
+		{"1.2 ECDHE-RSA", &minitls.Config{
+			Identity:     rsaID,
+			CipherSuites: []uint16{minitls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+		}, &minitls.Config{}},
+		{"1.2 ECDHE-ECDSA", &minitls.Config{
+			Identity:     ecdsaID,
+			CipherSuites: []uint16{minitls.TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA},
+		}, &minitls.Config{}},
+		{"1.3 ECDHE-RSA", &minitls.Config{
+			Identity:   rsaID,
+			MaxVersion: minitls.VersionTLS13,
+		}, &minitls.Config{MaxVersion: minitls.VersionTLS13}},
+	}
+	t := Table{
+		ID:      "table1",
+		Title:   "Server-side crypto operations for full handshake (measured on the minitls stack)",
+		XLabel:  "operation type",
+		YLabel:  "operations per handshake",
+		Columns: []string{"RSA", "ECC", "PRF/HKDF"},
+		Notes:   "paper: TLS-RSA 1/0/4; ECDHE-RSA 1/2/4; ECDHE-ECDSA 0/3/4; 1.3 ECDHE-RSA 1/2/>4",
+	}
+	for _, r := range rows {
+		rsaN, ecc, kdf := countHandshakeOps(r.serverCfg, r.clientCfg)
+		t.Series = append(t.Series, Series{
+			Name:   r.name,
+			Values: []float64{float64(rsaN), float64(ecc), float64(kdf)},
+		})
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package perf
+
+import "time"
+
+// RunResult is one model run's headline numbers.
+type RunResult struct {
+	Config      string
+	CPS         float64
+	Gbps        float64
+	AvgLatency  time.Duration
+	P99Latency  time.Duration
+	Utilization float64
+	Stats       *Stats
+}
+
+// RunOptions configures one model run.
+type RunOptions struct {
+	Params  Params
+	Config  Config
+	Seed    int64
+	Warmup  time.Duration
+	Measure time.Duration
+	Install func(*Model) // workload installer
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Params == (Params{}) {
+		o.Params = DefaultParams()
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 200 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Run executes one simulation and summarizes it.
+func Run(o RunOptions) RunResult {
+	o = o.withDefaults()
+	m := NewModel(o.Params, o.Config, o.Seed)
+	o.Install(m)
+	st := m.Run(o.Warmup, o.Measure)
+	return RunResult{
+		Config:      o.Config.Name,
+		CPS:         st.CPS(o.Measure),
+		Gbps:        st.Gbps(o.Measure),
+		AvgLatency:  time.Duration(st.Latency.Mean()),
+		P99Latency:  time.Duration(st.Latency.Quantile(0.99)),
+		Utilization: st.Utilization(o.Config.Workers, o.Measure),
+		Stats:       st,
+	}
+}
+
+// RunCPS measures handshake throughput for a configuration with the
+// closed-loop s_time workload.
+func RunCPS(cfg Config, spec ScriptSpec, clients int, resumeFraction float64, measure time.Duration) RunResult {
+	return Run(RunOptions{
+		Config:  cfg,
+		Measure: measure,
+		Install: func(m *Model) {
+			STimeWorkload{Clients: clients, Spec: spec, ResumeFraction: resumeFraction}.Install(m)
+		},
+	})
+}
+
+// RunThroughput measures secure transfer goodput with the ab keepalive
+// workload.
+func RunThroughput(cfg Config, fileBytes, clients int, measure time.Duration) RunResult {
+	return Run(RunOptions{
+		Config:  cfg,
+		Measure: measure,
+		Install: func(m *Model) {
+			ABWorkload{Clients: clients, FileBytes: fileBytes}.Install(m)
+		},
+	})
+}
+
+// RunLatency measures average response time with the open-loop workload.
+func RunLatency(cfg Config, concurrency int, perClientRate float64, measure time.Duration) RunResult {
+	return Run(RunOptions{
+		Config:  cfg,
+		Measure: measure,
+		Install: func(m *Model) {
+			LatencyWorkload{Concurrency: concurrency, PerClientRate: perClientRate}.Install(m)
+		},
+	})
+}

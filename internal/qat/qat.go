@@ -1,0 +1,400 @@
+// Package qat is a functional, in-process model of an Intel® QuickAssist
+// Technology (QAT) crypto acceleration device, faithful to the usage model
+// described in §2.3 of the QTLS paper (Fig. 2):
+//
+//   - a device hosts one or more independent *endpoints* (the DH8970 card
+//     used in the paper contains three);
+//   - each endpoint possesses multiple parallel *computation engines* and a
+//     number of hardware-assisted *request/response ring pairs*;
+//   - ring pairs are grouped into *crypto instances*, logical units assigned
+//     to a process/thread;
+//   - software writes requests onto a request ring and reads responses back
+//     from a response ring; the hardware load-balances requests from all
+//     rings across all available engines;
+//   - submission is inherently non-blocking: when the request ring is full
+//     the submit call fails with a retry status (ErrRingFull);
+//   - response availability is indicated by polling (QTLS' choice) or by a
+//     completion hook standing in for an interrupt.
+//
+// Computation engines are goroutines. Each request carries a Work closure
+// executed on an engine; real deployments of this package pass closures
+// that perform genuine RSA/ECDSA/ECDH/PRF/cipher computations via the Go
+// standard library, so TLS handshakes driven through the device are real.
+// An optional per-op minimum service time models the latency/throughput
+// envelope of the ASIC, letting tests create deterministic contention.
+package qat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OpType classifies a crypto request, mirroring the service categories the
+// QAT Engine offloads (§2.3): asymmetric crypto, symmetric chained cipher
+// and PRF.
+type OpType int
+
+const (
+	// OpRSA is an RSA private-key operation (sign/decrypt).
+	OpRSA OpType = iota
+	// OpECDSA is an ECDSA sign operation.
+	OpECDSA
+	// OpECDH is an ECDH(E) point-multiplication / derive operation.
+	OpECDH
+	// OpPRF is a TLS 1.2 pseudo random function derivation.
+	OpPRF
+	// OpCipher is a symmetric chained cipher record operation
+	// (e.g. AES-128-CBC-HMAC-SHA1).
+	OpCipher
+
+	numOpTypes = 5
+)
+
+// String returns the conventional name of the op type.
+func (t OpType) String() string {
+	switch t {
+	case OpRSA:
+		return "rsa"
+	case OpECDSA:
+		return "ecdsa"
+	case OpECDH:
+		return "ecdh"
+	case OpPRF:
+		return "prf"
+	case OpCipher:
+		return "cipher"
+	default:
+		return fmt.Sprintf("op(%d)", int(t))
+	}
+}
+
+// Asymmetric reports whether the op type is an asymmetric-key calculation.
+// The heuristic polling scheme uses a larger coalescing threshold when
+// asymmetric requests are in flight (§3.3).
+func (t OpType) Asymmetric() bool {
+	return t == OpRSA || t == OpECDSA || t == OpECDH
+}
+
+// ErrRingFull is returned by Submit when the instance's request ring has no
+// free slot; the caller is expected to retry later (§3.2 "failure of crypto
+// submission").
+var ErrRingFull = errors.New("qat: request ring full")
+
+// ErrClosed is returned by Submit after the device has been closed.
+var ErrClosed = errors.New("qat: device closed")
+
+// Response is the completion record read back from a response ring.
+type Response struct {
+	// Result is the value produced by the request's Work closure.
+	Result any
+	// Err is the error produced by the request's Work closure.
+	Err error
+}
+
+// Request describes one crypto offload job.
+type Request struct {
+	// Op classifies the request for counters and scheduling.
+	Op OpType
+	// Work performs the actual computation on an engine goroutine. It must
+	// be non-nil and must not block indefinitely.
+	Work func() (any, error)
+	// Callback is invoked with the response during Poll, on the polling
+	// goroutine (matching QAT userspace polled operation). Optional.
+	Callback func(Response)
+}
+
+// DeviceSpec configures a simulated QAT device.
+type DeviceSpec struct {
+	// Endpoints is the number of independent QAT endpoints (the paper's
+	// DH8970 card has 3). Default 1.
+	Endpoints int
+	// EnginesPerEndpoint is the number of parallel computation engines in
+	// each endpoint. Default 8.
+	EnginesPerEndpoint int
+	// MaxInstancesPerEndpoint bounds AllocInstance (a modern endpoint
+	// supports up to 48 crypto instances, §2.3). Default 48.
+	MaxInstancesPerEndpoint int
+	// RingCapacity is the capacity of each instance's request ring.
+	// Default 64.
+	RingCapacity int
+	// ServiceTime, when non-nil, gives a minimum engine occupancy per op
+	// type; engines sleep out any remainder after Work returns. This models
+	// ASIC latency for tests and demos. A nil map means "as fast as the
+	// host computes".
+	ServiceTime map[OpType]time.Duration
+	// OnResponse, when non-nil, is called from the engine goroutine each
+	// time a response becomes available on an instance's response ring.
+	// It stands in for a completion interrupt; QTLS itself relies on
+	// polling and leaves this nil.
+	OnResponse func(*Instance)
+}
+
+func (s DeviceSpec) withDefaults() DeviceSpec {
+	if s.Endpoints <= 0 {
+		s.Endpoints = 1
+	}
+	if s.EnginesPerEndpoint <= 0 {
+		s.EnginesPerEndpoint = 8
+	}
+	if s.MaxInstancesPerEndpoint <= 0 {
+		s.MaxInstancesPerEndpoint = 48
+	}
+	if s.RingCapacity <= 0 {
+		s.RingCapacity = 64
+	}
+	return s
+}
+
+// Counters is a snapshot of the firmware counters of one endpoint,
+// mirroring /sys/kernel/debug/qat*/fw_counters from the artifact appendix.
+type Counters struct {
+	Requests  [numOpTypes]uint64
+	Responses [numOpTypes]uint64
+}
+
+// TotalRequests sums requests across op types.
+func (c Counters) TotalRequests() (n uint64) {
+	for _, v := range c.Requests {
+		n += v
+	}
+	return n
+}
+
+// TotalResponses sums responses across op types.
+func (c Counters) TotalResponses() (n uint64) {
+	for _, v := range c.Responses {
+		n += v
+	}
+	return n
+}
+
+// Device is a simulated QAT acceleration device.
+type Device struct {
+	spec      DeviceSpec
+	endpoints []*endpoint
+
+	mu        sync.Mutex
+	closed    bool
+	nextAlloc int // round-robin endpoint for instance allocation
+}
+
+type endpoint struct {
+	dev      *Device
+	id       int
+	dispatch chan *pending
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex
+	counters  Counters
+	instances int
+}
+
+type pending struct {
+	req  Request
+	inst *Instance
+}
+
+// Instance is a QAT crypto instance: a logical group of ring pairs assigned
+// to one process/thread. Instances are not safe for concurrent use by
+// multiple goroutines except where documented: Submit and Poll may be
+// called concurrently with engine completions, but the intended usage is
+// one owning worker per instance (as in the paper's deployment: one Nginx
+// worker per instance).
+type Instance struct {
+	ep      *endpoint
+	id      int
+	ringCap int
+
+	mu        sync.Mutex
+	inflight  int
+	responses []completed // response ring; bounded by inflight <= ringCap
+}
+
+type completed struct {
+	cb   func(Response)
+	resp Response
+}
+
+// NewDevice creates a device and starts its engine goroutines.
+func NewDevice(spec DeviceSpec) *Device {
+	spec = spec.withDefaults()
+	d := &Device{spec: spec}
+	for i := 0; i < spec.Endpoints; i++ {
+		ep := &endpoint{
+			dev: d,
+			id:  i,
+			// Dispatch capacity covers every instance's full ring so that
+			// a successful Submit can never block on the channel send.
+			dispatch: make(chan *pending, spec.MaxInstancesPerEndpoint*spec.RingCapacity),
+		}
+		for e := 0; e < spec.EnginesPerEndpoint; e++ {
+			ep.wg.Add(1)
+			go ep.engineLoop()
+		}
+		d.endpoints = append(d.endpoints, ep)
+	}
+	return d
+}
+
+// Spec returns the (defaulted) device specification.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// AllocInstance allocates a crypto instance, distributing instances evenly
+// across endpoints (the paper's setup: "the allocated QAT instances were
+// distributed evenly from the three QAT endpoints").
+func (d *Device) AllocInstance() (*Instance, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	for try := 0; try < len(d.endpoints); try++ {
+		ep := d.endpoints[d.nextAlloc%len(d.endpoints)]
+		d.nextAlloc++
+		ep.mu.Lock()
+		if ep.instances < d.spec.MaxInstancesPerEndpoint {
+			ep.instances++
+			id := ep.instances
+			ep.mu.Unlock()
+			return &Instance{ep: ep, id: id, ringCap: d.spec.RingCapacity}, nil
+		}
+		ep.mu.Unlock()
+	}
+	return nil, errors.New("qat: no free crypto instances")
+}
+
+// Close shuts the device down. In-flight work is completed; subsequent
+// Submit calls fail with ErrClosed. Close blocks until all engines exit.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	for _, ep := range d.endpoints {
+		close(ep.dispatch)
+		ep.wg.Wait()
+	}
+}
+
+// Counters returns per-endpoint firmware counters.
+func (d *Device) Counters() []Counters {
+	out := make([]Counters, len(d.endpoints))
+	for i, ep := range d.endpoints {
+		ep.mu.Lock()
+		out[i] = ep.counters
+		ep.mu.Unlock()
+	}
+	return out
+}
+
+func (ep *endpoint) engineLoop() {
+	defer ep.wg.Done()
+	st := ep.dev.spec.ServiceTime
+	for p := range ep.dispatch {
+		start := time.Now()
+		var resp Response
+		resp.Result, resp.Err = p.req.Work()
+		if st != nil {
+			if minT, ok := st[p.req.Op]; ok {
+				if rem := minT - time.Since(start); rem > 0 {
+					time.Sleep(rem)
+				}
+			}
+		}
+		inst := p.inst
+		inst.mu.Lock()
+		inst.responses = append(inst.responses, completed{cb: p.req.Callback, resp: resp})
+		inst.mu.Unlock()
+		ep.mu.Lock()
+		ep.counters.Responses[p.req.Op]++
+		ep.mu.Unlock()
+		if hook := ep.dev.spec.OnResponse; hook != nil {
+			hook(inst)
+		}
+	}
+}
+
+// Submit places a request on the instance's request ring. It never blocks:
+// when the ring is full it returns ErrRingFull and the caller must retry
+// later. On success the request will eventually be executed by one of the
+// endpoint's engines and its response becomes retrievable via Poll.
+func (inst *Instance) Submit(req Request) error {
+	if req.Work == nil {
+		panic("qat: Submit with nil Work")
+	}
+	if req.Op < 0 || req.Op >= numOpTypes {
+		panic("qat: Submit with invalid OpType")
+	}
+	inst.ep.dev.mu.Lock()
+	closed := inst.ep.dev.closed
+	inst.ep.dev.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	inst.mu.Lock()
+	if inst.inflight >= inst.ringCap {
+		inst.mu.Unlock()
+		return ErrRingFull
+	}
+	inst.inflight++
+	inst.mu.Unlock()
+
+	inst.ep.mu.Lock()
+	inst.ep.counters.Requests[req.Op]++
+	inst.ep.mu.Unlock()
+
+	// Guaranteed space: dispatch capacity >= sum of ring capacities.
+	inst.ep.dispatch <- &pending{req: req, inst: inst}
+	return nil
+}
+
+// Poll retrieves up to max responses (0 or negative means all available),
+// invoking each request's callback on the calling goroutine. It returns
+// the number of responses retrieved. This is the userspace polled
+// operation QTLS builds its heuristic polling scheme on (§3.3).
+func (inst *Instance) Poll(max int) int {
+	inst.mu.Lock()
+	n := len(inst.responses)
+	if max > 0 && n > max {
+		n = max
+	}
+	batch := make([]completed, n)
+	copy(batch, inst.responses[:n])
+	rest := copy(inst.responses, inst.responses[n:])
+	for i := rest; i < len(inst.responses); i++ {
+		inst.responses[i] = completed{}
+	}
+	inst.responses = inst.responses[:rest]
+	inst.inflight -= n
+	inst.mu.Unlock()
+
+	for _, c := range batch {
+		if c.cb != nil {
+			c.cb(c.resp)
+		}
+	}
+	return n
+}
+
+// Inflight returns the number of submitted-but-not-yet-polled requests on
+// this instance (includes responses waiting on the response ring).
+func (inst *Instance) Inflight() int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.inflight
+}
+
+// Available returns the number of responses ready to be polled.
+func (inst *Instance) Available() int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return len(inst.responses)
+}
+
+// Endpoint returns the id of the endpoint this instance belongs to.
+func (inst *Instance) Endpoint() int { return inst.ep.id }

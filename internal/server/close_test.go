@@ -1,0 +1,160 @@
+//go:build linux
+
+package server
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"qtls/internal/minitls"
+)
+
+// A request with "Connection: close" gets a close-tagged response and an
+// orderly connection shutdown afterwards.
+func TestConnectionCloseSemantics(t *testing.T) {
+	srv, _ := startServer(t, ConfigSW, 1, nil)
+	raw, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(10 * time.Second))
+	tc := minitls.ClientConn(raw, &minitls.Config{})
+	if err := tc.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	req := "GET /64 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+	if _, err := tc.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(readerFor(tc))
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("status = %q", status)
+	}
+	sawClose := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if strings.EqualFold(line, "connection: close") {
+			sawClose = true
+		}
+	}
+	if !sawClose {
+		t.Fatal("response missing Connection: close")
+	}
+	body := make([]byte, 64)
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes: next read yields EOF (close-notify).
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("after close: err = %v, want EOF", err)
+	}
+}
+
+// Keepalive requests on the same connection still work when the final
+// one asks for close.
+func TestKeepaliveThenClose(t *testing.T) {
+	srv, _ := startServer(t, ConfigSW, 1, nil)
+	raw, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(10 * time.Second))
+	tc := minitls.ClientConn(raw, &minitls.Config{})
+	if err := tc.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(readerFor(tc))
+	readResp := func() {
+		t.Helper()
+		cl := -1
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			line = strings.TrimRight(line, "\r\n")
+			if line == "" {
+				break
+			}
+			if v, ok := strings.CutPrefix(strings.ToLower(line), "content-length:"); ok {
+				cl = atoiOr(strings.TrimSpace(v), -1)
+			}
+		}
+		if cl < 0 {
+			t.Fatal("no content length")
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(cl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := tc.Write([]byte("GET /32 HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		readResp()
+	}
+	if _, err := tc.Write([]byte("GET /32 HTTP/1.1\r\nConnection: Close\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	readResp()
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("after close: err = %v, want EOF", err)
+	}
+	st := srv.Stats()
+	if st.Requests != 4 || st.Handshakes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func atoiOr(s string, def int) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+type tlsReaderAdapter struct{ c *minitls.Conn }
+
+func (r tlsReaderAdapter) Read(p []byte) (int, error) { return r.c.Read(p) }
+
+func readerFor(c *minitls.Conn) io.Reader { return tlsReaderAdapter{c} }
+
+func TestRequestWantsClose(t *testing.T) {
+	cases := []struct {
+		req  string
+		want bool
+	}{
+		{"GET / HTTP/1.1\r\nConnection: close", true},
+		{"GET / HTTP/1.1\r\nconnection:   CLOSE", true},
+		{"GET / HTTP/1.1\r\nConnection: keep-alive", false},
+		{"GET / HTTP/1.1\r\nHost: x", false},
+		{"GET / HTTP/1.1", false},
+		{"GET / HTTP/1.1\r\nX-Connection: close", false},
+	}
+	for _, tc := range cases {
+		if got := requestWantsClose([]byte(tc.req)); got != tc.want {
+			t.Fatalf("requestWantsClose(%q) = %v", tc.req, got)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package server implements the event-driven HTTPS server QTLS is
+// evaluated on: the equivalent of Nginx workers modified for asynchronous
+// crypto offload (§4.2). Each worker owns one epoll event loop, one QAT
+// crypto instance, the TLS-ASYNC connection state handling (including the
+// saved read handler for event disorder), the heuristic polling scheme
+// (§3.3/§4.3) and both async event notification schemes (§3.4/§4.4).
+//
+// The five configurations evaluated in the paper map onto RunConfig:
+//
+//	SW      — software crypto, no engine
+//	QAT+S   — straight (blocking) offload
+//	QAT+A   — async offload + timer-based polling + FD notification
+//	QAT+AH  — async offload + heuristic polling + FD notification
+//	QTLS    — async offload + heuristic polling + kernel-bypass notification
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"qtls/internal/minitls"
+)
+
+// PollingScheme selects how QAT responses are retrieved (§3.3, §5.6).
+type PollingScheme int
+
+const (
+	// PollNone: no accelerator (SW) or inline blocking retrieval (QAT+S).
+	PollNone PollingScheme = iota
+	// PollTimer: poll at fixed intervals (the default QAT Engine polling
+	// thread; integrated into the loop's wait timeout in this functional
+	// implementation — the separate-thread context-switch cost is modeled
+	// in the DES, internal/perf).
+	PollTimer
+	// PollHeuristic: the QTLS heuristic polling scheme driven by in-flight
+	// counts and active-connection counts.
+	PollHeuristic
+)
+
+// String returns the scheme name.
+func (p PollingScheme) String() string {
+	switch p {
+	case PollNone:
+		return "none"
+	case PollTimer:
+		return "timer"
+	case PollHeuristic:
+		return "heuristic"
+	default:
+		return fmt.Sprintf("PollingScheme(%d)", int(p))
+	}
+}
+
+// NotifyScheme selects how async events reach the event loop (§3.4).
+type NotifyScheme int
+
+const (
+	// NotifyFD: the response callback writes to a descriptor monitored by
+	// epoll — user/kernel switches on every event.
+	NotifyFD NotifyScheme = iota
+	// NotifyKernelBypass: the response callback pushes the saved async
+	// handler onto an application-level async queue drained at the end of
+	// the event loop.
+	NotifyKernelBypass
+)
+
+// String returns the scheme name.
+func (n NotifyScheme) String() string {
+	switch n {
+	case NotifyFD:
+		return "fd"
+	case NotifyKernelBypass:
+		return "kernel-bypass"
+	default:
+		return fmt.Sprintf("NotifyScheme(%d)", int(n))
+	}
+}
+
+// RunConfig selects the offload configuration of a worker, mirroring the
+// paper's five evaluated configurations plus the knobs the SSL Engine
+// Framework exposes in the Nginx conf (§A.7).
+type RunConfig struct {
+	// Name labels the configuration in stats and logs.
+	Name string
+	// UseQAT enables the accelerator engine.
+	UseQAT bool
+	// AsyncMode is the crypto-pause implementation; AsyncModeOff with
+	// UseQAT selects the straight (blocking) offload mode.
+	AsyncMode minitls.AsyncMode
+	// Polling selects the response retrieval scheme.
+	Polling PollingScheme
+	// PollInterval is the timer polling period (default 10 µs, the QAT
+	// Engine default).
+	PollInterval time.Duration
+	// Notify selects the async event notification scheme.
+	Notify NotifyScheme
+	// AsymThreshold is the heuristic coalescing threshold when asymmetric
+	// requests are in flight (qat_heuristic_poll_asym_threshold, default
+	// 48).
+	AsymThreshold int
+	// SymThreshold is the heuristic threshold otherwise
+	// (qat_heuristic_poll_sym_threshold, default 24).
+	SymThreshold int
+	// FailoverInterval is the heuristic failover timer (default 5 ms,
+	// §4.3).
+	FailoverInterval time.Duration
+	// Offload selects which crypto op kinds the engine offloads (the
+	// default_algorithm directive, §A.7); nil means all offloadable
+	// kinds.
+	Offload []minitls.OpKind
+	// InstancesPerWorker assigns this many crypto instances to each
+	// worker (default 1; §2.3 allows several, from different endpoints,
+	// to employ more computation engines).
+	InstancesPerWorker int
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.PollInterval <= 0 {
+		rc.PollInterval = 10 * time.Microsecond
+	}
+	if rc.AsymThreshold <= 0 {
+		rc.AsymThreshold = 48
+	}
+	if rc.SymThreshold <= 0 {
+		rc.SymThreshold = 24
+	}
+	if rc.FailoverInterval <= 0 {
+		rc.FailoverInterval = 5 * time.Millisecond
+	}
+	return rc
+}
+
+// The paper's five configurations.
+var (
+	// ConfigSW is software calculation with AES-NI-class instructions.
+	ConfigSW = RunConfig{Name: "SW"}
+	// ConfigQATS is the straight offload mode.
+	ConfigQATS = RunConfig{Name: "QAT+S", UseQAT: true, AsyncMode: minitls.AsyncModeOff, Polling: PollNone}
+	// ConfigQATA is the async framework with timer polling and FD
+	// notification.
+	ConfigQATA = RunConfig{Name: "QAT+A", UseQAT: true, AsyncMode: minitls.AsyncModeFiber, Polling: PollTimer, Notify: NotifyFD}
+	// ConfigQATAH replaces the polling thread with the heuristic scheme.
+	ConfigQATAH = RunConfig{Name: "QAT+AH", UseQAT: true, AsyncMode: minitls.AsyncModeFiber, Polling: PollHeuristic, Notify: NotifyFD}
+	// ConfigQTLS is the full QTLS: heuristic polling + kernel bypass.
+	ConfigQTLS = RunConfig{Name: "QTLS", UseQAT: true, AsyncMode: minitls.AsyncModeFiber, Polling: PollHeuristic, Notify: NotifyKernelBypass}
+)
+
+// Configurations lists the paper's five configurations in evaluation
+// order.
+func Configurations() []RunConfig {
+	return []RunConfig{ConfigSW, ConfigQATS, ConfigQATA, ConfigQATAH, ConfigQTLS}
+}

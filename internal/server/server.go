@@ -1,0 +1,145 @@
+//go:build linux
+
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+)
+
+// Options configures a multi-worker server.
+type Options struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port). All
+	// workers share the port via SO_REUSEPORT, like Nginx worker
+	// processes.
+	Addr string
+	// Workers is the number of event-loop workers (default 1). The paper
+	// varies this from 2 to 32 (Fig. 7).
+	Workers int
+	// Run selects the offload configuration (SW / QAT+S / ... / QTLS).
+	Run RunConfig
+	// TLS is the TLS template: identity, suites, session cache, tickets.
+	// Provider and AsyncMode are overridden per the Run configuration.
+	TLS *minitls.Config
+	// Device is the QAT device shared by all workers (required for QAT
+	// configurations). Workers allocate one crypto instance each,
+	// distributed across the device's endpoints.
+	Device *qat.Device
+	// Handler serves request paths.
+	Handler Handler
+}
+
+// Server is a set of event-driven workers sharing one listening port.
+type Server struct {
+	workers []*Worker
+	wg      sync.WaitGroup
+}
+
+// New builds the workers (not yet running).
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.TLS == nil {
+		return nil, fmt.Errorf("server: TLS config required")
+	}
+	if opts.Handler == nil {
+		return nil, fmt.Errorf("server: Handler required")
+	}
+	s := &Server{}
+	addr := opts.Addr
+	for i := 0; i < opts.Workers; i++ {
+		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler)
+		if err != nil {
+			s.Stop()
+			return nil, err
+		}
+		s.workers = append(s.workers, w)
+		// Subsequent workers bind the same concrete port.
+		addr = w.Addr()
+	}
+	return s, nil
+}
+
+// Start launches every worker loop on its own goroutine.
+func (s *Server) Start() {
+	for _, w := range s.workers {
+		w := w
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.Run()
+		}()
+	}
+}
+
+// Addr returns the shared listening address.
+func (s *Server) Addr() string { return s.workers[0].Addr() }
+
+// Workers returns the workers (for stats inspection).
+func (s *Server) Workers() []*Worker { return s.workers }
+
+// Stats aggregates worker counters.
+type Stats struct {
+	Accepted, Handshakes, Resumed, Requests, BytesOut int64
+	AsyncEvents, RetryEvents                          int64
+	HeuristicPolls, TimerPolls, FailoverPolls         int64
+	Errors                                            int64
+}
+
+// Stats sums all worker counters.
+func (s *Server) Stats() Stats {
+	var t Stats
+	for _, w := range s.workers {
+		t.Accepted += w.Stats.Accepted.Load()
+		t.Handshakes += w.Stats.Handshakes.Load()
+		t.Resumed += w.Stats.Resumed.Load()
+		t.Requests += w.Stats.Requests.Load()
+		t.BytesOut += w.Stats.BytesOut.Load()
+		t.AsyncEvents += w.Stats.AsyncEvents.Load()
+		t.RetryEvents += w.Stats.RetryEvents.Load()
+		t.HeuristicPolls += w.Stats.HeuristicPolls.Load()
+		t.TimerPolls += w.Stats.TimerPolls.Load()
+		t.FailoverPolls += w.Stats.FailoverPolls.Load()
+		t.Errors += w.Stats.Errors.Load()
+	}
+	return t
+}
+
+// Stop terminates all workers and waits for their loops to exit.
+func (s *Server) Stop() {
+	for _, w := range s.workers {
+		if w != nil {
+			w.Stop()
+		}
+	}
+	s.wg.Wait()
+}
+
+// SizedBodyHandler serves "/<n>" paths with n bytes of deterministic
+// content — the fixed-size file workload of Fig. 10 (ab requesting a
+// fixed file). Unknown paths 404.
+func SizedBodyHandler(maxSize int) Handler {
+	cache := map[int][]byte{}
+	var mu sync.Mutex
+	return func(path string) ([]byte, bool) {
+		var n int
+		if _, err := fmt.Sscanf(path, "/%d", &n); err != nil || n < 0 || n > maxSize {
+			return nil, false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		body, ok := cache[n]
+		if !ok {
+			body = make([]byte, n)
+			for i := range body {
+				body[i] = byte('a' + i%26)
+			}
+			cache[n] = body
+		}
+		return body, true
+	}
+}

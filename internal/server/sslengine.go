@@ -1,0 +1,329 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"qtls/internal/minitls"
+)
+
+// This file implements the SSL Engine Framework configuration surface the
+// QTLS artifact exposes in the Nginx conf file (§A.7): which engine to
+// use, which algorithms to offload, and the offload/notify/poll mode
+// switches, e.g.
+//
+//	worker_processes 8;
+//	ssl_engine {
+//	    use qat_engine;
+//	    default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+//	    qat_engine {
+//	        qat_offload_mode async;
+//	        qat_notify_mode poll;
+//	        qat_poll_mode heuristic;
+//	        qat_heuristic_poll_asym_threshold 48;
+//	        qat_heuristic_poll_sym_threshold 24;
+//	    }
+//	}
+//
+// ParseEngineConfig understands this dialect (plus worker_processes and a
+// qat_poll_interval extension) and produces the equivalent RunConfig and
+// engine offload selection.
+
+// EngineSettings is the result of parsing an ssl_engine configuration.
+type EngineSettings struct {
+	// Workers is worker_processes (0 = unset).
+	Workers int
+	// Run is the equivalent run configuration.
+	Run RunConfig
+	// Offload lists the offloaded op kinds (nil = engine default).
+	Offload []minitls.OpKind
+}
+
+// ParseEngineConfig parses the SSL Engine Framework dialect. Unknown
+// directives are rejected (like nginx would).
+func ParseEngineConfig(text string) (*EngineSettings, error) {
+	p := &confParser{toks: tokenizeConf(text)}
+	s := &EngineSettings{
+		Run: RunConfig{
+			Name:      "custom",
+			AsyncMode: minitls.AsyncModeOff,
+		},
+	}
+	useQATEngine := false
+	offloadMode := "sync"
+	pollMode := "timer"
+	notifyMode := "poll"
+
+	for !p.done() {
+		word, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "worker_processes":
+			v, err := p.intArg(word)
+			if err != nil {
+				return nil, err
+			}
+			s.Workers = v
+		case "ssl_engine":
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for {
+				if p.peek() == "}" {
+					p.word()
+					break
+				}
+				inner, err := p.word()
+				if err != nil {
+					return nil, err
+				}
+				switch inner {
+				case "use":
+					name, err := p.strArg(inner)
+					if err != nil {
+						return nil, err
+					}
+					if name != "qat_engine" {
+						return nil, fmt.Errorf("ssl_engine: unknown engine %q", name)
+					}
+					useQATEngine = true
+				case "default_algorithm":
+					algs, err := p.strArg(inner)
+					if err != nil {
+						return nil, err
+					}
+					kinds, err := parseAlgorithms(algs)
+					if err != nil {
+						return nil, err
+					}
+					s.Offload = kinds
+					s.Run.Offload = kinds
+				case "qat_engine":
+					if err := p.expect("{"); err != nil {
+						return nil, err
+					}
+					for {
+						if p.peek() == "}" {
+							p.word()
+							break
+						}
+						dir, err := p.word()
+						if err != nil {
+							return nil, err
+						}
+						switch dir {
+						case "qat_offload_mode":
+							if offloadMode, err = p.strArg(dir); err != nil {
+								return nil, err
+							}
+						case "qat_notify_mode":
+							if notifyMode, err = p.strArg(dir); err != nil {
+								return nil, err
+							}
+						case "qat_poll_mode":
+							if pollMode, err = p.strArg(dir); err != nil {
+								return nil, err
+							}
+						case "qat_heuristic_poll_asym_threshold":
+							if s.Run.AsymThreshold, err = p.intArg(dir); err != nil {
+								return nil, err
+							}
+						case "qat_heuristic_poll_sym_threshold":
+							if s.Run.SymThreshold, err = p.intArg(dir); err != nil {
+								return nil, err
+							}
+						case "qat_poll_interval":
+							str, err := p.strArg(dir)
+							if err != nil {
+								return nil, err
+							}
+							d, err := time.ParseDuration(str)
+							if err != nil {
+								return nil, fmt.Errorf("%s: %v", dir, err)
+							}
+							s.Run.PollInterval = d
+						default:
+							return nil, fmt.Errorf("qat_engine: unknown directive %q", dir)
+						}
+					}
+				default:
+					return nil, fmt.Errorf("ssl_engine: unknown directive %q", inner)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("unknown directive %q", word)
+		}
+	}
+
+	// Assemble the run configuration from the mode switches.
+	if !useQATEngine {
+		s.Run = ConfigSW
+		s.Run.Name = "SW"
+		return s, nil
+	}
+	s.Run.UseQAT = true
+	switch offloadMode {
+	case "sync":
+		s.Run.AsyncMode = minitls.AsyncModeOff
+		s.Run.Polling = PollNone
+		s.Run.Name = "QAT+S"
+		return s, nil
+	case "async":
+		s.Run.AsyncMode = minitls.AsyncModeFiber
+	case "async_stack":
+		s.Run.AsyncMode = minitls.AsyncModeStack
+	default:
+		return nil, fmt.Errorf("qat_offload_mode: unknown mode %q", offloadMode)
+	}
+	switch pollMode {
+	case "timer":
+		s.Run.Polling = PollTimer
+	case "heuristic":
+		s.Run.Polling = PollHeuristic
+	default:
+		return nil, fmt.Errorf("qat_poll_mode: unknown mode %q", pollMode)
+	}
+	switch notifyMode {
+	case "poll", "event_fd", "fd":
+		// "poll" in the artifact config means events are discovered by
+		// polling and delivered through the wait-ctx notification; map
+		// poll→kernel-bypass, event_fd/fd→FD.
+		if notifyMode == "poll" {
+			s.Run.Notify = NotifyKernelBypass
+		} else {
+			s.Run.Notify = NotifyFD
+		}
+	default:
+		return nil, fmt.Errorf("qat_notify_mode: unknown mode %q", notifyMode)
+	}
+	switch {
+	case s.Run.Polling == PollHeuristic && s.Run.Notify == NotifyKernelBypass:
+		s.Run.Name = "QTLS"
+	case s.Run.Polling == PollHeuristic:
+		s.Run.Name = "QAT+AH"
+	default:
+		s.Run.Name = "QAT+A"
+	}
+	return s, nil
+}
+
+// parseAlgorithms maps the artifact's default_algorithm names onto op
+// kinds. RSA→RSA; EC→ECDSA+ECDH; DH→ECDH; PKEY_CRYPTO→PRF;
+// CIPHERS→record cipher; ALL→everything offloadable.
+func parseAlgorithms(list string) ([]minitls.OpKind, error) {
+	set := map[minitls.OpKind]bool{}
+	for _, name := range strings.Split(list, ",") {
+		switch strings.ToUpper(strings.TrimSpace(name)) {
+		case "RSA":
+			set[minitls.KindRSA] = true
+		case "EC", "ECDSA", "ECDH":
+			set[minitls.KindECDSA] = true
+			set[minitls.KindECDH] = true
+		case "DH":
+			set[minitls.KindECDH] = true
+		case "PKEY_CRYPTO", "PRF":
+			set[minitls.KindPRF] = true
+		case "CIPHERS", "CIPHER":
+			set[minitls.KindCipher] = true
+		case "ALL":
+			for _, k := range []minitls.OpKind{minitls.KindRSA, minitls.KindECDSA,
+				minitls.KindECDH, minitls.KindPRF, minitls.KindCipher} {
+				set[k] = true
+			}
+		case "":
+			// tolerate trailing commas
+		default:
+			return nil, fmt.Errorf("default_algorithm: unknown algorithm %q", name)
+		}
+	}
+	var kinds []minitls.OpKind
+	for _, k := range []minitls.OpKind{minitls.KindRSA, minitls.KindECDSA,
+		minitls.KindECDH, minitls.KindPRF, minitls.KindCipher} {
+		if set[k] {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds, nil
+}
+
+// --- tiny nginx-style tokenizer/parser -------------------------------------
+
+type confParser struct {
+	toks []string
+	pos  int
+}
+
+func tokenizeConf(text string) []string {
+	var toks []string
+	lines := strings.Split(text, "\n")
+	for _, line := range lines {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "{", " { ")
+		line = strings.ReplaceAll(line, "}", " } ")
+		line = strings.ReplaceAll(line, ";", " ; ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	return toks
+}
+
+func (p *confParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *confParser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *confParser) word() (string, error) {
+	if p.done() {
+		return "", fmt.Errorf("conf: unexpected end of input")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *confParser) expect(tok string) error {
+	got, err := p.word()
+	if err != nil {
+		return err
+	}
+	if got != tok {
+		return fmt.Errorf("conf: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+// strArg reads one argument terminated by ';'.
+func (p *confParser) strArg(directive string) (string, error) {
+	v, err := p.word()
+	if err != nil {
+		return "", fmt.Errorf("%s: missing argument", directive)
+	}
+	if v == ";" || v == "{" || v == "}" {
+		return "", fmt.Errorf("%s: missing argument", directive)
+	}
+	if err := p.expect(";"); err != nil {
+		return "", fmt.Errorf("%s: %v", directive, err)
+	}
+	return v, nil
+}
+
+func (p *confParser) intArg(directive string) (int, error) {
+	v, err := p.strArg(directive)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", directive, err)
+	}
+	return n, nil
+}

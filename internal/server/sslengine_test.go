@@ -1,0 +1,204 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qtls/internal/minitls"
+)
+
+// The exact example from the artifact appendix (§A.7).
+const artifactConf = `
+worker_processes 8;
+ssl_engine {
+    use qat_engine;
+    default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+    qat_engine {
+        qat_offload_mode async;
+        qat_notify_mode poll;
+        qat_poll_mode heuristic;
+        qat_heuristic_poll_asym_threshold 48;
+        qat_heuristic_poll_sym_threshold 24;
+    }
+}
+`
+
+func TestParseArtifactExample(t *testing.T) {
+	s, err := ParseEngineConfig(artifactConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers != 8 {
+		t.Fatalf("workers = %d", s.Workers)
+	}
+	if s.Run.Name != "QTLS" {
+		t.Fatalf("config = %s, want QTLS (async+heuristic+poll-notify)", s.Run.Name)
+	}
+	if !s.Run.UseQAT || s.Run.AsyncMode != minitls.AsyncModeFiber {
+		t.Fatalf("run = %+v", s.Run)
+	}
+	if s.Run.Polling != PollHeuristic || s.Run.Notify != NotifyKernelBypass {
+		t.Fatalf("polling/notify = %v/%v", s.Run.Polling, s.Run.Notify)
+	}
+	if s.Run.AsymThreshold != 48 || s.Run.SymThreshold != 24 {
+		t.Fatalf("thresholds = %d/%d", s.Run.AsymThreshold, s.Run.SymThreshold)
+	}
+	// RSA,EC,DH,PKEY_CRYPTO → RSA, ECDSA, ECDH, PRF (no cipher).
+	want := []minitls.OpKind{minitls.KindRSA, minitls.KindECDSA, minitls.KindECDH, minitls.KindPRF}
+	if len(s.Offload) != len(want) {
+		t.Fatalf("offload = %v", s.Offload)
+	}
+	for i, k := range want {
+		if s.Offload[i] != k {
+			t.Fatalf("offload = %v, want %v", s.Offload, want)
+		}
+	}
+}
+
+func TestParseNoEngineMeansSW(t *testing.T) {
+	s, err := ParseEngineConfig("worker_processes 4;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.Name != "SW" || s.Run.UseQAT {
+		t.Fatalf("run = %+v", s.Run)
+	}
+	if s.Workers != 4 {
+		t.Fatalf("workers = %d", s.Workers)
+	}
+}
+
+func TestParseSyncModeIsQATS(t *testing.T) {
+	s, err := ParseEngineConfig(`
+ssl_engine {
+    use qat_engine;
+    qat_engine { qat_offload_mode sync; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.Name != "QAT+S" || s.Run.AsyncMode != minitls.AsyncModeOff {
+		t.Fatalf("run = %+v", s.Run)
+	}
+}
+
+func TestParseTimerFDIsQATA(t *testing.T) {
+	s, err := ParseEngineConfig(`
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_poll_mode timer;
+        qat_notify_mode event_fd;
+        qat_poll_interval 1ms;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.Name != "QAT+A" || s.Run.Polling != PollTimer || s.Run.Notify != NotifyFD {
+		t.Fatalf("run = %+v", s.Run)
+	}
+	if s.Run.PollInterval != time.Millisecond {
+		t.Fatalf("interval = %v", s.Run.PollInterval)
+	}
+}
+
+func TestParseHeuristicFDIsQATAH(t *testing.T) {
+	s, err := ParseEngineConfig(`
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_poll_mode heuristic;
+        qat_notify_mode fd;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.Name != "QAT+AH" {
+		t.Fatalf("run = %+v", s.Run)
+	}
+}
+
+func TestParseStackAsyncMode(t *testing.T) {
+	s, err := ParseEngineConfig(`
+ssl_engine {
+    use qat_engine;
+    qat_engine { qat_offload_mode async_stack; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.AsyncMode != minitls.AsyncModeStack {
+		t.Fatalf("mode = %v", s.Run.AsyncMode)
+	}
+}
+
+func TestParseAlgorithmVariants(t *testing.T) {
+	kinds, err := parseAlgorithms("ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 5 {
+		t.Fatalf("ALL = %v", kinds)
+	}
+	kinds, err = parseAlgorithms("CIPHERS,rsa,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 2 || kinds[0] != minitls.KindRSA || kinds[1] != minitls.KindCipher {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if _, err := parseAlgorithms("HKDF"); err == nil {
+		t.Fatal("HKDF must be rejected (not offloadable)")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s, err := ParseEngineConfig(`
+# a comment
+worker_processes 2; # trailing comment
+ssl_engine {
+    use qat_engine;  # another
+    qat_engine { qat_offload_mode async; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers != 2 || !s.Run.UseQAT {
+		t.Fatalf("parsed = %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, conf, wantErr string
+	}{
+		{"unknown top directive", "listen 80;", "unknown directive"},
+		{"unknown engine", "ssl_engine { use foo_engine; }", "unknown engine"},
+		{"unknown inner", "ssl_engine { frob 1; }", "unknown directive"},
+		{"unknown qat directive", "ssl_engine { use qat_engine; qat_engine { nope 1; } }", "unknown directive"},
+		{"bad offload mode", "ssl_engine { use qat_engine; qat_engine { qat_offload_mode warp; } }", "unknown mode"},
+		{"bad poll mode", "ssl_engine { use qat_engine; qat_engine { qat_offload_mode async; qat_poll_mode never; } }", "unknown mode"},
+		{"bad notify mode", "ssl_engine { use qat_engine; qat_engine { qat_offload_mode async; qat_notify_mode smoke; } }", "unknown mode"},
+		{"missing semicolon", "worker_processes 8", "expected"},
+		{"bad int", "worker_processes eight;", "invalid syntax"},
+		{"truncated block", "ssl_engine {", "unexpected end"},
+		{"missing arg", "worker_processes ;", "missing argument"},
+		{"bad interval", "ssl_engine { use qat_engine; qat_engine { qat_offload_mode async; qat_poll_interval soon; } }", "qat_poll_interval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseEngineConfig(tc.conf)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.conf)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,689 @@
+//go:build linux
+
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"qtls/internal/engine"
+	"qtls/internal/minitls"
+	"qtls/internal/netpoll"
+	"qtls/internal/qat"
+)
+
+// Handler produces the response body for a request path; ok=false yields
+// a 404.
+type Handler func(path string) (body []byte, ok bool)
+
+// WorkerStats are cumulative per-worker counters, safe to read from other
+// goroutines.
+type WorkerStats struct {
+	Accepted       atomic.Int64
+	Handshakes     atomic.Int64
+	Resumed        atomic.Int64
+	Requests       atomic.Int64
+	BytesOut       atomic.Int64
+	AsyncEvents    atomic.Int64
+	RetryEvents    atomic.Int64
+	HeuristicPolls atomic.Int64
+	TimerPolls     atomic.Int64
+	FailoverPolls  atomic.Int64
+	ClosedConns    atomic.Int64
+	Errors         atomic.Int64
+}
+
+// Worker is one event-driven server worker: one epoll loop, one optional
+// QAT crypto instance, many concurrent TLS connections — the unit the
+// paper scales from 2 to 32 of (Fig. 7).
+type Worker struct {
+	id      int
+	cfg     RunConfig
+	tlsTmpl *minitls.Config
+	eng     *engine.Engine
+	handler Handler
+
+	poller     *netpoll.Poller
+	listener   *netpoll.Listener
+	notifyPipe *netpoll.NotifyPipe // FD-based async notification
+	stopPipe   *netpoll.NotifyPipe // cross-goroutine stop/wake
+
+	conns       map[int]*conn
+	asyncQueue  []*conn // kernel-bypass async queue (§3.4)
+	fdQueue     []*conn // conns whose async event travelled via the pipe
+	retryQueue  []*conn // conns awaiting a submission retry
+	activeConns int     // TCactive = alive - idle (§4.3)
+
+	lastPoll time.Time // last response-retrieval poll (failover timer)
+
+	stopped atomic.Bool
+	Stats   WorkerStats
+}
+
+// conn is one TLS connection's event-loop state.
+type conn struct {
+	fd      int
+	nc      *netpoll.Conn
+	tls     *minitls.Conn
+	handler func(*conn)
+
+	// asyncPending marks a paused offload job: read events are deferred
+	// ("QTLS clears and saves the handler of the read event when an async
+	// event is being expected", §4.2).
+	asyncPending bool
+	pendingRead  bool
+
+	active          bool
+	reqBuf          []byte
+	writeBody       []byte
+	wantWrite       bool
+	closeAfterWrite bool
+	draining        bool // close once buffered output drains
+	closed          bool
+}
+
+// NewWorker builds a worker. dev may be nil for the SW configuration.
+func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	w := &Worker{
+		id:      id,
+		cfg:     cfg,
+		handler: handler,
+		conns:   make(map[int]*conn),
+	}
+	var err error
+	if w.poller, err = netpoll.NewPoller(); err != nil {
+		return nil, err
+	}
+	if w.listener, err = netpoll.Listen(addr); err != nil {
+		w.poller.Close()
+		return nil, err
+	}
+	if err := w.poller.Add(w.listener.FD(), true, false); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	if w.stopPipe, err = netpoll.NewNotifyPipe(); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	if err := w.poller.Add(w.stopPipe.ReadFD(), true, false); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	if cfg.UseQAT {
+		if dev == nil {
+			w.cleanup()
+			return nil, errors.New("server: QAT configuration without a device")
+		}
+		n := cfg.InstancesPerWorker
+		if n <= 0 {
+			n = 1
+		}
+		insts := make([]*qat.Instance, 0, n)
+		for i := 0; i < n; i++ {
+			inst, err := dev.AllocInstance()
+			if err != nil {
+				w.cleanup()
+				return nil, err
+			}
+			insts = append(insts, inst)
+		}
+		var err error
+		if w.eng, err = engine.New(engine.Config{Instances: insts, Offload: cfg.Offload}); err != nil {
+			w.cleanup()
+			return nil, err
+		}
+	}
+	if cfg.Notify == NotifyFD && cfg.AsyncMode != minitls.AsyncModeOff {
+		if w.notifyPipe, err = netpoll.NewNotifyPipe(); err != nil {
+			w.cleanup()
+			return nil, err
+		}
+		if err := w.poller.Add(w.notifyPipe.ReadFD(), true, false); err != nil {
+			w.cleanup()
+			return nil, err
+		}
+	}
+
+	// Per-worker TLS template.
+	tmpl := *tls
+	tmpl.AsyncMode = cfg.AsyncMode
+	if w.eng != nil {
+		tmpl.Provider = w.eng
+	}
+	w.tlsTmpl = &tmpl
+	w.lastPoll = time.Now()
+	return w, nil
+}
+
+func (w *Worker) cleanup() {
+	if w.poller != nil {
+		w.poller.Close()
+	}
+	if w.listener != nil {
+		w.listener.Close()
+	}
+	if w.stopPipe != nil {
+		w.stopPipe.Close()
+	}
+	if w.notifyPipe != nil {
+		w.notifyPipe.Close()
+	}
+}
+
+// Addr returns the worker's listening address.
+func (w *Worker) Addr() string { return w.listener.Addr() }
+
+// Engine returns the worker's QAT engine (nil for SW).
+func (w *Worker) Engine() *engine.Engine { return w.eng }
+
+// Stop asks the loop to exit and wakes it.
+func (w *Worker) Stop() {
+	if w.stopped.CompareAndSwap(false, true) {
+		w.stopPipe.Notify()
+	}
+}
+
+// Run drives the event loop until Stop. It must run on a single goroutine.
+func (w *Worker) Run() {
+	defer w.shutdown()
+	for !w.stopped.Load() {
+		events, err := w.poller.Wait(w.waitTimeout())
+		if err != nil {
+			w.Stats.Errors.Add(1)
+			return
+		}
+		for _, ev := range events {
+			w.dispatch(ev)
+		}
+		retrieved := 0
+		if w.eng != nil && w.cfg.Polling == PollTimer {
+			retrieved = w.eng.Poll(0)
+			if retrieved > 0 {
+				w.lastPoll = time.Now()
+			}
+			w.Stats.TimerPolls.Add(1)
+		}
+		if w.cfg.Polling == PollHeuristic {
+			// The loop keeps executing while requests are in flight
+			// (§3.4); each iteration re-evaluates the heuristic
+			// constraints so responses are retrieved as soon as the
+			// timeliness condition holds.
+			w.heuristicCheck()
+		}
+		w.failoverCheck()
+		w.processAsyncQueue()
+		w.processRetryQueue()
+		if len(events) == 0 && retrieved == 0 && len(w.asyncQueue) == 0 {
+			// The in-flight crypto work runs on this host's CPUs (the
+			// simulated accelerator's engines are goroutines, unlike the
+			// paper's ASIC): when the loop has nothing to do, yield so
+			// the engines get cycles instead of being starved by the
+			// keep-executing spin.
+			runtime.Gosched()
+		}
+	}
+}
+
+func (w *Worker) shutdown() {
+	for _, c := range w.conns {
+		c.nc.Close()
+	}
+	w.cleanup()
+}
+
+// waitTimeout picks the epoll timeout in milliseconds.
+func (w *Worker) waitTimeout() int {
+	inflight := 0
+	if w.eng != nil {
+		inflight = w.eng.InflightTotal()
+	}
+	switch {
+	case len(w.asyncQueue) > 0 || len(w.retryQueue) > 0 || len(w.fdQueue) > 0:
+		return 0
+	case w.cfg.Polling == PollTimer && w.eng != nil && inflight > 0:
+		// Timer polling: wake at the polling interval. Sub-millisecond
+		// intervals degenerate to a busy poll, like a 10 µs polling
+		// thread does.
+		ms := int(w.cfg.PollInterval / time.Millisecond)
+		return ms // 0 for <1ms: immediate re-poll
+	case w.cfg.Polling == PollHeuristic && inflight > 0:
+		// Keep the loop executing while offload requests are in flight
+		// (§3.4): response retrieval is driven by the in-loop heuristic
+		// checks under either notification scheme.
+		return 0
+	default:
+		return 50 // idle: block briefly, then re-check stop flag
+	}
+}
+
+func (w *Worker) dispatch(ev netpoll.Event) {
+	switch ev.FD {
+	case w.listener.FD():
+		w.acceptAll()
+	case w.stopPipe.ReadFD():
+		w.stopPipe.Drain()
+	default:
+		if w.notifyPipe != nil && ev.FD == w.notifyPipe.ReadFD() {
+			w.notifyPipe.Drain()
+			w.processFDQueue()
+			return
+		}
+		c, ok := w.conns[ev.FD]
+		if !ok {
+			return
+		}
+		if ev.Writable {
+			if err := c.nc.Flush(); err != nil {
+				w.closeConn(c)
+				return
+			}
+			if c.draining && !c.nc.HasPending() {
+				w.closeConn(c)
+				return
+			}
+			w.updateWriteInterest(c)
+		}
+		if ev.Readable && !c.draining {
+			w.onReadable(c)
+		} else if ev.Closed && !ev.Readable {
+			// Hang-up with nothing left to read.
+			w.closeConn(c)
+		}
+	}
+}
+
+func (w *Worker) acceptAll() {
+	for {
+		nc, err := w.listener.Accept()
+		if err != nil {
+			return // would-block or transient
+		}
+		w.Stats.Accepted.Add(1)
+		c := &conn{fd: nc.FD(), nc: nc, active: true}
+		c.tls = minitls.Server(nc, w.tlsTmpl)
+		c.handler = w.handshakeHandler
+		// The connection-level async callback delivers events for every
+		// offload job of this connection (one shared channel per
+		// connection, §4.4).
+		if w.cfg.AsyncMode != minitls.AsyncModeOff {
+			c.tls.SetAsyncCallback(w.asyncEventCallback, c)
+		}
+		if err := w.poller.Add(c.fd, true, false); err != nil {
+			nc.Close()
+			continue
+		}
+		w.conns[c.fd] = c
+		w.activeConns++
+		w.invoke(c)
+	}
+}
+
+// asyncEventCallback is the engine's response-callback notification hook.
+// It runs on the worker goroutine (inside an engine.Poll call).
+func (w *Worker) asyncEventCallback(arg any) {
+	c := arg.(*conn)
+	if w.cfg.Notify == NotifyKernelBypass {
+		// Insert the async handler at the tail of the async queue — no
+		// kernel involvement (§3.4).
+		w.asyncQueue = append(w.asyncQueue, c)
+		return
+	}
+	// FD-based: a real write syscall on the notification pipe; epoll
+	// reports it on a later iteration, costing user/kernel switches.
+	w.fdQueue = append(w.fdQueue, c)
+	w.notifyPipe.Notify()
+}
+
+// invoke runs the connection's current handler and then the heuristic
+// checks ("wherever a crypto operation may be involved or TCactive may be
+// updated", §4.3).
+func (w *Worker) invoke(c *conn) {
+	if c.closed {
+		return
+	}
+	c.handler(c)
+	if !c.closed {
+		w.updateWriteInterest(c)
+	}
+	w.heuristicCheck()
+}
+
+func (w *Worker) onReadable(c *conn) {
+	if c.asyncPending {
+		// Event disorder: a read event arrived before the expected async
+		// event. Defer it; the saved handler resumes after the async
+		// event (§4.2).
+		c.pendingRead = true
+		return
+	}
+	if !c.active {
+		c.active = true
+		w.activeConns++
+	}
+	w.invoke(c)
+}
+
+func (w *Worker) updateWriteInterest(c *conn) {
+	want := c.nc.HasPending()
+	if want != c.wantWrite {
+		c.wantWrite = want
+		w.poller.Mod(c.fd, true, want)
+	}
+}
+
+func (w *Worker) closeConn(c *conn) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.active {
+		c.active = false
+		w.activeConns--
+	}
+	delete(w.conns, c.fd)
+	w.poller.Del(c.fd)
+	c.nc.Close()
+	w.Stats.ClosedConns.Add(1)
+}
+
+// suspendForAsync parks the connection while an offload job is paused.
+func (w *Worker) suspendForAsync(c *conn) {
+	c.asyncPending = true
+}
+
+// resumeAsync restores the saved handler and re-enters it (§3.2
+// post-processing).
+func (w *Worker) resumeAsync(c *conn) {
+	if c.closed {
+		return
+	}
+	c.asyncPending = false
+	w.Stats.AsyncEvents.Add(1)
+	w.invoke(c)
+	if !c.closed && c.pendingRead && !c.asyncPending {
+		c.pendingRead = false
+		w.onReadable(c)
+	}
+}
+
+func (w *Worker) processAsyncQueue() {
+	// Drain the application-defined async queue at the end of the main
+	// event loop (§3.4). Handlers may enqueue more events (next offload
+	// op of the same connection completes during a heuristic poll), so
+	// iterate until empty.
+	for len(w.asyncQueue) > 0 {
+		q := w.asyncQueue
+		w.asyncQueue = nil
+		for _, c := range q {
+			w.resumeAsync(c)
+		}
+	}
+}
+
+func (w *Worker) processFDQueue() {
+	q := w.fdQueue
+	w.fdQueue = nil
+	for _, c := range q {
+		w.resumeAsync(c)
+	}
+}
+
+func (w *Worker) processRetryQueue() {
+	if len(w.retryQueue) == 0 {
+		return
+	}
+	// A failed submission means the request ring was full; retrieving
+	// responses frees slots before the retry.
+	if w.eng != nil && w.eng.Poll(0) > 0 {
+		w.lastPoll = time.Now()
+	}
+	q := w.retryQueue
+	w.retryQueue = nil
+	for _, c := range q {
+		w.Stats.RetryEvents.Add(1)
+		c.asyncPending = false
+		w.invoke(c)
+	}
+}
+
+// heuristicCheck implements the efficiency and timeliness constraints of
+// the heuristic polling scheme (§3.3, §4.3).
+func (w *Worker) heuristicCheck() {
+	if w.cfg.Polling != PollHeuristic || w.eng == nil {
+		return
+	}
+	rTotal := w.eng.InflightTotal()
+	if rTotal == 0 {
+		return
+	}
+	threshold := w.cfg.SymThreshold
+	if w.eng.InflightAsym() > 0 {
+		threshold = w.cfg.AsymThreshold
+	}
+	// Efficiency: coalesce responses until the threshold. Timeliness:
+	// poll immediately once every active connection is waiting on the
+	// accelerator.
+	if rTotal >= threshold || rTotal >= w.activeConns {
+		w.eng.Poll(0)
+		w.lastPoll = time.Now()
+		w.Stats.HeuristicPolls.Add(1)
+	}
+}
+
+// failoverCheck is the 5 ms failover timer: if no heuristic poll happened
+// during the last interval but requests are in flight, poll once (§4.3).
+func (w *Worker) failoverCheck() {
+	if w.cfg.Polling != PollHeuristic || w.eng == nil {
+		return
+	}
+	if w.eng.InflightTotal() == 0 {
+		return
+	}
+	if time.Since(w.lastPoll) >= w.cfg.FailoverInterval {
+		w.eng.Poll(0)
+		w.lastPoll = time.Now()
+		w.Stats.FailoverPolls.Add(1)
+	}
+}
+
+// --- TLS / HTTP handlers --------------------------------------------------
+
+func (w *Worker) handshakeHandler(c *conn) {
+	err := c.tls.Handshake()
+	switch {
+	case err == nil:
+		w.Stats.Handshakes.Add(1)
+		if c.tls.ConnectionState().DidResume {
+			w.Stats.Resumed.Add(1)
+		}
+		c.handler = w.requestHandler
+		w.requestHandler(c)
+	case errors.Is(err, minitls.ErrWantRead):
+		// Waiting for the client's next flight: the server owes this
+		// connection nothing until a read event arrives, so it leaves
+		// TCactive — the timeliness constraint compares in-flight
+		// requests against connections actually awaiting server work
+		// (§3.3: "all active connections are waiting for QAT responses").
+		if c.active {
+			c.active = false
+			w.activeConns--
+		}
+	case errors.Is(err, minitls.ErrWantAsync):
+		w.suspendForAsync(c)
+	case errors.Is(err, minitls.ErrWantAsyncRetry):
+		c.asyncPending = true
+		w.retryQueue = append(w.retryQueue, c)
+	default:
+		w.Stats.Errors.Add(1)
+		w.closeConn(c)
+	}
+}
+
+func (w *Worker) requestHandler(c *conn) {
+	var buf [4096]byte
+	for {
+		n, err := c.tls.Read(buf[:])
+		if n > 0 {
+			c.reqBuf = append(c.reqBuf, buf[:n]...)
+			if len(c.reqBuf) > 64<<10 {
+				w.closeConn(c)
+				return
+			}
+			if i := bytes.Index(c.reqBuf, []byte("\r\n\r\n")); i >= 0 {
+				req := c.reqBuf[:i]
+				rest := len(c.reqBuf) - (i + 4)
+				copy(c.reqBuf, c.reqBuf[i+4:])
+				c.reqBuf = c.reqBuf[:rest]
+				w.serveRequest(c, req)
+				return
+			}
+			continue
+		}
+		switch {
+		case errors.Is(err, minitls.ErrWantRead):
+			// Waiting for a request (keepalive included) with nothing
+			// buffered means the connection is idle (§3.3).
+			if len(c.reqBuf) == 0 && c.active {
+				c.active = false
+				w.activeConns--
+			}
+			return
+		case errors.Is(err, minitls.ErrWantAsync):
+			w.suspendForAsync(c)
+			return
+		case errors.Is(err, minitls.ErrWantAsyncRetry):
+			c.asyncPending = true
+			w.retryQueue = append(w.retryQueue, c)
+			return
+		default:
+			// EOF or fatal error.
+			w.closeConn(c)
+			return
+		}
+	}
+}
+
+// serveRequest parses the request line and headers, then prepares the
+// response. "Connection: close" is honored: the response carries the
+// same header and the connection is torn down after the write completes.
+func (w *Worker) serveRequest(c *conn, req []byte) {
+	line := req
+	if i := bytes.IndexByte(line, '\r'); i >= 0 {
+		line = line[:i]
+	}
+	fields := bytes.Fields(line)
+	if len(fields) < 2 || string(fields[0]) != "GET" {
+		w.closeConn(c)
+		return
+	}
+	path := string(fields[1])
+	c.closeAfterWrite = requestWantsClose(req)
+	w.Stats.Requests.Add(1)
+	body, ok := w.handler(path)
+	status := "200 OK"
+	if !ok {
+		status = "404 Not Found"
+		body = []byte("not found\n")
+	}
+	connHdr := "keep-alive"
+	if c.closeAfterWrite {
+		connHdr = "close"
+	}
+	hdr := "HTTP/1.1 " + status + "\r\nContent-Length: " + strconv.Itoa(len(body)) +
+		"\r\nConnection: " + connHdr + "\r\n\r\n"
+	c.writeBody = append([]byte(hdr), body...)
+	c.handler = w.writeHandler
+	w.writeHandler(c)
+}
+
+// requestWantsClose scans the header block for "Connection: close"
+// (ASCII case-insensitive).
+func requestWantsClose(req []byte) bool {
+	for _, line := range bytes.Split(req, []byte("\r\n")) {
+		i := bytes.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		if !asciiEqualFold(bytes.TrimSpace(line[:i]), "connection") {
+			continue
+		}
+		return asciiEqualFold(bytes.TrimSpace(line[i+1:]), "close")
+	}
+	return false
+}
+
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c, d := b[i], s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *Worker) writeHandler(c *conn) {
+	n, err := c.tls.Write(c.writeBody)
+	switch {
+	case err == nil:
+		w.Stats.BytesOut.Add(int64(n))
+		c.writeBody = nil
+		if c.closeAfterWrite {
+			c.tls.Close() // sends close-notify into the write buffer
+			if c.nc.Flush(); c.nc.HasPending() {
+				// Linger until the kernel accepts the tail of the
+				// response; the writable event completes the close.
+				c.draining = true
+				w.updateWriteInterest(c)
+				return
+			}
+			w.closeConn(c)
+			return
+		}
+		c.handler = w.requestHandler
+		// Response done: the connection is idle until the next request
+		// (keepalive), which updates TCactive (§4.3).
+		if c.active {
+			c.active = false
+			w.activeConns--
+		}
+		// Data may already be buffered (pipelined request).
+		if len(c.reqBuf) > 0 {
+			c.active = true
+			w.activeConns++
+			w.requestHandler(c)
+		}
+	case errors.Is(err, minitls.ErrWantRead):
+		// Cannot happen on the write path, but harmless.
+	case errors.Is(err, minitls.ErrWantAsync):
+		w.suspendForAsync(c)
+	case errors.Is(err, minitls.ErrWantAsyncRetry):
+		c.asyncPending = true
+		w.retryQueue = append(w.retryQueue, c)
+	default:
+		w.Stats.Errors.Add(1)
+		w.closeConn(c)
+	}
+}
+
+// ConnCount returns the number of live connections (test/diagnostic use;
+// call from the worker goroutine or after Stop).
+func (w *Worker) ConnCount() int { return len(w.conns) }
+
+// String identifies the worker.
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker-%d[%s]", w.id, w.cfg.Name)
+}

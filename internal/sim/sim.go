@@ -1,0 +1,174 @@
+// Package sim is a small deterministic discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a pending-event heap. Events are
+// callbacks scheduled at absolute virtual times; ties are broken by
+// scheduling order so runs are fully deterministic for a given seed.
+// The kernel is single-threaded by design: model code runs inside event
+// callbacks and must not block.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time measured in nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration for readability in model code.
+type Duration = time.Duration
+
+// ToDuration converts a virtual timestamp to a time.Duration offset.
+func (t Time) ToDuration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the timestamp in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the event had not yet fired
+// or been stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx == -1 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulation is a deterministic event-driven virtual-time executor.
+type Simulation struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// New returns a simulation with the given RNG seed.
+func New(seed int64) *Simulation {
+	return &Simulation{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// EventsFired returns the number of events executed so far.
+func (s *Simulation) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled (uncancelled popped excluded)
+// events still in the heap, including cancelled ones not yet discarded.
+func (s *Simulation) Pending() int { return len(s.events) }
+
+// At schedules fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: that is always a model bug.
+func (s *Simulation) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn after delay d (clamped to >= 0).
+func (s *Simulation) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+Time(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed.
+func (s *Simulation) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass the deadline or no
+// events remain. The clock is left at the time of the last executed event
+// (or advanced to deadline when drained earlier and advance is true).
+func (s *Simulation) RunUntil(deadline Time) {
+	for len(s.events) > 0 {
+		// Peek.
+		next := s.events[0]
+		if next.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d virtual time.
+func (s *Simulation) RunFor(d Duration) { s.RunUntil(s.now + Time(d)) }
+
+// Drain runs events until none remain or the safety cap of maxEvents is
+// reached; it reports whether the heap was fully drained.
+func (s *Simulation) Drain(maxEvents uint64) bool {
+	for i := uint64(0); i < maxEvents; i++ {
+		if !s.Step() {
+			return true
+		}
+	}
+	return len(s.events) == 0
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Nanosecond, func() { got = append(got, 3) })
+	s.After(10*time.Nanosecond, func() { got = append(got, 1) })
+	s.After(20*time.Nanosecond, func() { got = append(got, 2) })
+	if !s.Drain(100) {
+		t.Fatal("drain did not complete")
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Drain(100)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Drain(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.At(10, func() { ran++ })
+	s.At(1000, func() { ran++ })
+	s.RunUntil(500)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", s.Now())
+	}
+	s.RunUntil(2000)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Nanosecond, recurse)
+		}
+	}
+	s.After(0, recurse)
+	if !s.Drain(1000) {
+		t.Fatal("drain failed")
+	}
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]Time, uint64) {
+		s := New(42)
+		var stamps []Time
+		for i := 0; i < 200; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Nanosecond
+			s.After(d, func() { stamps = append(stamps, s.Now()) })
+		}
+		s.Drain(1000)
+		return stamps, s.EventsFired()
+	}
+	a, an := run()
+	b, bn := run()
+	if an != bn || len(a) != len(b) {
+		t.Fatalf("nondeterministic event counts: %d vs %d", an, bn)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic timestamps at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFIFOBasic(t *testing.T) {
+	var q FIFO[int]
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestFIFOInterleaved(t *testing.T) {
+	var q FIFO[int]
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			q.Push(round*10 + i)
+		}
+		for i := 0; i < 7; i++ {
+			v, ok := q.Pop()
+			if !ok || v != next {
+				t.Fatalf("Pop = %d,%v want %d", v, ok, next)
+			}
+			next++
+		}
+	}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v != next {
+			t.Fatalf("tail Pop = %d want %d", v, next)
+		}
+		next++
+	}
+	if next != 500 {
+		t.Fatalf("drained %d items, want 500", next)
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 0; i < 3; i++ {
+		if !r.Put(i) {
+			t.Fatalf("Put %d failed", i)
+		}
+	}
+	if r.Put(99) {
+		t.Fatal("Put succeeded on full ring")
+	}
+	if !r.Full() {
+		t.Fatal("Full = false")
+	}
+	v, ok := r.Get()
+	if !ok || v != 0 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !r.Put(3) {
+		t.Fatal("Put after Get failed")
+	}
+	want := []int{1, 2, 3}
+	for _, w := range want {
+		v, ok := r.Get()
+		if !ok || v != w {
+			t.Fatalf("Get = %d,%v want %d", v, ok, w)
+		}
+	}
+	if _, ok := r.Get(); ok {
+		t.Fatal("Get on empty succeeded")
+	}
+}
+
+// Property: a Ring behaves exactly like a bounded FIFO queue for any
+// sequence of put/get operations.
+func TestRingMatchesModel(t *testing.T) {
+	f := func(ops []bool, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		ring := NewRing[int](capacity)
+		var model []int
+		next := 0
+		for _, put := range ops {
+			if put {
+				ok := ring.Put(next)
+				wantOK := len(model) < capacity
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := ring.Get()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if ring.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRingPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing[int](0)
+}
