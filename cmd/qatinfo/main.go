@@ -6,15 +6,22 @@
 //
 // It allocates instances like a multi-worker server would, submits a
 // configurable burst of requests of each type, polls them to completion,
-// and prints the resulting counters.
+// and prints the resulting counters plus per-instance health/breaker
+// state. A fault scenario (internal/fault spec grammar) can be injected
+// to watch the device degrade:
+//
+//	qatinfo -fault 'stall:op=rsa,p=0.2 latency:d=2ms,p=0.5'
+//	qatinfo -fault 'reset:after=500,limit=1'
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
+	"qtls/internal/fault"
 	"qtls/internal/qat"
 )
 
@@ -25,9 +32,16 @@ func main() {
 		instances = flag.Int("instances", 6, "crypto instances to allocate")
 		burst     = flag.Int("burst", 100, "requests of each type per instance")
 		service   = flag.Duration("service", 50*time.Microsecond, "modeled RSA service time")
+		faultSpec = flag.String("fault", "", "fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")
+		deadline  = flag.Duration("op-timeout", 50*time.Millisecond, "drain deadline: give up on stalled requests after this long without progress")
 	)
 	flag.Parse()
 
+	inj, err := fault.ParseSpec(*faultSpec, *faultSeed)
+	if err != nil {
+		log.Fatalf("-fault: %v", err)
+	}
 	dev := qat.NewDevice(qat.DeviceSpec{
 		Endpoints:          *endpoints,
 		EnginesPerEndpoint: *engines,
@@ -35,45 +49,94 @@ func main() {
 		ServiceTime: map[qat.OpType]time.Duration{
 			qat.OpRSA: *service,
 		},
+		Injector: inj,
 	})
 	defer dev.Close()
 
 	ops := []qat.OpType{qat.OpRSA, qat.OpECDSA, qat.OpECDH, qat.OpPRF, qat.OpCipher}
 	var insts []*qat.Instance
+	var breakers []*fault.Breaker
 	for i := 0; i < *instances; i++ {
 		inst, err := dev.AllocInstance()
 		if err != nil {
 			log.Fatalf("alloc instance %d: %v", i, err)
 		}
 		insts = append(insts, inst)
+		breakers = append(breakers, fault.NewBreaker(fault.BreakerConfig{}))
 	}
 	fmt.Printf("device: %d endpoints × %d engines, %d instances allocated\n",
 		*endpoints, *engines, len(insts))
+	if inj != nil {
+		fmt.Printf("%s\n", inj)
+	}
 
 	start := time.Now()
-	for _, inst := range insts {
+	var submitErrs, respErrs int
+	for i, inst := range insts {
+		br := breakers[i]
 		for _, op := range ops {
 			for n := 0; n < *burst; n++ {
-				req := qat.Request{Op: op, Work: func() (any, error) { return nil, nil }}
+				req := qat.Request{
+					Op:   op,
+					Work: func() (any, error) { return nil, nil },
+					Callback: func(r qat.Response) {
+						if r.Err != nil {
+							respErrs++
+							br.RecordFailure(time.Now())
+						} else {
+							br.RecordSuccess(time.Now())
+						}
+					},
+				}
 				for {
 					err := inst.Submit(req)
 					if err == nil {
 						break
 					}
-					if err == qat.ErrRingFull {
+					if errors.Is(err, qat.ErrRingFull) {
 						inst.Poll(0)
 						continue
 					}
-					log.Fatalf("submit: %v", err)
+					// Device-level failure (e.g. endpoint reset): feed the
+					// breaker and move on, like a hardened engine would.
+					submitErrs++
+					br.RecordFailure(time.Now())
+					break
 				}
 			}
 		}
 	}
-	for _, inst := range insts {
-		for inst.Inflight() > 0 {
-			inst.Poll(0)
-			time.Sleep(100 * time.Microsecond)
+	// Drain. Stalled requests never answer: when no instance makes
+	// progress for the drain deadline, reclaim the leaked slots and count
+	// them against the owning instance's breaker.
+	var leaked int
+	lastProgress := time.Now()
+	for {
+		pending, progress := 0, 0
+		for _, inst := range insts {
+			progress += inst.Poll(0)
+			pending += inst.Inflight()
 		}
+		if pending == 0 {
+			break
+		}
+		if progress > 0 {
+			lastProgress = time.Now()
+		} else if time.Since(lastProgress) > *deadline {
+			for i, inst := range insts {
+				if n := inst.ReclaimLeaked(); n > 0 {
+					leaked += n
+					for j := 0; j < n; j++ {
+						breakers[i].RecordFailure(time.Now())
+					}
+				}
+			}
+			if p := sumInflight(insts); p > 0 {
+				fmt.Printf("\ndrain: gave up on %d stuck request(s) after %v\n", p, *deadline)
+			}
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 	elapsed := time.Since(start)
 
@@ -87,6 +150,26 @@ func main() {
 		}
 		total += c.TotalResponses()
 	}
+	fmt.Printf("\ninstance health:\n")
+	for i, inst := range insts {
+		fmt.Printf("  instance %d endpoint %d inflight %d leaked %d breaker %s\n",
+			i, inst.Endpoint(), inst.Inflight(), inst.Leaked(), breakers[i].Snapshot())
+	}
+	if inj != nil {
+		fmt.Printf("\nfaults injected: %d (stall=%d drop=%d corrupt=%d latency=%d ringfull=%d reset=%d); submit errors=%d response errors=%d leaked slots reclaimed=%d\n",
+			inj.TotalInjected(),
+			inj.Injected(fault.Stall), inj.Injected(fault.Drop), inj.Injected(fault.Corrupt),
+			inj.Injected(fault.Latency), inj.Injected(fault.RingFull), inj.Injected(fault.Reset),
+			submitErrs, respErrs, leaked)
+	}
 	fmt.Printf("\ntotal responses: %d (%.0f ops/s)\n",
 		total, float64(total)/elapsed.Seconds())
+}
+
+func sumInflight(insts []*qat.Instance) int {
+	n := 0
+	for _, inst := range insts {
+		n += inst.Inflight()
+	}
+	return n
 }

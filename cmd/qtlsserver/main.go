@@ -10,6 +10,13 @@
 //	qtlsserver -config SW -max-version 1.3
 //	qtlsserver -config QAT+AH -asym-threshold 48 -sym-threshold 24
 //
+// A fault scenario (internal/fault spec grammar) can be injected into the
+// simulated device to watch the server degrade gracefully instead of
+// hanging; GET /stub_status reports the fault counters and per-instance
+// breaker state:
+//
+//	qtlsserver -fault 'stall:ep=0,op=rsa,p=1' -op-timeout 10ms -breaker
+//
 // Clients: cmd/qtlsload, or the examples. Responses are served for paths
 // of the form "/<bytes>" (e.g. GET /65536 returns 64 KiB).
 package main
@@ -24,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"qtls/internal/fault"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
 	"qtls/internal/server"
@@ -45,6 +53,12 @@ func main() {
 		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
 		engines  = flag.Int("engines", 4, "engines per endpoint")
 		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
+
+		faultSpec = flag.String("fault", "", "device fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")
+		opTimeout = flag.Duration("op-timeout", 0, "per-op offload deadline before software fallback (0 = off)")
+		maxRetry  = flag.Int("max-retries", 2, "offload retries after retryable device errors")
+		breaker   = flag.Bool("breaker", false, "enable per-instance circuit breakers")
 	)
 	flag.Parse()
 
@@ -111,13 +125,35 @@ func main() {
 		tlsCfg.TicketKey = &key
 	}
 
+	// Degradation knobs: the deadline/retry ladder and breakers apply to
+	// any configuration; the injector needs the simulated device.
+	run.OpTimeout = *opTimeout
+	run.MaxRetries = *maxRetry
+	if *breaker {
+		run.Breaker = &fault.BreakerConfig{}
+	}
+	inj, err := fault.ParseSpec(*faultSpec, *faultSeed)
+	if err != nil {
+		log.Fatalf("-fault: %v", err)
+	}
+	if inj != nil && !run.UseQAT {
+		log.Fatalf("-fault needs a QAT configuration (got %s)", run.Name)
+	}
+	if inj != nil && *opTimeout <= 0 {
+		log.Print("warning: -fault without -op-timeout; stalled ops will hang their connections")
+	}
+
 	var dev *qat.Device
 	if run.UseQAT {
 		dev = qat.NewDevice(qat.DeviceSpec{
 			Endpoints:          *endpnts,
 			EnginesPerEndpoint: *engines,
+			Injector:           inj,
 		})
 		defer dev.Close()
+		if inj != nil {
+			log.Printf("%s", inj)
+		}
 	}
 
 	srv, err := server.New(server.Options{
@@ -148,6 +184,12 @@ func main() {
 						reqs += c.TotalRequests()
 					}
 					line += fmt.Sprintf(" fw_counters=%d", reqs)
+				}
+				snap := srv.Metrics().Snapshot()
+				if snap["qat_faults_injected"] > 0 || snap["qat_sw_fallbacks"] > 0 {
+					line += fmt.Sprintf(" faults=%d timeouts=%d swFallbacks=%d trips=%d",
+						snap["qat_faults_injected"], snap["qat_op_timeouts"],
+						snap["qat_sw_fallbacks"], snap["qat_instance_trips"])
 				}
 				log.Print(line)
 			}

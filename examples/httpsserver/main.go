@@ -6,13 +6,21 @@
 // notification — then a few client requests against it.
 //
 //	go run ./examples/httpsserver
+//
+// Pass a fault scenario to watch graceful degradation: offloads that the
+// sick device swallows time out and complete in software instead of
+// hanging the handshake.
+//
+//	go run ./examples/httpsserver -fault 'stall:op=rsa,p=1' -op-timeout 10ms
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
+	"qtls/internal/fault"
 	"qtls/internal/loadgen"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
@@ -20,21 +28,38 @@ import (
 )
 
 func main() {
+	var (
+		faultSpec = flag.String("fault", "", "device fault scenario, e.g. 'stall:op=rsa,p=1' (see internal/fault)")
+		opTimeout = flag.Duration("op-timeout", 10*time.Millisecond, "per-op offload deadline before software fallback")
+	)
+	flag.Parse()
+
 	log.Print("generating RSA-2048 identity...")
 	id, err := minitls.NewRSAIdentity(2048)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 3, EnginesPerEndpoint: 4})
+	inj, err := fault.ParseSpec(*faultSpec, 1)
+	if err != nil {
+		log.Fatalf("-fault: %v", err)
+	}
+	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 3, EnginesPerEndpoint: 4, Injector: inj})
 	defer dev.Close()
+
+	run := server.ConfigQTLS
+	if inj != nil {
+		log.Printf("%s", inj)
+		run.OpTimeout = *opTimeout
+		run.Breaker = &fault.BreakerConfig{}
+	}
 
 	var ticketKey [32]byte
 	copy(ticketKey[:], "httpsserver-example-ticket-key!!")
 	srv, err := server.New(server.Options{
 		Addr:    "127.0.0.1:0",
 		Workers: 2,
-		Run:     server.ConfigQTLS,
+		Run:     run,
 		TLS: &minitls.Config{
 			Identity:     id,
 			SessionCache: minitls.NewSessionCache(1024),
@@ -67,4 +92,10 @@ func main() {
 		fw += c.TotalResponses()
 	}
 	fmt.Printf("QAT fw_counters: %d crypto operations offloaded\n", fw)
+	if inj != nil {
+		snap := srv.Metrics().Snapshot()
+		fmt.Printf("degradation:    faults=%d timeouts=%d swFallbacks=%d trips=%d\n",
+			snap["qat_faults_injected"], snap["qat_op_timeouts"],
+			snap["qat_sw_fallbacks"], snap["qat_instance_trips"])
+	}
 }

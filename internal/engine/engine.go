@@ -12,14 +12,36 @@
 //
 // The engine also keeps the per-class in-flight request counters
 // (Rasym, Rcipher, Rprf) that feed the heuristic polling scheme (§4.3).
+//
+// # Graceful degradation
+//
+// A sick device (stalled engine, dropped or corrupted responses, endpoint
+// resets — see internal/fault) must degrade handshakes, not hang them. The
+// hardening knobs in Config enable, per offloaded operation:
+//
+//   - a deadline (OpTimeout) after which the engine abandons the offload
+//     and computes the result in software on the worker core;
+//   - bounded retries with exponential backoff for retryable failures
+//     (device reset, corrupted response), then software fallback;
+//   - a verification hook (Verify) that detects corrupted responses
+//     before they reach the TLS state machine; and
+//   - a per-instance circuit breaker routing submissions away from
+//     instances whose recent offloads keep failing, with half-open
+//     probes to detect recovery.
+//
+// All knobs default to off, in which case the engine behaves exactly like
+// the unhardened original.
 package engine
 
 import (
 	"errors"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"qtls/internal/asynclib"
+	"qtls/internal/fault"
+	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
 )
@@ -68,6 +90,10 @@ func opTypeFor(kind minitls.OpKind) qat.OpType {
 	}
 }
 
+// ErrNoInstance is returned (internally) when every crypto instance is
+// circuit-broken; the engine then degrades the operation to software.
+var ErrNoInstance = errors.New("engine: no healthy crypto instance available")
+
 // Config configures an Engine.
 type Config struct {
 	// Instance is the QAT crypto instance assigned to this worker
@@ -84,6 +110,35 @@ type Config struct {
 	// offloadable kinds (RSA, ECDSA, ECDH, PRF, Cipher). This mirrors the
 	// default_algorithm directive of the SSL Engine Framework (§A.7).
 	Offload []minitls.OpKind
+
+	// OpTimeout bounds the wait for each offloaded response; once
+	// exceeded the engine abandons the offload, reclaims any leaked ring
+	// slots and computes the result in software. 0 disables deadlines
+	// (an offload can wait forever — the pre-hardening behavior).
+	OpTimeout time.Duration
+	// MaxRetries bounds resubmissions after a retryable failure — a
+	// device reset or a response the Verify hook rejects. After the
+	// budget is spent the operation falls back to software. 0 means no
+	// retries: the first retryable failure degrades immediately.
+	MaxRetries int
+	// RetryBackoff is the pause before the first retry, doubling per
+	// attempt. Only the straight-offload path sleeps (it blocks its
+	// caller anyway); the async paths pace retries through the event
+	// loop instead.
+	RetryBackoff time.Duration
+	// Verify, when set, validates every offloaded result before it is
+	// delivered to the TLS stack (e.g. an RSA sign→verify round-trip).
+	// Returning false marks the response corrupted, which counts as a
+	// retryable failure.
+	Verify func(kind minitls.OpKind, result any) bool
+	// Metrics, when set, exports the degradation counters
+	// qat_op_timeouts, qat_sw_fallbacks, qat_instance_trips and
+	// qat_retries into the shared registry behind stub_status.
+	Metrics *metrics.Registry
+	// Breaker, when set, enables a per-instance circuit breaker: an
+	// instance whose recent offloads keep failing is taken out of the
+	// submission rotation until its half-open probes succeed.
+	Breaker *fault.BreakerConfig
 }
 
 // Engine implements minitls.Provider backed by one or more QAT crypto
@@ -94,6 +149,19 @@ type Engine struct {
 	next    int // round-robin submission cursor
 	offload [6]bool
 
+	// Hardening configuration (see Config).
+	timeout  time.Duration
+	maxRetry int
+	backoff  time.Duration
+	verifyFn func(minitls.OpKind, any) bool
+	breakers []*fault.Breaker // parallel to insts; nil when disabled
+
+	// Stack-async ops in flight, keyed by their state flag, so a
+	// deadline-driven re-entry can find the pending op's deadline and
+	// suppression flag. Entries for connections torn down mid-flight are
+	// dropped lazily when the same StackOp is reused or consumed.
+	stackOps map[*asynclib.StackOp]*stackPending
+
 	inflight [numClasses]atomic.Int64
 
 	// Cumulative statistics.
@@ -102,11 +170,39 @@ type Engine struct {
 	ringFulls  atomic.Int64
 	pollsEmpty atomic.Int64
 	polls      atomic.Int64
+
+	// Degradation statistics.
+	timeouts    atomic.Int64
+	fallbacks   atomic.Int64
+	retries     atomic.Int64
+	verifyFails atomic.Int64
+	trips       atomic.Int64
+
+	// Registry counters (nil without Config.Metrics).
+	ctrTimeouts  *metrics.Counter
+	ctrFallbacks *metrics.Counter
+	ctrTrips     *metrics.Counter
+	ctrRetries   *metrics.Counter
+}
+
+// stackPending is the engine-side state of one in-flight stack-async op.
+type stackPending struct {
+	settled  *atomic.Bool // CAS gate between response and deadline expiry
+	deadline time.Time
+	inst     int
+	class    Class
+	attempt  int
 }
 
 // New creates an engine bound to its QAT instances.
 func New(cfg Config) (*Engine, error) {
-	e := &Engine{}
+	e := &Engine{
+		timeout:  cfg.OpTimeout,
+		maxRetry: cfg.MaxRetries,
+		backoff:  cfg.RetryBackoff,
+		verifyFn: cfg.Verify,
+		stackOps: make(map[*asynclib.StackOp]*stackPending),
+	}
 	if cfg.Instance != nil {
 		e.insts = append(e.insts, cfg.Instance)
 	}
@@ -126,26 +222,153 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.offload[k] = true
 	}
+	if cfg.Breaker != nil {
+		e.breakers = make([]*fault.Breaker, len(e.insts))
+		for i := range e.breakers {
+			e.breakers[i] = fault.NewBreaker(*cfg.Breaker)
+		}
+	}
+	if cfg.Metrics != nil {
+		e.ctrTimeouts = cfg.Metrics.Counter("qat_op_timeouts")
+		e.ctrFallbacks = cfg.Metrics.Counter("qat_sw_fallbacks")
+		e.ctrTrips = cfg.Metrics.Counter("qat_instance_trips")
+		e.ctrRetries = cfg.Metrics.Counter("qat_retries")
+	}
 	return e, nil
 }
 
-// submit places the request on the next instance in round-robin order,
-// falling back to the other instances when a ring is full. It returns
-// qat.ErrRingFull only when every instance's ring is full.
-func (e *Engine) submit(req qat.Request) error {
+// submitIdx places the request on the next breaker-admitted instance in
+// round-robin order, falling back to the other instances when a ring is
+// full. It returns the index of the instance used. When every instance's
+// ring is full it returns qat.ErrRingFull; when the breakers admit no
+// instance at all it returns ErrNoInstance.
+func (e *Engine) submitIdx(req qat.Request) (int, error) {
 	var lastErr error
+	tried := false
 	for i := 0; i < len(e.insts); i++ {
-		inst := e.insts[e.next%len(e.insts)]
+		idx := e.next % len(e.insts)
 		e.next++
-		lastErr = inst.Submit(req)
+		if !e.instAllowed(idx) {
+			continue
+		}
+		tried = true
+		lastErr = e.insts[idx].Submit(req)
 		if lastErr == nil {
-			return nil
+			return idx, nil
 		}
 		if !errors.Is(lastErr, qat.ErrRingFull) {
-			return lastErr
+			// A device-level submission failure (e.g. endpoint reset) is
+			// a health signal; ring-full is mere backpressure and is not.
+			e.recordResult(idx, false)
+			return idx, lastErr
 		}
 	}
-	return lastErr
+	if !tried {
+		return -1, ErrNoInstance
+	}
+	return -1, lastErr
+}
+
+func (e *Engine) instAllowed(idx int) bool {
+	if e.breakers == nil {
+		return true
+	}
+	return e.breakers[idx].Allow(time.Now())
+}
+
+// recordResult feeds the instance's circuit breaker; idx < 0 (no instance
+// involved) is ignored.
+func (e *Engine) recordResult(idx int, ok bool) {
+	if e.breakers == nil || idx < 0 {
+		return
+	}
+	now := time.Now()
+	if ok {
+		e.breakers[idx].RecordSuccess(now)
+		return
+	}
+	if e.breakers[idx].RecordFailure(now) {
+		e.trips.Add(1)
+		if e.ctrTrips != nil {
+			e.ctrTrips.Inc()
+		}
+	}
+}
+
+// opDeadline returns the absolute deadline for an offload starting now
+// (zero when deadlines are disabled).
+func (e *Engine) opDeadline() time.Time {
+	if e.timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(e.timeout)
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// retryable reports whether err is worth a bounded resubmission.
+func retryable(err error) bool {
+	return errors.Is(err, qat.ErrDeviceReset)
+}
+
+// verifyOK applies the verification hook.
+func (e *Engine) verifyOK(kind minitls.OpKind, result any) bool {
+	if e.verifyFn == nil {
+		return true
+	}
+	return e.verifyFn(kind, result)
+}
+
+// settleTimeout accounts for an op abandoned at its deadline: the class
+// counter no longer carries it, the instance's breaker hears about the
+// failure, and slots the device itself marked leaked are reclaimed so the
+// ring regains capacity.
+func (e *Engine) settleTimeout(class Class, idx int) {
+	e.inflight[class].Add(-1)
+	e.timeouts.Add(1)
+	if e.ctrTimeouts != nil {
+		e.ctrTimeouts.Inc()
+	}
+	e.recordResult(idx, false)
+	e.reclaimLeaked()
+}
+
+// reclaimLeaked recovers ring slots leaked by stalled engine requests on
+// every assigned instance.
+func (e *Engine) reclaimLeaked() {
+	for _, inst := range e.insts {
+		inst.ReclaimLeaked()
+	}
+}
+
+// swFallback degrades the operation to a software computation on the
+// calling goroutine — slower, but the handshake completes (the paper's SW
+// configuration for exactly this op).
+func (e *Engine) swFallback(work func() (any, error)) (any, error) {
+	e.fallbacks.Add(1)
+	if e.ctrFallbacks != nil {
+		e.ctrFallbacks.Inc()
+	}
+	return work()
+}
+
+// noteRetry accounts one resubmission attempt.
+func (e *Engine) noteRetry() {
+	e.retries.Add(1)
+	if e.ctrRetries != nil {
+		e.ctrRetries.Inc()
+	}
+}
+
+// retrySleep applies exponential backoff before attempt n (0-based). Only
+// the straight-offload path calls it: that path blocks its caller anyway.
+func (e *Engine) retrySleep(attempt int) {
+	if e.backoff <= 0 {
+		return
+	}
+	time.Sleep(e.backoff << attempt)
 }
 
 // Instances returns the engine's crypto instances.
@@ -177,53 +400,103 @@ func (e *Engine) Do(call *minitls.OpCall, kind minitls.OpKind, work func() (any,
 // response. The worker core spins, and at most one engine computes for
 // this worker at any time — the blocking the paper measures.
 func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
-	var done atomic.Bool
-	var result any
-	var resultErr error
-	req := qat.Request{
-		Op:   opTypeFor(kind),
-		Work: work,
-		Callback: func(r qat.Response) {
-			result, resultErr = r.Result, r.Err
-			e.onResponse(class)
-			done.Store(true)
-		},
-	}
-	for {
-		err := e.submit(req)
-		if err == nil {
-			break
+	for attempt := 0; ; attempt++ {
+		deadline := e.opDeadline()
+		var done atomic.Bool
+		var settled atomic.Bool
+		var result any
+		var resultErr error
+		req := qat.Request{
+			Op:   opTypeFor(kind),
+			Work: work,
+			Callback: func(r qat.Response) {
+				if !settled.CompareAndSwap(false, true) {
+					return // late response for an op already degraded
+				}
+				result, resultErr = r.Result, r.Err
+				e.onResponse(class)
+				done.Store(true)
+			},
 		}
-		if errors.Is(err, qat.ErrRingFull) {
+		idx, err := e.submitIdx(req)
+		for err != nil && errors.Is(err, qat.ErrRingFull) {
 			e.ringFulls.Add(1)
 			e.pollAll(0)
+			if expired(deadline) {
+				// The ring stays full past the deadline — leaked slots
+				// from a stalled engine. Reclaim and degrade.
+				e.reclaimLeaked()
+				return e.swFallback(work)
+			}
+			idx, err = e.submitIdx(req)
+		}
+		if err != nil {
+			if errors.Is(err, ErrNoInstance) {
+				return e.swFallback(work)
+			}
+			if retryable(err) {
+				if attempt < e.maxRetry {
+					e.noteRetry()
+					e.retrySleep(attempt)
+					continue
+				}
+				return e.swFallback(work)
+			}
+			return nil, err
+		}
+		e.onSubmit(class)
+		for !done.Load() {
+			if e.pollAll(0) == 0 {
+				runtime.Gosched()
+			}
+			if expired(deadline) && settled.CompareAndSwap(false, true) {
+				e.settleTimeout(class, idx)
+				return e.swFallback(work)
+			}
+		}
+		if resultErr != nil {
+			e.recordResult(idx, false)
+			if !retryable(resultErr) {
+				return nil, resultErr
+			}
+		} else if !e.verifyOK(kind, result) {
+			e.recordResult(idx, false)
+			e.verifyFails.Add(1)
+		} else {
+			e.recordResult(idx, true)
+			return result, nil
+		}
+		// Retryable failure (reset or corruption).
+		if attempt < e.maxRetry {
+			e.noteRetry()
+			e.retrySleep(attempt)
 			continue
 		}
-		return nil, err
+		return e.swFallback(work)
 	}
-	e.onSubmit(class)
-	for !done.Load() {
-		if e.pollAll(0) == 0 {
-			runtime.Gosched()
-		}
-	}
-	return result, resultErr
 }
 
 // doFiber submits the request and pauses the calling ASYNC_JOB (§3.2
 // pre-processing / Fig. 6). The response callback stores the result on
 // the OpCall and fires the connection's notification; the application
-// then resumes the job, and execution continues right here.
+// then resumes the job, and execution continues right here. A resume
+// after the op deadline (the worker's deadline scan) degrades the op to
+// software instead of re-pausing.
 func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
 	if call.Job == nil {
 		return nil, errors.New("engine: fiber mode without a job")
 	}
-	for {
+	for attempt := 0; ; {
 		delivered := false
+		var settled atomic.Bool
+		deadline := e.opDeadline()
 		req := qat.Request{
 			Op:   opTypeFor(kind),
 			Work: work,
 			Callback: func(r qat.Response) {
+				if !settled.CompareAndSwap(false, true) {
+					return // the op already timed out and degraded
+				}
 				call.SetResult(r.Result, r.Err)
 				e.onResponse(class)
 				delivered = true
@@ -232,7 +505,8 @@ func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class,
 				}
 			},
 		}
-		if err := e.submit(req); err != nil {
+		idx, err := e.submitIdx(req)
+		if err != nil {
 			if errors.Is(err, qat.ErrRingFull) {
 				// Pause with the retry indication; the application
 				// reschedules this handler later and we resubmit (§3.2
@@ -244,58 +518,156 @@ func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class,
 				}
 				continue
 			}
+			if errors.Is(err, ErrNoInstance) {
+				return e.swFallback(work)
+			}
+			if retryable(err) {
+				if attempt < e.maxRetry {
+					attempt++
+					e.noteRetry()
+					continue
+				}
+				return e.swFallback(work)
+			}
 			return nil, err
 		}
 		e.onSubmit(class)
 		call.SubmitFailed = false
 		call.SetResult(nil, nil)
 		// Tolerate spurious resumes: stay paused until the response
-		// callback has actually delivered a result.
+		// callback has actually delivered a result — unless the deadline
+		// passed, in which case the op is abandoned and degraded.
 		for !delivered {
+			if expired(deadline) && settled.CompareAndSwap(false, true) {
+				e.settleTimeout(class, idx)
+				return e.swFallback(work)
+			}
 			if err := call.Job.Pause(); err != nil {
 				return nil, err
 			}
 		}
-		return call.Result()
+		result, rerr := call.Result()
+		if rerr != nil {
+			e.recordResult(idx, false)
+			if !retryable(rerr) {
+				return nil, rerr
+			}
+		} else if !e.verifyOK(kind, result) {
+			e.recordResult(idx, false)
+			e.verifyFails.Add(1)
+		} else {
+			e.recordResult(idx, true)
+			return result, nil
+		}
+		if attempt < e.maxRetry {
+			attempt++
+			e.noteRetry()
+			continue
+		}
+		return e.swFallback(work)
 	}
 }
 
 // doStack drives the stack-async state flag (Fig. 5): first entry submits
 // and returns ErrWantAsync; the re-entered call consumes the ready result.
+// A re-entry while the op is still inflight past its deadline (the
+// worker's deadline scan) abandons the offload and degrades to software.
 func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
 	st := call.Stack
 	if st == nil {
 		return nil, errors.New("engine: stack mode without a StackOp")
 	}
+	attempt := 0
 	switch st.State() {
 	case asynclib.StackReady:
-		return st.Consume()
-	case asynclib.StackIdle, asynclib.StackRetry:
-		req := qat.Request{
-			Op:   opTypeFor(kind),
-			Work: work,
-			Callback: func(r qat.Response) {
-				st.MarkReady(r.Result, r.Err)
-				e.onResponse(class)
-				if call.WaitCtx != nil {
-					call.WaitCtx.Notify()
-				}
-			},
+		sp := e.stackOps[st]
+		delete(e.stackOps, st)
+		idx := -1
+		if sp != nil {
+			idx, attempt = sp.inst, sp.attempt
 		}
-		if err := e.submit(req); err != nil {
-			if errors.Is(err, qat.ErrRingFull) {
-				e.ringFulls.Add(1)
-				st.MarkRetry()
-				return nil, minitls.ErrWantAsyncRetry
+		result, rerr := st.Consume()
+		if rerr != nil {
+			e.recordResult(idx, false)
+			if !retryable(rerr) {
+				return nil, rerr
 			}
-			return nil, err
+		} else if !e.verifyOK(kind, result) {
+			e.recordResult(idx, false)
+			e.verifyFails.Add(1)
+		} else {
+			e.recordResult(idx, true)
+			return result, rerr
 		}
-		e.onSubmit(class)
-		st.MarkInflight()
+		if attempt >= e.maxRetry {
+			return e.swFallback(work)
+		}
+		attempt++
+		e.noteRetry()
+		// Fall through to resubmission: Consume reset the op to idle.
+	case asynclib.StackInflight:
+		sp := e.stackOps[st]
+		if sp == nil {
+			return nil, errors.New("engine: stack op already in flight")
+		}
+		if expired(sp.deadline) && sp.settled.CompareAndSwap(false, true) {
+			delete(e.stackOps, st)
+			e.settleTimeout(sp.class, sp.inst)
+			st.Reset()
+			return e.swFallback(work)
+		}
+		// Spurious re-entry before the deadline (e.g. the worker's
+		// deadline scan firing early): keep waiting for the response.
 		return nil, minitls.ErrWantAsync
-	default:
-		return nil, errors.New("engine: stack op already in flight")
 	}
+	// State idle or retry: submit.
+	settled := &atomic.Bool{}
+	req := qat.Request{
+		Op:   opTypeFor(kind),
+		Work: work,
+		Callback: func(r qat.Response) {
+			if !settled.CompareAndSwap(false, true) {
+				return // the op already timed out and degraded
+			}
+			st.MarkReady(r.Result, r.Err)
+			e.onResponse(class)
+			if call.WaitCtx != nil {
+				call.WaitCtx.Notify()
+			}
+		},
+	}
+	idx, err := e.submitIdx(req)
+	if err != nil {
+		if errors.Is(err, qat.ErrRingFull) {
+			e.ringFulls.Add(1)
+			st.MarkRetry()
+			return nil, minitls.ErrWantAsyncRetry
+		}
+		if errors.Is(err, ErrNoInstance) {
+			return e.swFallback(work)
+		}
+		if retryable(err) {
+			if attempt >= e.maxRetry {
+				return e.swFallback(work)
+			}
+			// A submit-time reset: surface the retry to the event loop,
+			// which re-invokes us with the state flag set to retry.
+			e.noteRetry()
+			st.MarkRetry()
+			return nil, minitls.ErrWantAsyncRetry
+		}
+		return nil, err
+	}
+	e.onSubmit(class)
+	st.MarkInflight()
+	e.stackOps[st] = &stackPending{
+		settled:  settled,
+		deadline: e.opDeadline(),
+		inst:     idx,
+		class:    class,
+		attempt:  attempt,
+	}
+	return nil, minitls.ErrWantAsync
 }
 
 func (e *Engine) onSubmit(class Class) {
@@ -345,6 +717,45 @@ func (e *Engine) InflightAsym() int { return int(e.inflight[ClassAsym].Load()) }
 // Inflight returns the in-flight count for one class.
 func (e *Engine) Inflight(c Class) int { return int(e.inflight[c].Load()) }
 
+// InstanceHealth is one crypto instance's degradation view: its breaker
+// state plus the device-level slot accounting.
+type InstanceHealth struct {
+	// Index is the instance's position in the engine's rotation.
+	Index int
+	// Endpoint is the QAT endpoint the instance's rings belong to.
+	Endpoint int
+	// State is the circuit-breaker state (closed when breakers are off).
+	State fault.BreakerState
+	// Breaker is the breaker's window snapshot (zero when breakers are
+	// off).
+	Breaker fault.BreakerSnapshot
+	// Inflight is the instance's occupied ring slots.
+	Inflight int
+	// Leaked is the ring slots currently leaked by stalled requests.
+	Leaked int
+}
+
+// Health reports per-instance breaker and slot state (for qatinfo and the
+// server's stub_status).
+func (e *Engine) Health() []InstanceHealth {
+	out := make([]InstanceHealth, len(e.insts))
+	for i, inst := range e.insts {
+		h := InstanceHealth{
+			Index:    i,
+			Endpoint: inst.Endpoint(),
+			State:    fault.StateClosed,
+			Inflight: inst.Inflight(),
+			Leaked:   inst.Leaked(),
+		}
+		if e.breakers != nil {
+			h.State = e.breakers[i].State()
+			h.Breaker = e.breakers[i].Snapshot()
+		}
+		out[i] = h
+	}
+	return out
+}
+
 // Stats is a snapshot of engine counters.
 type Stats struct {
 	Submitted  int64
@@ -352,16 +763,29 @@ type Stats struct {
 	RingFulls  int64
 	Polls      int64
 	PollsEmpty int64
+
+	// Degradation counters (zero unless hardening knobs are set and the
+	// device misbehaves).
+	Timeouts    int64
+	SWFallbacks int64
+	Retries     int64
+	VerifyFails int64
+	Trips       int64
 }
 
 // Stats returns cumulative counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Submitted:  e.submitted.Load(),
-		Retrieved:  e.retrieved.Load(),
-		RingFulls:  e.ringFulls.Load(),
-		Polls:      e.polls.Load(),
-		PollsEmpty: e.pollsEmpty.Load(),
+		Submitted:   e.submitted.Load(),
+		Retrieved:   e.retrieved.Load(),
+		RingFulls:   e.ringFulls.Load(),
+		Polls:       e.polls.Load(),
+		PollsEmpty:  e.pollsEmpty.Load(),
+		Timeouts:    e.timeouts.Load(),
+		SWFallbacks: e.fallbacks.Load(),
+		Retries:     e.retries.Load(),
+		VerifyFails: e.verifyFails.Load(),
+		Trips:       e.trips.Load(),
 	}
 }
 

@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one crypto instance.
+type BreakerState int
+
+const (
+	// StateClosed: the instance is healthy; submissions flow normally.
+	StateClosed BreakerState = iota
+	// StateOpen: the instance tripped; submissions are routed away until
+	// the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; a limited number of probe
+	// submissions test whether the instance recovered.
+	StateHalfOpen
+)
+
+// String returns the conventional breaker-state name.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults.
+type BreakerConfig struct {
+	// Window is the rolling outcome window size (default 16).
+	Window int
+	// FailureThreshold trips the breaker when the window's failure rate
+	// reaches it with at least MinSamples outcomes (default 0.5).
+	FailureThreshold float64
+	// MinSamples is the minimum window fill before the rate is
+	// meaningful (default 4).
+	MinSamples int
+	// Cooldown is how long an open breaker waits before admitting
+	// half-open probes (default 100 ms).
+	Cooldown time.Duration
+	// ProbeCount is how many consecutive half-open successes close the
+	// breaker again (default 2).
+	ProbeCount int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	if c.ProbeCount <= 0 {
+		c.ProbeCount = 2
+	}
+	return c
+}
+
+// Breaker is a per-instance health tracker: a rolling window of submit
+// outcomes drives the classic closed → open → half-open circuit. It is
+// safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state     BreakerState
+	window    []bool // true = failure; ring buffer
+	widx      int
+	filled    int
+	openedAt  time.Time
+	probes    int // successful half-open probes so far
+	inProbe   int // half-open probes currently admitted but unresolved
+	trips     int64
+	successes int64
+	failures  int64
+}
+
+// NewBreaker builds a breaker (closed) with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether a submission may be routed to this instance now.
+// In the half-open state it admits up to ProbeCount unresolved probes.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probes = 0
+		b.inProbe = 1
+		return true
+	default: // StateHalfOpen
+		if b.inProbe >= b.cfg.ProbeCount {
+			return false
+		}
+		b.inProbe++
+		return true
+	}
+}
+
+// RecordSuccess feeds one successful outcome.
+func (b *Breaker) RecordSuccess(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	switch b.state {
+	case StateHalfOpen:
+		b.probes++
+		if b.inProbe > 0 {
+			b.inProbe--
+		}
+		if b.probes >= b.cfg.ProbeCount {
+			// Recovered: close and forget the bad window.
+			b.state = StateClosed
+			b.resetWindow()
+		}
+	case StateClosed:
+		b.push(false)
+	}
+}
+
+// RecordFailure feeds one failed outcome (timeout, reset, corruption).
+// It returns true when this failure tripped the breaker open.
+func (b *Breaker) RecordFailure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case StateHalfOpen:
+		// A failed probe reopens immediately.
+		b.state = StateOpen
+		b.openedAt = now
+		b.trips++
+		b.inProbe = 0
+		return true
+	case StateOpen:
+		return false
+	default: // StateClosed
+		b.push(true)
+		if b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureThreshold {
+			b.state = StateOpen
+			b.openedAt = now
+			b.trips++
+			return true
+		}
+		return false
+	}
+}
+
+func (b *Breaker) push(failure bool) {
+	b.window[b.widx] = failure
+	b.widx = (b.widx + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.widx, b.filled, b.probes, b.inProbe = 0, 0, 0, 0
+}
+
+func (b *Breaker) failureRate() float64 {
+	if b.filled == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < b.filled; i++ {
+		if b.window[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(b.filled)
+}
+
+// State returns the current breaker state (open breakers past their
+// cooldown still report open until the next Allow probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is a point-in-time health summary of one instance.
+type BreakerSnapshot struct {
+	State     BreakerState
+	Successes int64
+	Failures  int64
+	Trips     int64
+}
+
+// Snapshot returns cumulative health counters and the current state.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:     b.state,
+		Successes: b.successes,
+		Failures:  b.failures,
+		Trips:     b.trips,
+	}
+}
+
+// String renders the snapshot for stub_status / qatinfo output.
+func (s BreakerSnapshot) String() string {
+	return fmt.Sprintf("%s ok=%d fail=%d trips=%d", s.State, s.Successes, s.Failures, s.Trips)
+}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreaker() *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:           8,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		Cooldown:         50 * time.Millisecond,
+		ProbeCount:       2,
+	})
+}
+
+func TestBreakerStartsClosed(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	if b.State() != StateClosed || !b.Allow(now) {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	// Below MinSamples: no trip even at 100% failure.
+	for i := 0; i < 3; i++ {
+		if b.RecordFailure(now) {
+			t.Fatalf("tripped at sample %d, below MinSamples", i+1)
+		}
+	}
+	if !b.RecordFailure(now) {
+		t.Fatal("did not trip at MinSamples with 100% failures")
+	}
+	if b.State() != StateOpen || b.Allow(now) {
+		t.Fatal("open breaker should reject submissions")
+	}
+	if b.Snapshot().Trips != 1 {
+		t.Fatalf("trips = %d", b.Snapshot().Trips)
+	}
+}
+
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	// 3 failures diluted by 5 successes in a window of 8: rate 3/8 < 0.5.
+	for i := 0; i < 5; i++ {
+		b.RecordSuccess(now)
+	}
+	for i := 0; i < 3; i++ {
+		if b.RecordFailure(now) {
+			t.Fatal("tripped below threshold")
+		}
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func tripped(b *Breaker, now time.Time) {
+	for i := 0; i < 8; i++ {
+		b.RecordFailure(now)
+	}
+}
+
+func TestBreakerHalfOpenProbesAndRecovery(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	tripped(b, now)
+	if b.Allow(now) {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+	later := now.Add(60 * time.Millisecond)
+	// First Allow after cooldown transitions to half-open and admits a probe.
+	if !b.Allow(later) {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	// Second probe admitted, third rejected (ProbeCount = 2 unresolved).
+	if !b.Allow(later) {
+		t.Fatal("second probe rejected")
+	}
+	if b.Allow(later) {
+		t.Fatal("probe cap ignored")
+	}
+	// Two probe successes close the breaker.
+	b.RecordSuccess(later)
+	if b.State() != StateHalfOpen {
+		t.Fatal("closed after a single probe success")
+	}
+	b.RecordSuccess(later)
+	if b.State() != StateClosed {
+		t.Fatalf("state after recovery = %v", b.State())
+	}
+	// The old bad window must not instantly re-trip on one failure.
+	if b.RecordFailure(later) {
+		t.Fatal("stale window re-tripped a recovered breaker")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	tripped(b, now)
+	later := now.Add(60 * time.Millisecond)
+	if !b.Allow(later) {
+		t.Fatal("probe rejected")
+	}
+	if !b.RecordFailure(later) {
+		t.Fatal("failed probe should count as a trip")
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	// The cooldown restarts from the probe failure.
+	if b.Allow(later.Add(10 * time.Millisecond)) {
+		t.Fatal("reopened breaker allowed before its new cooldown")
+	}
+	if b.Snapshot().Trips != 2 {
+		t.Fatalf("trips = %d", b.Snapshot().Trips)
+	}
+}
+
+func TestBreakerSnapshotString(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	b.RecordSuccess(now)
+	b.RecordFailure(now)
+	s := b.Snapshot()
+	if s.Successes != 1 || s.Failures != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty snapshot string")
+	}
+}

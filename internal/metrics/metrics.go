@@ -209,6 +209,64 @@ func (s Snapshot) String() string {
 		time.Duration(s.Max))
 }
 
+// Registry is a set of named counters, the export surface behind the
+// server's stub_status output and the fault/degradation counters
+// (qat_faults_injected, qat_op_timeouts, qat_sw_fallbacks,
+// qat_instance_trips). Counter is get-or-create, so independent
+// components can share one registry without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Lookup returns the named counter if it has been registered.
+func (r *Registry) Lookup(name string) (*Counter, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	return c, ok
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns the current value of every registered counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
 // Meter measures a rate of events over a wall-clock interval.
 type Meter struct {
 	start time.Time

@@ -162,6 +162,59 @@ func TestMeter(t *testing.T) {
 	}
 }
 
+// The fault/degradation counters surfaced in stub_status register
+// themselves in a Registry on first use; the same name yields the same
+// counter and snapshots reflect increments.
+func TestRegistryFaultCounterRegistration(t *testing.T) {
+	r := NewRegistry()
+	names := []string{
+		"qat_faults_injected",
+		"qat_op_timeouts",
+		"qat_sw_fallbacks",
+		"qat_instance_trips",
+	}
+	for _, name := range names {
+		r.Counter(name)
+	}
+	for _, name := range names {
+		if _, ok := r.Lookup(name); !ok {
+			t.Fatalf("%s not registered", name)
+		}
+	}
+	got := r.Names()
+	if len(got) != len(names) {
+		t.Fatalf("Names = %v", got)
+	}
+	// Get-or-create returns the same counter.
+	r.Counter("qat_sw_fallbacks").Add(3)
+	r.Counter("qat_sw_fallbacks").Inc()
+	snap := r.Snapshot()
+	if snap["qat_sw_fallbacks"] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap["qat_op_timeouts"] != 0 {
+		t.Fatalf("untouched counter = %d", snap["qat_op_timeouts"])
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("shared").Value(); v != 8000 {
+		t.Fatalf("shared = %d", v)
+	}
+}
+
 func TestSnapshotString(t *testing.T) {
 	h := NewHistogram(8)
 	h.ObserveDuration(time.Millisecond)

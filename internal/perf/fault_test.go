@@ -1,0 +1,112 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// runDegraded measures ECDHE-RSA CPS for a QTLS configuration with an
+// optional fault scenario.
+func runDegraded(t *testing.T, sc *FaultScenario, clients int) RunResult {
+	t.Helper()
+	cfg := QTLS(3) // one worker per endpoint: exactly one sits on the sick one
+	cfg.Fault = sc
+	return Run(RunOptions{
+		Config:  cfg,
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Install: func(m *Model) {
+			STimeWorkload{Clients: clients, Spec: ScriptSpec{Suite: SuiteECDHERSA}}.Install(m)
+		},
+	})
+}
+
+// A stalled endpoint degrades throughput instead of hanging the workers
+// pinned to it: every doomed op times out into a software fallback, so
+// handshakes keep completing on all workers.
+func TestStalledEndpointDegradesNotHangs(t *testing.T) {
+	healthy := runDegraded(t, nil, 120)
+	if healthy.Stats.Timeouts != 0 || healthy.Stats.SWFallbacks != 0 || healthy.Stats.Trips != 0 {
+		t.Fatalf("healthy run has degradation counters: %+v", healthy.Stats)
+	}
+	sick := runDegraded(t, &FaultScenario{StalledEndpoints: 1, OpTimeout: 2 * time.Millisecond}, 120)
+	if sick.Stats.Handshakes == 0 {
+		t.Fatal("no handshakes completed with a stalled endpoint")
+	}
+	if sick.Stats.Timeouts == 0 || sick.Stats.SWFallbacks == 0 {
+		t.Fatalf("stall produced no timeouts/fallbacks: %+v", sick.Stats)
+	}
+	if sick.CPS >= healthy.CPS {
+		t.Fatalf("degraded CPS %.0f not below healthy %.0f", sick.CPS, healthy.CPS)
+	}
+	// Degraded, not dead. Under this closed loop the round-robin conn
+	// dispatch lets the sick worker's queue throttle the whole pool (its
+	// software fallbacks serialize ~1.8 ms of CPU per handshake), so the
+	// floor is the trapped steady state, not healthy×2/3.
+	if sick.CPS < healthy.CPS/30 {
+		t.Fatalf("degraded CPS %.0f collapsed (healthy %.0f)", sick.CPS, healthy.CPS)
+	}
+}
+
+// The circuit breaker stops paying the deadline per doomed op: after
+// TripThreshold timeouts the sick worker's asymmetric ops go straight to
+// software. At light load (deadline waits, not fallback CPU, dominate
+// the sick worker's latency) that clearly recovers both CPS and latency.
+func TestBreakerTripRecoversThroughput(t *testing.T) {
+	noBreaker := runDegraded(t, &FaultScenario{StalledEndpoints: 1, OpTimeout: 2 * time.Millisecond}, 12)
+	breaker := runDegraded(t, &FaultScenario{
+		StalledEndpoints: 1,
+		OpTimeout:        2 * time.Millisecond,
+		TripThreshold:    4,
+	}, 12)
+	if breaker.Stats.Trips != 1 {
+		t.Fatalf("trips = %d, want exactly the one worker on the stalled endpoint", breaker.Stats.Trips)
+	}
+	if breaker.Stats.SWFallbacks == 0 {
+		t.Fatalf("breaker run recorded no fallbacks: %+v", breaker.Stats)
+	}
+	// Once open, the breaker skips the 2 ms deadline stall per asym op.
+	if breaker.CPS <= noBreaker.CPS {
+		t.Fatalf("breaker CPS %.0f not above deadline-only %.0f", breaker.CPS, noBreaker.CPS)
+	}
+	if breaker.AvgLatency >= noBreaker.AvgLatency {
+		t.Fatalf("breaker latency %v not below deadline-only %v", breaker.AvgLatency, noBreaker.AvgLatency)
+	}
+	// Timeouts stop once the breaker is open (the trip happens during
+	// warmup), so the measured window sees far fewer than deadline-only.
+	if breaker.Stats.Timeouts > noBreaker.Stats.Timeouts/2 {
+		t.Fatalf("breaker did not curb timeouts: %d vs %d", breaker.Stats.Timeouts, noBreaker.Stats.Timeouts)
+	}
+}
+
+// The straight (blocking) offload path honors the deadline too: QAT+S on
+// a fully stalled device still completes handshakes in software.
+func TestStraightOffloadStallDeadline(t *testing.T) {
+	cfg := QATS(2)
+	cfg.Fault = &FaultScenario{StalledEndpoints: 3, OpTimeout: time.Millisecond}
+	res := Run(RunOptions{
+		Config:  cfg,
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Install: func(m *Model) {
+			STimeWorkload{Clients: 32, Spec: ScriptSpec{Suite: SuiteRSA}}.Install(m)
+		},
+	})
+	if res.Stats.Handshakes == 0 {
+		t.Fatal("QAT+S with stalled device completed no handshakes")
+	}
+	if res.Stats.Timeouts == 0 || res.Stats.SWFallbacks == 0 {
+		t.Fatalf("no deadline activity: %+v", res.Stats)
+	}
+}
+
+// Fault runs are as deterministic as healthy ones: same seed, same stats.
+func TestFaultScenarioDeterministic(t *testing.T) {
+	a := runDegraded(t, &FaultScenario{StalledEndpoints: 1, OpTimeout: 2 * time.Millisecond, TripThreshold: 4}, 60)
+	b := runDegraded(t, &FaultScenario{StalledEndpoints: 1, OpTimeout: 2 * time.Millisecond, TripThreshold: 4}, 60)
+	if a.Stats.Handshakes != b.Stats.Handshakes ||
+		a.Stats.Timeouts != b.Stats.Timeouts ||
+		a.Stats.SWFallbacks != b.Stats.SWFallbacks {
+		t.Fatalf("nondeterministic fault run: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

@@ -1,0 +1,69 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"qtls/internal/perf"
+)
+
+// degradedQTLS returns QTLS with the first of the three endpoints
+// stalled, per-op deadlines armed and an optional circuit breaker.
+func degradedQTLS(workers, trip int) perf.Config {
+	cfg := perf.QTLS(workers)
+	cfg.Fault = &perf.FaultScenario{
+		StalledEndpoints: 1,
+		OpTimeout:        2 * time.Millisecond,
+		TripThreshold:    trip,
+	}
+	return cfg
+}
+
+// Degraded is the fault-injection experiment added on top of the paper's
+// evaluation: ECDHE-RSA full-handshake CPS when 1 of the 3 QAT endpoints
+// stalls its asymmetric engines (the internal/fault "stall" scenario).
+// Four series: healthy QTLS, degraded QTLS surviving on per-op deadlines
+// alone, degraded QTLS with a circuit breaker routing the sick instance's
+// ops straight to software, and the all-software baseline.
+func Degraded(o Opts) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "degraded",
+		Title:  "Degraded device: ECDHE-RSA CPS with 1 of 3 endpoints stalled (2 ms op deadline)",
+		XLabel: "Nginx workers (HT cores)",
+		YLabel: "connections per second",
+		Notes: "every handshake completes (graceful degradation); the sick workers' software " +
+			"fallbacks serialize, so the closed loop throttles toward them — the breaker " +
+			"removes the per-op deadline stall on top of that",
+	}
+	workerCounts := []int{3, 6, 9, 12}
+	for _, w := range workerCounts {
+		t.Columns = append(t.Columns, fmt.Sprintf("%dHT", w))
+	}
+	series := []struct {
+		name string
+		mk   func(int) perf.Config
+	}{
+		{"QTLS healthy", perf.QTLS},
+		{"QTLS 1ep stalled", func(w int) perf.Config { return degradedQTLS(w, 0) }},
+		{"QTLS stalled+brk", func(w int) perf.Config { return degradedQTLS(w, 4) }},
+		{"SW", perf.SW},
+	}
+	spec := perf.ScriptSpec{Suite: perf.SuiteECDHERSA}
+	for _, sr := range series {
+		s := Series{Name: sr.name}
+		for _, w := range workerCounts {
+			oo := o
+			if sr.name == "SW" {
+				oo.Warmup = o.Warmup * 2 // slow baseline settles slowly
+			}
+			// A lighter closed loop than clientsFor: with a saturating
+			// client pool the sick workers' FIFO queues advance every
+			// trapped connection one operation per multi-hundred-ms
+			// "wave", so no handshake completes inside a short window.
+			s.Values = append(s.Values, runCPS(oo, sr.mk(w), spec, 12*w, 0))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}

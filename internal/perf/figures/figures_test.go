@@ -125,8 +125,8 @@ func TestFig12bShape(t *testing.T) {
 
 func TestByIDAndIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("want 12 experiments (1 table + 11 figures), got %d", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("want 13 experiments (1 table + 11 figures + degraded), got %d", len(ids))
 	}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {
@@ -156,5 +156,23 @@ func TestTableCSV(t *testing.T) {
 	want := "series,a,b\ns1,1,2.5\n"
 	if got := tab.CSV(); got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestDegradedShape(t *testing.T) {
+	tab := Degraded(Quick())
+	checkShape(t, tab, 4)
+	healthy := seriesByName(t, tab, "QTLS healthy")
+	stalled := seriesByName(t, tab, "QTLS 1ep stalled")
+	breaker := seriesByName(t, tab, "QTLS stalled+brk")
+	for i := range tab.Columns {
+		// Graceful degradation: the stalled runs keep completing
+		// handshakes but never beat the healthy device.
+		if stalled.Values[i] <= 0 || breaker.Values[i] <= 0 {
+			t.Fatalf("col %s: degraded CPS zero: %v / %v", tab.Columns[i], stalled.Values, breaker.Values)
+		}
+		if stalled.Values[i] >= healthy.Values[i] {
+			t.Fatalf("col %s: stalled %.0f not below healthy %.0f", tab.Columns[i], stalled.Values[i], healthy.Values[i])
+		}
 	}
 }

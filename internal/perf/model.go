@@ -65,6 +65,30 @@ type Config struct {
 	Impl AsyncImpl
 	// Workers is the number of event-loop workers (HT cores).
 	Workers int
+	// Fault, when non-nil, injects a device-degradation scenario — the
+	// discrete-event counterpart of the internal/fault subsystem.
+	Fault *FaultScenario
+}
+
+// FaultScenario degrades the modeled device and arms the engine-side
+// defenses, mirroring internal/fault + the hardened internal/engine: a
+// stalled engine pool never answers, per-op deadlines convert the hang
+// into a software fallback, and a circuit breaker stops submitting to an
+// instance once enough deadlines have expired.
+type FaultScenario struct {
+	// StalledEndpoints marks the asymmetric engine pools of the first N
+	// endpoints as stalled: submissions to them are accepted but never
+	// complete (a hung computation engine).
+	StalledEndpoints int
+	// OpTimeout is the per-operation deadline after which the worker
+	// abandons a stalled offload and computes the result in software
+	// (default 5 ms when a fault scenario is set).
+	OpTimeout time.Duration
+	// TripThreshold opens a worker's circuit breaker after this many
+	// deadline expirations: subsequent asymmetric ops on the sick
+	// instance skip the doomed submission and go straight to software.
+	// 0 disables the breaker (every op pays the full deadline).
+	TripThreshold int
 }
 
 // The paper's five configurations (§5.1) at a given worker count.
@@ -141,6 +165,9 @@ type conn struct {
 	start   sim.Time // client-side start (for latency)
 	resumed bool
 	onDone  func(at sim.Time)
+	// fallback is a pending software-fallback CPU burst (set when an
+	// offload deadline expired; paid when the worker next runs the conn).
+	fallback time.Duration
 }
 
 // Stats aggregates a measurement window.
@@ -156,6 +183,11 @@ type Stats struct {
 	Notifications int64
 	RingFulls     int64
 	CPUBusy       time.Duration // summed across workers
+
+	// Degradation counters (zero unless Config.Fault is set).
+	Timeouts    int64 // offload deadlines expired
+	SWFallbacks int64 // ops recomputed in software after a fault
+	Trips       int64 // workers whose circuit breaker is open at window end
 }
 
 func newStats() *Stats {
@@ -193,6 +225,14 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 	}
 	if cfg.UseQAT {
 		m.dev = newDevice(m.sim, p.Endpoints, p.AsymEnginesPerEndpoint, p.SymEnginesPerEndpoint)
+		if sc := cfg.Fault; sc != nil {
+			if sc.OpTimeout <= 0 {
+				sc.OpTimeout = 5 * time.Millisecond
+			}
+			for i := 0; i < sc.StalledEndpoints && i < len(m.dev.endpoints); i++ {
+				m.dev.endpoints[i].asym.stalled = true
+			}
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{m: m, id: i}
@@ -266,6 +306,9 @@ func (m *Model) Run(warmup, measure time.Duration) *Stats {
 			m.stats.CPUBusy += time.Duration(m.sim.Now() - w.busyStart)
 			w.busyStart = m.sim.Now() // avoid double counting on reuse
 		}
+		if w.tripped {
+			m.stats.Trips++
+		}
 	}
 	return m.stats
 }
@@ -310,6 +353,9 @@ type enginePool struct {
 	engines int
 	busy    int
 	queue   sim.FIFO[*devReq]
+	// stalled: the pool's engines hang. Requests are swallowed and their
+	// done callback never fires; only the submitter's deadline saves it.
+	stalled bool
 }
 
 type devReq struct {
@@ -335,6 +381,9 @@ func (ep *endpoint) submit(op opClass, service time.Duration, done func(at sim.T
 	pool := &ep.sym
 	if op.asym() {
 		pool = &ep.asym
+	}
+	if pool.stalled {
+		return // swallowed by the hung engine; done never fires
 	}
 	req := &devReq{service: service, done: done}
 	if pool.busy < pool.engines {

@@ -36,6 +36,10 @@ type worker struct {
 
 	// Pending FD notifications to dispatch after the FD delay.
 	blocked *conn // QAT+S: connection the worker is blocked on
+
+	// Degradation state (Config.Fault).
+	timeoutCnt int  // offload deadlines expired on this instance
+	tripped    bool // circuit breaker open: stop submitting doomed ops
 }
 
 // active returns TCactive = TCalive - TCidle (§4.3).
@@ -95,9 +99,51 @@ func (w *worker) taskBoundary() {
 	w.endBusy()
 }
 
+// stalledOffload reports whether an offload of op from this worker would
+// vanish into a stalled engine pool (Config.Fault scenario).
+func (w *worker) stalledOffload(op opClass) bool {
+	return w.m.cfg.Fault != nil && w.endpoint != nil && op.asym() && w.endpoint.asym.stalled
+}
+
+// recordTimeout feeds the circuit breaker after a deadline expiration.
+func (w *worker) recordTimeout() {
+	sc := w.m.cfg.Fault
+	if sc == nil || sc.TripThreshold <= 0 || w.tripped {
+		return
+	}
+	w.timeoutCnt++
+	if w.timeoutCnt >= sc.TripThreshold {
+		w.tripped = true
+	}
+}
+
+// onOpTimeout abandons a stalled async offload: the in-flight counters
+// are settled (the response will never arrive) and the connection is
+// re-queued carrying the op's software cost as a fallback burst.
+func (w *worker) onOpTimeout(c *conn, st step) {
+	w.inflight--
+	if st.op.asym() {
+		w.inflightAsym--
+	}
+	if w.m.measuring {
+		w.m.stats.Timeouts++
+		w.m.stats.SWFallbacks++
+	}
+	w.recordTimeout()
+	c.fallback = st.sw
+	w.enqueue(c)
+}
+
 // processConn executes one connection's script from its current step
 // until it parks (network wait, async offload) or finishes.
 func (w *worker) processConn(c *conn) {
+	if c.fallback > 0 {
+		// Pay a pending software-fallback burst on the worker core.
+		d := c.fallback
+		c.fallback = 0
+		w.m.sim.After(d, func() { w.processConn(c) })
+		return
+	}
 	for {
 		if c.idx >= len(c.script) {
 			w.finishConn(c)
@@ -157,6 +203,15 @@ func (w *worker) processConn(c *conn) {
 				w.m.sim.After(st.sw, func() { w.processConn(c) })
 				return
 			}
+			if w.tripped && w.stalledOffload(st.op) {
+				// Breaker open: skip the doomed submission entirely.
+				if w.m.measuring {
+					w.m.stats.SWFallbacks++
+				}
+				c.idx++
+				w.m.sim.After(st.sw, func() { w.processConn(c) })
+				return
+			}
 			if !w.m.cfg.Async {
 				w.straightOffload(c, st)
 				return
@@ -197,6 +252,19 @@ func (w *worker) finishConn(c *conn) {
 func (w *worker) straightOffload(c *conn, st step) {
 	p := &w.m.p
 	c.idx++
+	if w.stalledOffload(st.op) {
+		// The submission vanishes into the hung engine; the worker stays
+		// blocked until the deadline, then computes in software inline.
+		w.m.sim.After(p.SubmitCost+w.m.cfg.Fault.OpTimeout, func() {
+			if w.m.measuring {
+				w.m.stats.Timeouts++
+				w.m.stats.SWFallbacks++
+			}
+			w.recordTimeout()
+			w.m.sim.After(st.sw, func() { w.processConn(c) })
+		})
+		return
+	}
 	w.m.sim.After(p.SubmitCost, func() {
 		w.blocked = c
 		submitAt := w.now()
@@ -244,6 +312,12 @@ func (w *worker) asyncOffload(c *conn, st step) {
 	}
 	cost := p.SubmitCost + swap
 	w.m.sim.After(cost, func() {
+		if w.stalledOffload(st.op) {
+			// Swallowed by the hung engine; only the per-op deadline
+			// gets the connection moving again (the done callback below
+			// never fires for a stalled pool).
+			w.m.sim.After(w.m.cfg.Fault.OpTimeout, func() { w.onOpTimeout(c, st) })
+		}
 		submitAt := w.now()
 		w.endpoint.submit(st.op, st.hw, func(at sim.Time) {
 			// Response lands on the instance's response ring once the

@@ -1,0 +1,271 @@
+package qat
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"qtls/internal/fault"
+)
+
+func faultyDevice(t *testing.T, inj *fault.Injector, spec DeviceSpec) (*Device, *Instance) {
+	t.Helper()
+	spec.Injector = inj
+	dev := NewDevice(spec)
+	t.Cleanup(dev.Close)
+	inst, err := dev.AllocInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, inst
+}
+
+// submitOne submits a request returning its bytes result via ch.
+func submitOne(t *testing.T, inst *Instance, result []byte) chan Response {
+	t.Helper()
+	ch := make(chan Response, 1)
+	req := Request{
+		Op:       OpRSA,
+		Work:     func() (any, error) { return result, nil },
+		Callback: func(r Response) { ch <- r },
+	}
+	if err := inst.Submit(req); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return ch
+}
+
+func pollUntil(t *testing.T, inst *Instance, ch chan Response, timeout time.Duration) (Response, bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		inst.Poll(0)
+		select {
+		case r := <-ch:
+			return r, true
+		default:
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return Response{}, false
+}
+
+// A stalled request never produces a response; its ring slot leaks until
+// reclaimed.
+func TestStallLeaksSlotAndReclaim(t *testing.T) {
+	inj := fault.NewInjector(1, fault.Rule{Kind: fault.Stall, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp, P: 1, Limit: 1})
+	_, inst := faultyDevice(t, inj, DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1, RingCapacity: 4})
+	ch := submitOne(t, inst, []byte("x"))
+	if _, ok := pollUntil(t, inst, ch, 50*time.Millisecond); ok {
+		t.Fatal("stalled request produced a response")
+	}
+	// The leak is visible once the engine consumed the request.
+	deadline := time.Now().Add(2 * time.Second)
+	for inst.Leaked() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leak never recorded")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if inst.Inflight() != 1 {
+		t.Fatalf("inflight = %d", inst.Inflight())
+	}
+	if n := inst.ReclaimLeaked(); n != 1 {
+		t.Fatalf("reclaimed %d", n)
+	}
+	if inst.Inflight() != 0 || inst.Leaked() != 0 {
+		t.Fatalf("after reclaim: inflight=%d leaked=%d", inst.Inflight(), inst.Leaked())
+	}
+	// The device still works for subsequent requests (Limit: 1).
+	ch2 := submitOne(t, inst, []byte("y"))
+	if _, ok := pollUntil(t, inst, ch2, 2*time.Second); !ok {
+		t.Fatal("healthy follow-up request did not complete")
+	}
+}
+
+// A dropped response frees the ring slot but never reaches Poll.
+func TestDropFreesSlotSilently(t *testing.T) {
+	inj := fault.NewInjector(1, fault.Rule{Kind: fault.Drop, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp, P: 1, Limit: 1})
+	_, inst := faultyDevice(t, inj, DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1})
+	ch := submitOne(t, inst, []byte("x"))
+	if _, ok := pollUntil(t, inst, ch, 50*time.Millisecond); ok {
+		t.Fatal("dropped request produced a response")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for inst.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slot not freed: inflight=%d", inst.Inflight())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if inst.Leaked() != 0 {
+		t.Fatalf("drop recorded a leak: %d", inst.Leaked())
+	}
+}
+
+// Corruption flips bytes: the response arrives but carries wrong content.
+func TestCorruptDeliversWrongBytes(t *testing.T) {
+	inj := fault.NewInjector(1, fault.Rule{Kind: fault.Corrupt, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp, P: 1})
+	_, inst := faultyDevice(t, inj, DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1})
+	want := []byte("signature-bytes")
+	ch := submitOne(t, inst, want)
+	r, ok := pollUntil(t, inst, ch, 2*time.Second)
+	if !ok {
+		t.Fatal("no response")
+	}
+	if r.Err != nil {
+		t.Fatalf("corruption must be silent, got err %v", r.Err)
+	}
+	got := r.Result.([]byte)
+	if bytes.Equal(got, want) {
+		t.Fatal("response not corrupted")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d != %d", len(got), len(want))
+	}
+}
+
+// Injected latency delays the response.
+func TestLatencyDelaysResponse(t *testing.T) {
+	const extra = 20 * time.Millisecond
+	inj := fault.NewInjector(1, fault.Rule{Kind: fault.Latency, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp, P: 1, Latency: extra})
+	_, inst := faultyDevice(t, inj, DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1})
+	start := time.Now()
+	ch := submitOne(t, inst, []byte("x"))
+	if _, ok := pollUntil(t, inst, ch, 5*time.Second); !ok {
+		t.Fatal("no response")
+	}
+	if el := time.Since(start); el < extra {
+		t.Fatalf("response after %v, want >= %v", el, extra)
+	}
+}
+
+// A ring-full storm rejects submissions even with free slots.
+func TestRingFullStorm(t *testing.T) {
+	inj := fault.NewInjector(1, fault.Rule{Kind: fault.RingFull, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp, P: 1, Limit: 3})
+	_, inst := faultyDevice(t, inj, DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1})
+	req := Request{Op: OpPRF, Work: func() (any, error) { return nil, nil }}
+	for i := 0; i < 3; i++ {
+		if err := inst.Submit(req); !errors.Is(err, ErrRingFull) {
+			t.Fatalf("storm submit %d: %v", i, err)
+		}
+	}
+	// Storm over (Limit: 3): submissions flow again.
+	if err := inst.Submit(req); err != nil {
+		t.Fatalf("post-storm submit: %v", err)
+	}
+	if inst.Inflight() != 1 {
+		t.Fatalf("inflight = %d", inst.Inflight())
+	}
+}
+
+// An endpoint reset fails the triggering submission and every request in
+// flight on the endpoint with ErrDeviceReset; the endpoint then recovers.
+func TestEndpointReset(t *testing.T) {
+	inj := fault.NewInjector(1, fault.Rule{Kind: fault.Reset, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp, P: 1, After: 8, Limit: 1})
+	dev, inst := faultyDevice(t, inj, DeviceSpec{
+		Endpoints: 1, EnginesPerEndpoint: 1, RingCapacity: 64,
+		// Slow service keeps requests on the rings when the reset lands.
+		ServiceTime: map[OpType]time.Duration{OpRSA: 5 * time.Millisecond},
+	})
+	type result struct{ r Response }
+	ch := make(chan result, 64)
+	req := Request{
+		Op:       OpRSA,
+		Work:     func() (any, error) { return []byte("ok"), nil },
+		Callback: func(r Response) { ch <- result{r} },
+	}
+	// 8 clean submissions queue up; the 9th trips the reset rule.
+	for i := 0; i < 8; i++ {
+		if err := inst.Submit(req); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := inst.Submit(req); !errors.Is(err, ErrDeviceReset) {
+		t.Fatalf("reset submit err = %v", err)
+	}
+	if dev.Resets()[0] != 1 {
+		t.Fatalf("resets = %v", dev.Resets())
+	}
+	// Drain: all 8 get responses (some executed before the reset; the
+	// rest fail with ErrDeviceReset), and the ring fully drains.
+	deadline := time.Now().Add(10 * time.Second)
+	got, resetErrs := 0, 0
+	for got < 8 {
+		inst.Poll(0)
+		select {
+		case res := <-ch:
+			got++
+			if errors.Is(res.r.Err, ErrDeviceReset) {
+				resetErrs++
+			} else if res.r.Err != nil {
+				t.Fatalf("unexpected err: %v", res.r.Err)
+			}
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("drained %d/8", got)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if resetErrs == 0 {
+		t.Fatal("no in-flight request observed the reset")
+	}
+	if inst.Inflight() != 0 {
+		t.Fatalf("inflight = %d", inst.Inflight())
+	}
+	// Post-reset the endpoint serves normally.
+	ch2 := submitOne(t, inst, []byte("post"))
+	if r, ok := pollUntil(t, inst, ch2, 5*time.Second); !ok || r.Err != nil {
+		t.Fatalf("post-reset request: ok=%v err=%v", ok, r.Err)
+	}
+}
+
+// With a nil injector the fault paths are never taken: counters balance
+// and no leaks appear (the zero-overhead default of the subsystem).
+func TestNilInjectorUnchangedBehavior(t *testing.T) {
+	dev := NewDevice(DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 2})
+	defer dev.Close()
+	inst, _ := dev.AllocInstance()
+	done := make(chan struct{}, 32)
+	for i := 0; i < 32; i++ {
+		req := Request{Op: OpPRF, Work: func() (any, error) { return 1, nil },
+			Callback: func(Response) { done <- struct{}{} }}
+		for {
+			if err := inst.Submit(req); err == nil {
+				break
+			} else if !errors.Is(err, ErrRingFull) {
+				t.Fatal(err)
+			}
+			inst.Poll(0)
+		}
+	}
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < 32 {
+		inst.Poll(0)
+		for {
+			select {
+			case <-done:
+				got++
+				continue
+			default:
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("completed %d/32", got)
+		}
+	}
+	if inst.Leaked() != 0 || inst.Inflight() != 0 {
+		t.Fatalf("leaked=%d inflight=%d", inst.Leaked(), inst.Inflight())
+	}
+	c := dev.Counters()[0]
+	if c.TotalRequests() != 32 || c.TotalResponses() != 32 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if dev.Resets()[0] != 0 {
+		t.Fatalf("resets = %v", dev.Resets())
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"qtls/internal/fault"
 )
 
 // OpType classifies a crypto request, mirroring the service categories the
@@ -85,6 +87,13 @@ var ErrRingFull = errors.New("qat: request ring full")
 // ErrClosed is returned by Submit after the device has been closed.
 var ErrClosed = errors.New("qat: device closed")
 
+// ErrDeviceReset is returned by Submit when the target endpoint reset
+// underneath the submission, and delivered as the response error of
+// requests that were in flight on an endpoint when it reset. It is a
+// retryable condition: the engine resubmits (possibly elsewhere) or falls
+// back to software.
+var ErrDeviceReset = errors.New("qat: endpoint reset")
+
 // Response is the completion record read back from a response ring.
 type Response struct {
 	// Result is the value produced by the request's Work closure.
@@ -129,6 +138,11 @@ type DeviceSpec struct {
 	// It stands in for a completion interrupt; QTLS itself relies on
 	// polling and leaves this nil.
 	OnResponse func(*Instance)
+	// Injector, when non-nil, is consulted at submit and service time to
+	// inject faults (stalls, drops, corruption, latency, ring-full
+	// storms, endpoint resets). nil — the default — is free: no fault
+	// paths are taken.
+	Injector *fault.Injector
 }
 
 func (s DeviceSpec) withDefaults() DeviceSpec {
@@ -189,11 +203,14 @@ type endpoint struct {
 	mu        sync.Mutex
 	counters  Counters
 	instances int
+	epoch     int // bumped by reset; stale in-flight requests fail
+	resets    int64
 }
 
 type pending struct {
-	req  Request
-	inst *Instance
+	req   Request
+	inst  *Instance
+	epoch int
 }
 
 // Instance is a QAT crypto instance: a logical group of ring pairs assigned
@@ -209,6 +226,7 @@ type Instance struct {
 
 	mu        sync.Mutex
 	inflight  int
+	leaked    int         // ring slots held by stalled requests
 	responses []completed // response ring; bounded by inflight <= ringCap
 }
 
@@ -295,7 +313,38 @@ func (d *Device) Counters() []Counters {
 func (ep *endpoint) engineLoop() {
 	defer ep.wg.Done()
 	st := ep.dev.spec.ServiceTime
+	inj := ep.dev.spec.Injector
 	for p := range ep.dispatch {
+		inst := p.inst
+		// A request that was on the rings when its endpoint reset fails
+		// with a retryable error instead of executing.
+		ep.mu.Lock()
+		stale := p.epoch != ep.epoch
+		ep.mu.Unlock()
+		if stale {
+			ep.deliver(inst, p.req, Response{Err: ErrDeviceReset})
+			continue
+		}
+		var out fault.Outcome
+		if inj != nil {
+			out = inj.AtService(ep.id, int(p.req.Op))
+		}
+		if out.Stall {
+			// Stalled engine: the response never arrives and the ring slot
+			// stays occupied until the submitter reclaims it.
+			inst.mu.Lock()
+			inst.leaked++
+			inst.mu.Unlock()
+			continue
+		}
+		if out.Drop {
+			// The request was consumed (slot freed) but the response is
+			// lost on the way back.
+			inst.mu.Lock()
+			inst.inflight--
+			inst.mu.Unlock()
+			continue
+		}
 		start := time.Now()
 		var resp Response
 		resp.Result, resp.Err = p.req.Work()
@@ -306,17 +355,63 @@ func (ep *endpoint) engineLoop() {
 				}
 			}
 		}
-		inst := p.inst
-		inst.mu.Lock()
-		inst.responses = append(inst.responses, completed{cb: p.req.Callback, resp: resp})
-		inst.mu.Unlock()
-		ep.mu.Lock()
-		ep.counters.Responses[p.req.Op]++
-		ep.mu.Unlock()
-		if hook := ep.dev.spec.OnResponse; hook != nil {
-			hook(inst)
+		if out.ExtraLatency > 0 {
+			time.Sleep(out.ExtraLatency)
 		}
+		if out.Corrupt {
+			resp.Result = corruptResult(resp.Result)
+		}
+		ep.deliver(inst, p.req, resp)
 	}
+}
+
+// deliver places a response on the instance's response ring, bumps the
+// firmware counter and fires the completion hook.
+func (ep *endpoint) deliver(inst *Instance, req Request, resp Response) {
+	inst.mu.Lock()
+	inst.responses = append(inst.responses, completed{cb: req.Callback, resp: resp})
+	inst.mu.Unlock()
+	ep.mu.Lock()
+	ep.counters.Responses[req.Op]++
+	ep.mu.Unlock()
+	if hook := ep.dev.spec.OnResponse; hook != nil {
+		hook(inst)
+	}
+}
+
+// corruptResult returns a bit-flipped copy of byte-slice results (wrong
+// bytes back, silently — detection is the submitter's job, e.g. RSA
+// sign-then-verify). Non-byte results pass through unchanged.
+func corruptResult(v any) any {
+	b, ok := v.([]byte)
+	if !ok || len(b) == 0 {
+		return v
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	c[0] ^= 0xa5
+	c[len(c)-1] ^= 0x5a
+	return c
+}
+
+// reset models a whole-endpoint reset: every request currently on the
+// endpoint's rings fails with ErrDeviceReset instead of executing.
+func (ep *endpoint) reset() {
+	ep.mu.Lock()
+	ep.epoch++
+	ep.resets++
+	ep.mu.Unlock()
+}
+
+// Resets returns how many times each endpoint has reset.
+func (d *Device) Resets() []int64 {
+	out := make([]int64, len(d.endpoints))
+	for i, ep := range d.endpoints {
+		ep.mu.Lock()
+		out[i] = ep.resets
+		ep.mu.Unlock()
+	}
+	return out
 }
 
 // Submit places a request on the instance's request ring. It never blocks:
@@ -336,6 +431,16 @@ func (inst *Instance) Submit(req Request) error {
 	if closed {
 		return ErrClosed
 	}
+	if inj := inst.ep.dev.spec.Injector; inj != nil {
+		out := inj.AtSubmit(inst.ep.id, int(req.Op))
+		if out.Reset {
+			inst.ep.reset()
+			return ErrDeviceReset
+		}
+		if out.RingFull {
+			return ErrRingFull
+		}
+	}
 	inst.mu.Lock()
 	if inst.inflight >= inst.ringCap {
 		inst.mu.Unlock()
@@ -346,10 +451,11 @@ func (inst *Instance) Submit(req Request) error {
 
 	inst.ep.mu.Lock()
 	inst.ep.counters.Requests[req.Op]++
+	epoch := inst.ep.epoch
 	inst.ep.mu.Unlock()
 
 	// Guaranteed space: dispatch capacity >= sum of ring capacities.
-	inst.ep.dispatch <- &pending{req: req, inst: inst}
+	inst.ep.dispatch <- &pending{req: req, inst: inst, epoch: epoch}
 	return nil
 }
 
@@ -394,6 +500,27 @@ func (inst *Instance) Available() int {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	return len(inst.responses)
+}
+
+// Leaked returns the number of ring slots currently held by stalled
+// requests whose responses will never arrive.
+func (inst *Instance) Leaked() int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.leaked
+}
+
+// ReclaimLeaked frees the ring slots of stalled requests, returning how
+// many were reclaimed. The submitter calls this after deciding (via a
+// deadline) that outstanding requests are never coming back; it stands in
+// for the ring reinitialization a device reset performs.
+func (inst *Instance) ReclaimLeaked() int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	n := inst.leaked
+	inst.inflight -= n
+	inst.leaked = 0
+	return n
 }
 
 // Endpoint returns the id of the endpoint this instance belongs to.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"qtls/internal/fault"
 	"qtls/internal/minitls"
 )
 
@@ -112,6 +113,23 @@ type RunConfig struct {
 	// worker (default 1; §2.3 allows several, from different endpoints,
 	// to employ more computation engines).
 	InstancesPerWorker int
+
+	// OpTimeout bounds each offloaded crypto operation: past the
+	// deadline the engine abandons the offload and computes the result
+	// in software, so a sick device degrades handshakes instead of
+	// hanging them (see internal/fault). 0 disables deadlines.
+	OpTimeout time.Duration
+	// MaxRetries bounds the engine's resubmissions after retryable
+	// offload failures (endpoint reset, corrupted response) before the
+	// software fallback.
+	MaxRetries int
+	// RetryBackoff is the engine's initial retry backoff (doubles per
+	// attempt; only the straight-offload path sleeps).
+	RetryBackoff time.Duration
+	// Breaker, when set, gives every worker's crypto instances a circuit
+	// breaker: instances whose recent offloads keep failing are taken
+	// out of the submission rotation until half-open probes succeed.
+	Breaker *fault.BreakerConfig
 }
 
 func (rc RunConfig) withDefaults() RunConfig {

@@ -6,9 +6,19 @@ import (
 	"fmt"
 	"sync"
 
+	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
 )
+
+// Names of the fault/degradation counters exported via stub_status.
+var faultCounterNames = []string{
+	"qat_faults_injected",
+	"qat_op_timeouts",
+	"qat_sw_fallbacks",
+	"qat_instance_trips",
+	"qat_retries",
+}
 
 // Options configures a multi-worker server.
 type Options struct {
@@ -30,11 +40,16 @@ type Options struct {
 	Device *qat.Device
 	// Handler serves request paths.
 	Handler Handler
+	// Metrics is the registry behind the /stub_status endpoint and the
+	// engines' degradation counters. nil creates a private registry, so
+	// stub_status always works.
+	Metrics *metrics.Registry
 }
 
 // Server is a set of event-driven workers sharing one listening port.
 type Server struct {
 	workers []*Worker
+	reg     *metrics.Registry
 	wg      sync.WaitGroup
 }
 
@@ -49,10 +64,24 @@ func New(opts Options) (*Server, error) {
 	if opts.Handler == nil {
 		return nil, fmt.Errorf("server: Handler required")
 	}
-	s := &Server{}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	// Register the degradation counters up front so stub_status lists
+	// them at zero even before any fault fires.
+	for _, name := range faultCounterNames {
+		reg.Counter(name)
+	}
+	if opts.Device != nil {
+		// Mirror every injected fault into the registry (nil-injector
+		// safe: SetSink on a nil *fault.Injector is a no-op).
+		opts.Device.Spec().Injector.SetSink(reg.Counter("qat_faults_injected"))
+	}
+	s := &Server{reg: reg}
 	addr := opts.Addr
 	for i := 0; i < opts.Workers; i++ {
-		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler)
+		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler, reg)
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -82,11 +111,15 @@ func (s *Server) Addr() string { return s.workers[0].Addr() }
 // Workers returns the workers (for stats inspection).
 func (s *Server) Workers() []*Worker { return s.workers }
 
+// Metrics returns the registry backing /stub_status.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
 // Stats aggregates worker counters.
 type Stats struct {
 	Accepted, Handshakes, Resumed, Requests, BytesOut int64
 	AsyncEvents, RetryEvents                          int64
 	HeuristicPolls, TimerPolls, FailoverPolls         int64
+	DeadlineWakeups                                   int64
 	Errors                                            int64
 }
 
@@ -104,6 +137,7 @@ func (s *Server) Stats() Stats {
 		t.HeuristicPolls += w.Stats.HeuristicPolls.Load()
 		t.TimerPolls += w.Stats.TimerPolls.Load()
 		t.FailoverPolls += w.Stats.FailoverPolls.Load()
+		t.DeadlineWakeups += w.Stats.DeadlineWakeups.Load()
 		t.Errors += w.Stats.Errors.Load()
 	}
 	return t

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"qtls/internal/engine"
+	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/netpoll"
 	"qtls/internal/qat"
@@ -34,8 +35,11 @@ type WorkerStats struct {
 	HeuristicPolls atomic.Int64
 	TimerPolls     atomic.Int64
 	FailoverPolls  atomic.Int64
-	ClosedConns    atomic.Int64
-	Errors         atomic.Int64
+	// DeadlineWakeups counts paused-offload resumes forced by the op
+	// deadline scan (graceful degradation of a sick device).
+	DeadlineWakeups atomic.Int64
+	ClosedConns     atomic.Int64
+	Errors          atomic.Int64
 }
 
 // Worker is one event-driven server worker: one epoll loop, one optional
@@ -47,17 +51,19 @@ type Worker struct {
 	tlsTmpl *minitls.Config
 	eng     *engine.Engine
 	handler Handler
+	reg     *metrics.Registry
 
 	poller     *netpoll.Poller
 	listener   *netpoll.Listener
 	notifyPipe *netpoll.NotifyPipe // FD-based async notification
 	stopPipe   *netpoll.NotifyPipe // cross-goroutine stop/wake
 
-	conns       map[int]*conn
-	asyncQueue  []*conn // kernel-bypass async queue (§3.4)
-	fdQueue     []*conn // conns whose async event travelled via the pipe
-	retryQueue  []*conn // conns awaiting a submission retry
-	activeConns int     // TCactive = alive - idle (§4.3)
+	conns        map[int]*conn
+	asyncQueue   []*conn // kernel-bypass async queue (§3.4)
+	fdQueue      []*conn // conns whose async event travelled via the pipe
+	retryQueue   []*conn // conns awaiting a submission retry
+	activeConns  int     // TCactive = alive - idle (§4.3)
+	asyncWaiting int     // conns with asyncPending set (deadline scan gate)
 
 	lastPoll time.Time // last response-retrieval poll (failover timer)
 
@@ -77,6 +83,10 @@ type conn struct {
 	// event is being expected", §4.2).
 	asyncPending bool
 	pendingRead  bool
+	// asyncDeadline forces a resume of the paused job when the op
+	// deadline passes without a response (zero when deadlines are off);
+	// the engine then degrades the op to software.
+	asyncDeadline time.Time
 
 	active          bool
 	reqBuf          []byte
@@ -87,13 +97,15 @@ type conn struct {
 	closed          bool
 }
 
-// NewWorker builds a worker. dev may be nil for the SW configuration.
-func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler) (*Worker, error) {
+// NewWorker builds a worker. dev may be nil for the SW configuration;
+// reg may be nil to disable the metrics/stub_status surface.
+func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
 		id:      id,
 		cfg:     cfg,
 		handler: handler,
+		reg:     reg,
 		conns:   make(map[int]*conn),
 	}
 	var err error
@@ -135,7 +147,16 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			insts = append(insts, inst)
 		}
 		var err error
-		if w.eng, err = engine.New(engine.Config{Instances: insts, Offload: cfg.Offload}); err != nil {
+		w.eng, err = engine.New(engine.Config{
+			Instances:    insts,
+			Offload:      cfg.Offload,
+			OpTimeout:    cfg.OpTimeout,
+			MaxRetries:   cfg.MaxRetries,
+			RetryBackoff: cfg.RetryBackoff,
+			Breaker:      cfg.Breaker,
+			Metrics:      reg,
+		})
+		if err != nil {
 			w.cleanup()
 			return nil, err
 		}
@@ -218,6 +239,7 @@ func (w *Worker) Run() {
 			w.heuristicCheck()
 		}
 		w.failoverCheck()
+		w.deadlineCheck()
 		w.processAsyncQueue()
 		w.processRetryQueue()
 		if len(events) == 0 && retrieved == 0 && len(w.asyncQueue) == 0 {
@@ -247,6 +269,10 @@ func (w *Worker) waitTimeout() int {
 	switch {
 	case len(w.asyncQueue) > 0 || len(w.retryQueue) > 0 || len(w.fdQueue) > 0:
 		return 0
+	case w.cfg.OpTimeout > 0 && w.asyncWaiting > 0:
+		// Paused offload jobs with a deadline: wake soon enough for the
+		// deadline scan even if the device never responds.
+		return 1
 	case w.cfg.Polling == PollTimer && w.eng != nil && inflight > 0:
 		// Timer polling: wake at the polling interval. Sub-millisecond
 		// intervals degenerate to a busy poll, like a 10 µs polling
@@ -378,11 +404,27 @@ func (w *Worker) updateWriteInterest(c *conn) {
 	}
 }
 
+// setAsyncPending flips the conn's paused-offload mark and keeps the
+// worker's count of waiting conns (the deadline-scan gate) in step.
+func (w *Worker) setAsyncPending(c *conn, pending bool) {
+	if c.asyncPending == pending {
+		return
+	}
+	c.asyncPending = pending
+	if pending {
+		w.asyncWaiting++
+	} else {
+		w.asyncWaiting--
+		c.asyncDeadline = time.Time{}
+	}
+}
+
 func (w *Worker) closeConn(c *conn) {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	w.setAsyncPending(c, false)
 	if c.active {
 		c.active = false
 		w.activeConns--
@@ -395,7 +437,10 @@ func (w *Worker) closeConn(c *conn) {
 
 // suspendForAsync parks the connection while an offload job is paused.
 func (w *Worker) suspendForAsync(c *conn) {
-	c.asyncPending = true
+	w.setAsyncPending(c, true)
+	if w.cfg.OpTimeout > 0 {
+		c.asyncDeadline = time.Now().Add(w.cfg.OpTimeout)
+	}
 }
 
 // resumeAsync restores the saved handler and re-enters it (§3.2
@@ -404,7 +449,7 @@ func (w *Worker) resumeAsync(c *conn) {
 	if c.closed {
 		return
 	}
-	c.asyncPending = false
+	w.setAsyncPending(c, false)
 	w.Stats.AsyncEvents.Add(1)
 	w.invoke(c)
 	if !c.closed && c.pendingRead && !c.asyncPending {
@@ -448,7 +493,7 @@ func (w *Worker) processRetryQueue() {
 	w.retryQueue = nil
 	for _, c := range q {
 		w.Stats.RetryEvents.Add(1)
-		c.asyncPending = false
+		w.setAsyncPending(c, false)
 		w.invoke(c)
 	}
 }
@@ -493,6 +538,30 @@ func (w *Worker) failoverCheck() {
 	}
 }
 
+// deadlineCheck resumes paused offload jobs whose op deadline has passed
+// without a response — the graceful-degradation path for a sick device.
+// The forced resume re-enters the engine, which abandons the offload and
+// computes the result in software (see engine.Config.OpTimeout). If the
+// engine's own deadline has not quite expired yet the job re-pauses and
+// is re-resumed a millisecond later.
+func (w *Worker) deadlineCheck() {
+	if w.cfg.OpTimeout <= 0 || w.asyncWaiting == 0 {
+		return
+	}
+	now := time.Now()
+	var due []*conn
+	for _, c := range w.conns {
+		if c.asyncPending && !c.asyncDeadline.IsZero() && now.After(c.asyncDeadline) {
+			due = append(due, c)
+		}
+	}
+	for _, c := range due {
+		c.asyncDeadline = now.Add(time.Millisecond)
+		w.Stats.DeadlineWakeups.Add(1)
+		w.resumeAsync(c)
+	}
+}
+
 // --- TLS / HTTP handlers --------------------------------------------------
 
 func (w *Worker) handshakeHandler(c *conn) {
@@ -518,7 +587,7 @@ func (w *Worker) handshakeHandler(c *conn) {
 	case errors.Is(err, minitls.ErrWantAsync):
 		w.suspendForAsync(c)
 	case errors.Is(err, minitls.ErrWantAsyncRetry):
-		c.asyncPending = true
+		w.setAsyncPending(c, true)
 		w.retryQueue = append(w.retryQueue, c)
 	default:
 		w.Stats.Errors.Add(1)
@@ -559,7 +628,7 @@ func (w *Worker) requestHandler(c *conn) {
 			w.suspendForAsync(c)
 			return
 		case errors.Is(err, minitls.ErrWantAsyncRetry):
-			c.asyncPending = true
+			w.setAsyncPending(c, true)
 			w.retryQueue = append(w.retryQueue, c)
 			return
 		default:
@@ -586,7 +655,13 @@ func (w *Worker) serveRequest(c *conn, req []byte) {
 	path := string(fields[1])
 	c.closeAfterWrite = requestWantsClose(req)
 	w.Stats.Requests.Add(1)
-	body, ok := w.handler(path)
+	var body []byte
+	var ok bool
+	if path == "/stub_status" && w.reg != nil {
+		body, ok = w.statusBody(), true
+	} else {
+		body, ok = w.handler(path)
+	}
 	status := "200 OK"
 	if !ok {
 		status = "404 Not Found"
@@ -601,6 +676,27 @@ func (w *Worker) serveRequest(c *conn, req []byte) {
 	c.writeBody = append([]byte(hdr), body...)
 	c.handler = w.writeHandler
 	w.writeHandler(c)
+}
+
+// statusBody renders the stub_status page: worker activity, the shared
+// fault/degradation counters, and per-instance health/breaker state.
+func (w *Worker) statusBody() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Active connections: %d\n", len(w.conns))
+	fmt.Fprintf(&b, "handshakes %d requests %d errors %d deadline_wakeups %d\n",
+		w.Stats.Handshakes.Load(), w.Stats.Requests.Load(),
+		w.Stats.Errors.Load(), w.Stats.DeadlineWakeups.Load())
+	snap := w.reg.Snapshot()
+	for _, name := range w.reg.Names() {
+		fmt.Fprintf(&b, "%s %d\n", name, snap[name])
+	}
+	if w.eng != nil {
+		for _, h := range w.eng.Health() {
+			fmt.Fprintf(&b, "instance %d endpoint %d inflight %d leaked %d breaker %s\n",
+				h.Index, h.Endpoint, h.Inflight, h.Leaked, h.Breaker)
+		}
+	}
+	return b.Bytes()
 }
 
 // requestWantsClose scans the header block for "Connection: close"
@@ -671,7 +767,7 @@ func (w *Worker) writeHandler(c *conn) {
 	case errors.Is(err, minitls.ErrWantAsync):
 		w.suspendForAsync(c)
 	case errors.Is(err, minitls.ErrWantAsyncRetry):
-		c.asyncPending = true
+		w.setAsyncPending(c, true)
 		w.retryQueue = append(w.retryQueue, c)
 	default:
 		w.Stats.Errors.Add(1)
