@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"qtls/internal/fault"
+	"qtls/internal/metrics"
 	"qtls/internal/qat"
+	"qtls/internal/trace"
 )
 
 func main() {
@@ -54,6 +56,16 @@ func main() {
 	defer dev.Close()
 
 	ops := []qat.OpType{qat.OpRSA, qat.OpECDSA, qat.OpECDH, qat.OpPRF, qat.OpCipher}
+	// Submit→response latency per op type, plus retrieval spans in the
+	// same recorder the server uses (everything runs on this goroutine:
+	// callbacks fire inside Poll, so plain maps are fine).
+	rec := trace.NewRecorder(4096)
+	rec.SetEnabled(true)
+	spans := rec.Buffer(0)
+	lat := map[qat.OpType]*metrics.Histogram{}
+	for _, op := range ops {
+		lat[op] = metrics.NewHistogram(1 << 14)
+	}
 	var insts []*qat.Instance
 	var breakers []*fault.Breaker
 	for i := 0; i < *instances; i++ {
@@ -76,10 +88,15 @@ func main() {
 		br := breakers[i]
 		for _, op := range ops {
 			for n := 0; n < *burst; n++ {
+				op := op
+				submitAt := time.Now()
 				req := qat.Request{
 					Op:   op,
 					Work: func() (any, error) { return nil, nil },
 					Callback: func(r qat.Response) {
+						d := time.Since(submitAt)
+						lat[op].ObserveDuration(d)
+						spans.Record(trace.PhaseRetrieve, trace.Op(op), trace.TagNone, 0, submitAt, d)
 						if r.Err != nil {
 							respErrs++
 							br.RecordFailure(time.Now())
@@ -150,10 +167,26 @@ func main() {
 		}
 		total += c.TotalResponses()
 	}
+	fmt.Printf("\nsubmit→response latency (%d spans recorded):\n", rec.Count())
+	for _, op := range ops {
+		h := lat[op]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s n=%-8d p50=%-10v p99=%-10v max=%v\n",
+			op, h.Count(),
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(h.Max()).Round(time.Microsecond))
+	}
+
 	fmt.Printf("\ninstance health:\n")
 	for i, inst := range insts {
+		st := inst.Stats()
 		fmt.Printf("  instance %d endpoint %d inflight %d leaked %d breaker %s\n",
 			i, inst.Endpoint(), inst.Inflight(), inst.Leaked(), breakers[i].Snapshot())
+		fmt.Printf("    submits=%d ringFull=%d polls=%d (empty %d) dequeued=%d maxBatch=%d\n",
+			st.Submits, st.RingFull, st.Polls, st.EmptyPolls, st.Dequeued, st.MaxBatch)
 	}
 	if inj != nil {
 		fmt.Printf("\nfaults injected: %d (stall=%d drop=%d corrupt=%d latency=%d ringfull=%d reset=%d); submit errors=%d response errors=%d leaked slots reclaimed=%d\n",

@@ -35,6 +35,7 @@ import (
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
 	"qtls/internal/server"
+	"qtls/internal/trace"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
 		engines  = flag.Int("engines", 4, "engines per endpoint")
 		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
+		traceOn  = flag.Bool("trace", false, "record offload-phase spans (serves /debug/trace, adds phase latency to stats)")
+		traceCap = flag.Int("trace-spans", 4096, "span ring capacity per worker (with -trace)")
 
 		faultSpec = flag.String("fault", "", "device fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")
@@ -156,6 +159,11 @@ func main() {
 		}
 	}
 
+	var rec *trace.Recorder
+	if *traceOn {
+		rec = trace.NewRecorder(*traceCap)
+		rec.SetEnabled(true)
+	}
 	srv, err := server.New(server.Options{
 		Addr:    *addr,
 		Workers: *workers,
@@ -163,6 +171,7 @@ func main() {
 		TLS:     tlsCfg,
 		Device:  dev,
 		Handler: server.SizedBodyHandler(8 << 20),
+		Trace:   rec,
 	})
 	if err != nil {
 		log.Fatalf("server: %v", err)
@@ -170,6 +179,10 @@ func main() {
 	srv.Start()
 	log.Printf("qtlsserver: %s, %d workers, config %s, max %s — listening on %s",
 		*keyType, *workers, run.Name, *maxVer, srv.Addr())
+	log.Printf("observability: GET /stub_status, GET /metrics (Prometheus text)")
+	if rec != nil {
+		log.Printf("tracing: GET /debug/trace?n=256 (four-phase spans, %d per worker)", *traceCap)
+	}
 
 	if *stats > 0 {
 		go func() {
@@ -190,6 +203,15 @@ func main() {
 					line += fmt.Sprintf(" faults=%d timeouts=%d swFallbacks=%d trips=%d",
 						snap["qat_faults_injected"], snap["qat_op_timeouts"],
 						snap["qat_sw_fallbacks"], snap["qat_instance_trips"])
+				}
+				if rec != nil {
+					line += " phases(p50/p99 µs):"
+					for _, ph := range trace.OffloadPhases() {
+						if h, ok := srv.Metrics().LookupHistogram(trace.PhaseSeriesName(ph)); ok && h.Count() > 0 {
+							line += fmt.Sprintf(" %s=%.1f/%.1f", ph,
+								h.Quantile(0.50)/1e3, h.Quantile(0.99)/1e3)
+						}
+					}
 				}
 				log.Print(line)
 			}

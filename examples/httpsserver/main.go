@@ -25,12 +25,14 @@ import (
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
 	"qtls/internal/server"
+	"qtls/internal/trace"
 )
 
 func main() {
 	var (
 		faultSpec = flag.String("fault", "", "device fault scenario, e.g. 'stall:op=rsa,p=1' (see internal/fault)")
 		opTimeout = flag.Duration("op-timeout", 10*time.Millisecond, "per-op offload deadline before software fallback")
+		doMetrics = flag.Bool("metrics", false, "trace offload phases and print a phase-latency line every 500ms")
 	)
 	flag.Parse()
 
@@ -54,6 +56,11 @@ func main() {
 		run.Breaker = &fault.BreakerConfig{}
 	}
 
+	var rec *trace.Recorder
+	if *doMetrics {
+		rec = trace.NewRecorder(4096)
+		rec.SetEnabled(true)
+	}
 	var ticketKey [32]byte
 	copy(ticketKey[:], "httpsserver-example-ticket-key!!")
 	srv, err := server.New(server.Options{
@@ -67,6 +74,7 @@ func main() {
 		},
 		Device:  dev,
 		Handler: server.SizedBodyHandler(1 << 20),
+		Trace:   rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +82,33 @@ func main() {
 	srv.Start()
 	defer srv.Stop()
 	log.Printf("QTLS server listening on https://%s (paths like /4096 serve 4 KiB)", srv.Addr())
+
+	if *doMetrics {
+		log.Print("observability on: /metrics, /stub_status, /debug/trace")
+		stopTick := make(chan struct{})
+		defer close(stopTick)
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-tick.C:
+				}
+				line := "phase latency p50/p99 µs:"
+				for _, ph := range trace.OffloadPhases() {
+					h, ok := srv.Metrics().LookupHistogram(trace.PhaseSeriesName(ph))
+					if !ok || h.Count() == 0 {
+						continue
+					}
+					line += fmt.Sprintf("  %s %.1f/%.1f", ph,
+						h.Quantile(0.50)/1e3, h.Quantile(0.99)/1e3)
+				}
+				log.Print(line)
+			}
+		}()
+	}
 
 	// Drive it: 8 clients make connections with one request each for 2s.
 	res := loadgen.STime(loadgen.STimeOptions{

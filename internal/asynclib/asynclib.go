@@ -28,7 +28,42 @@ package asynclib
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// jobStats counts fiber lifecycle events process-wide. The counters are
+// cumulative and monotonic; /metrics exports them as gauges derived from
+// Stats() so the balance started == finished + (paused - resumed) is
+// directly visible when hunting leaked fibers.
+var jobStats struct {
+	started  atomic.Int64
+	paused   atomic.Int64
+	resumed  atomic.Int64
+	finished atomic.Int64
+}
+
+// JobStats is a point-in-time view of the fiber lifecycle counters.
+type JobStats struct {
+	// Started counts jobs created by StartJob.
+	Started int64
+	// Paused counts Pause calls that suspended a fiber.
+	Paused int64
+	// Resumed counts StartJob calls that context-swapped into a paused
+	// fiber.
+	Resumed int64
+	// Finished counts job functions that ran to completion.
+	Finished int64
+}
+
+// Stats returns the cumulative fiber lifecycle counters.
+func Stats() JobStats {
+	return JobStats{
+		Started:  jobStats.started.Load(),
+		Paused:   jobStats.paused.Load(),
+		Resumed:  jobStats.resumed.Load(),
+		Finished: jobStats.finished.Load(),
+	}
+}
 
 // Status is the result of driving a job with StartJob.
 type Status int
@@ -183,18 +218,21 @@ func StartJob(job *Job, fn func(*Job) error) (Status, *Job, error) {
 			return StatusErr, job, errors.New("asynclib: StartJob with nil function")
 		}
 		job.started = true
+		jobStats.started.Add(1)
 		go func() {
 			err := fn(job)
 			job.yield <- yieldMsg{finished: true, err: err}
 		}()
 	} else {
 		// Context swap into the paused fiber.
+		jobStats.resumed.Add(1)
 		job.resume <- struct{}{}
 	}
 	msg := <-job.yield
 	if msg.finished {
 		job.finished = true
 		job.err = msg.err
+		jobStats.finished.Add(1)
 		return StatusFinish, job, msg.err
 	}
 	return StatusPause, job, nil
@@ -208,6 +246,7 @@ func (j *Job) Pause() error {
 	if j == nil {
 		return ErrNotInJob
 	}
+	jobStats.paused.Add(1)
 	j.yield <- yieldMsg{}
 	<-j.resume
 	return nil

@@ -335,3 +335,36 @@ func TestStackStateStrings(t *testing.T) {
 		t.Fatal("unknown state should render")
 	}
 }
+
+func TestJobStats(t *testing.T) {
+	before := Stats()
+	status, job, err := StartJob(nil, func(j *Job) error {
+		if err := j.Pause(); err != nil {
+			return err
+		}
+		return j.Pause()
+	})
+	if status != StatusPause || err != nil {
+		t.Fatalf("first start: %v %v", status, err)
+	}
+	for i := 0; i < 2; i++ {
+		status, _, err = StartJob(job, nil)
+		if err != nil {
+			t.Fatalf("resume %d: %v", i, err)
+		}
+	}
+	if status != StatusFinish {
+		t.Fatalf("final status = %v", status)
+	}
+	d := Stats()
+	got := JobStats{
+		Started:  d.Started - before.Started,
+		Paused:   d.Paused - before.Paused,
+		Resumed:  d.Resumed - before.Resumed,
+		Finished: d.Finished - before.Finished,
+	}
+	want := JobStats{Started: 1, Paused: 2, Resumed: 2, Finished: 1}
+	if got != want {
+		t.Fatalf("stats delta = %+v, want %+v", got, want)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
+	"qtls/internal/trace"
 )
 
 // Class groups op kinds the way the heuristic polling scheme counts them.
@@ -139,6 +140,13 @@ type Config struct {
 	// instance whose recent offloads keep failing is taken out of the
 	// submission rotation until its half-open probes succeed.
 	Breaker *fault.BreakerConfig
+	// Trace, when set, receives phase spans for the paper's first two
+	// offload phases (pre-processing: entry → submitted; response
+	// retrieval: submitted → callback). The remaining two phases
+	// (notification, post-processing) are recorded by the event-loop
+	// worker, which owns those boundaries. A nil or disabled buffer costs
+	// one atomic load per op.
+	Trace *trace.Buffer
 }
 
 // Engine implements minitls.Provider backed by one or more QAT crypto
@@ -183,6 +191,11 @@ type Engine struct {
 	ctrFallbacks *metrics.Counter
 	ctrTrips     *metrics.Counter
 	ctrRetries   *metrics.Counter
+
+	// Phase tracing (inert when Config.Trace is nil or disabled).
+	tr           *trace.Buffer
+	histPre      *metrics.Histogram // qtls_phase_ns{phase="pre"}
+	histRetrieve *metrics.Histogram // qtls_phase_ns{phase="retrieve"}
 }
 
 // stackPending is the engine-side state of one in-flight stack-async op.
@@ -233,8 +246,44 @@ func New(cfg Config) (*Engine, error) {
 		e.ctrFallbacks = cfg.Metrics.Counter("qat_sw_fallbacks")
 		e.ctrTrips = cfg.Metrics.Counter("qat_instance_trips")
 		e.ctrRetries = cfg.Metrics.Counter("qat_retries")
+		e.histPre = cfg.Metrics.Histogram(trace.PhaseSeriesName(trace.PhasePre))
+		e.histRetrieve = cfg.Metrics.Histogram(trace.PhaseSeriesName(trace.PhaseRetrieve))
 	}
+	e.tr = cfg.Trace
 	return e, nil
+}
+
+// tracing reports whether phase spans should be timestamped at all; when
+// false the op paths skip even the time.Now() calls.
+func (e *Engine) tracing() bool { return e.tr.Active() }
+
+// tracePre records one pre-processing span (crypto-call entry to the
+// request landing on the QAT request ring).
+func (e *Engine) tracePre(kind minitls.OpKind, tag trace.Tag, start time.Time) {
+	dur := time.Since(start)
+	e.tr.Record(trace.PhasePre, trace.Op(opTypeFor(kind)), tag, 0, start, dur)
+	if e.histPre != nil {
+		e.histPre.ObserveDuration(dur)
+	}
+}
+
+// traceRetrieve records one response-retrieval span (submission to the
+// response callback running inside a poll). Called from the callback, on
+// the polling goroutine.
+func (e *Engine) traceRetrieve(kind minitls.OpKind, tag trace.Tag, submitAt time.Time) {
+	dur := time.Since(submitAt)
+	e.tr.Record(trace.PhaseRetrieve, trace.Op(opTypeFor(kind)), tag, 0, submitAt, dur)
+	if e.histRetrieve != nil {
+		e.histRetrieve.ObserveDuration(dur)
+	}
+}
+
+// attemptTag distinguishes first-attempt spans from resubmissions.
+func attemptTag(attempt int) trace.Tag {
+	if attempt > 0 {
+		return trace.TagRetry
+	}
+	return trace.TagNone
 }
 
 // submitIdx places the request on the next breaker-admitted instance in
@@ -406,6 +455,10 @@ func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Cla
 		var settled atomic.Bool
 		var result any
 		var resultErr error
+		var preStart, submitAt time.Time
+		if e.tracing() {
+			preStart = time.Now()
+		}
 		req := qat.Request{
 			Op:   opTypeFor(kind),
 			Work: work,
@@ -413,10 +466,16 @@ func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Cla
 				if !settled.CompareAndSwap(false, true) {
 					return // late response for an op already degraded
 				}
+				if !submitAt.IsZero() {
+					e.traceRetrieve(kind, attemptTag(attempt), submitAt)
+				}
 				result, resultErr = r.Result, r.Err
 				e.onResponse(class)
 				done.Store(true)
 			},
+		}
+		if !preStart.IsZero() {
+			submitAt = time.Now()
 		}
 		idx, err := e.submitIdx(req)
 		for err != nil && errors.Is(err, qat.ErrRingFull) {
@@ -427,6 +486,9 @@ func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Cla
 				// from a stalled engine. Reclaim and degrade.
 				e.reclaimLeaked()
 				return e.swFallback(work)
+			}
+			if !preStart.IsZero() {
+				submitAt = time.Now()
 			}
 			idx, err = e.submitIdx(req)
 		}
@@ -445,6 +507,9 @@ func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Cla
 			return nil, err
 		}
 		e.onSubmit(class)
+		if !preStart.IsZero() {
+			e.tracePre(kind, attemptTag(attempt), preStart)
+		}
 		for !done.Load() {
 			if e.pollAll(0) == 0 {
 				runtime.Gosched()
@@ -490,12 +555,20 @@ func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class,
 		delivered := false
 		var settled atomic.Bool
 		deadline := e.opDeadline()
+		var preStart, submitAt time.Time
+		if e.tracing() {
+			preStart = time.Now()
+		}
+		tag := attemptTag(attempt)
 		req := qat.Request{
 			Op:   opTypeFor(kind),
 			Work: work,
 			Callback: func(r qat.Response) {
 				if !settled.CompareAndSwap(false, true) {
 					return // the op already timed out and degraded
+				}
+				if !submitAt.IsZero() {
+					e.traceRetrieve(kind, tag, submitAt)
 				}
 				call.SetResult(r.Result, r.Err)
 				e.onResponse(class)
@@ -504,6 +577,9 @@ func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class,
 					call.WaitCtx.Notify()
 				}
 			},
+		}
+		if !preStart.IsZero() {
+			submitAt = time.Now()
 		}
 		idx, err := e.submitIdx(req)
 		if err != nil {
@@ -532,6 +608,9 @@ func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class,
 			return nil, err
 		}
 		e.onSubmit(class)
+		if !preStart.IsZero() {
+			e.tracePre(kind, tag, preStart)
+		}
 		call.SubmitFailed = false
 		call.SetResult(nil, nil)
 		// Tolerate spurious resumes: stay paused until the response
@@ -622,6 +701,11 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 	}
 	// State idle or retry: submit.
 	settled := &atomic.Bool{}
+	var preStart, submitAt time.Time
+	if e.tracing() {
+		preStart = time.Now()
+	}
+	tag := attemptTag(attempt)
 	req := qat.Request{
 		Op:   opTypeFor(kind),
 		Work: work,
@@ -629,12 +713,18 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 			if !settled.CompareAndSwap(false, true) {
 				return // the op already timed out and degraded
 			}
+			if !submitAt.IsZero() {
+				e.traceRetrieve(kind, tag, submitAt)
+			}
 			st.MarkReady(r.Result, r.Err)
 			e.onResponse(class)
 			if call.WaitCtx != nil {
 				call.WaitCtx.Notify()
 			}
 		},
+	}
+	if !preStart.IsZero() {
+		submitAt = time.Now()
 	}
 	idx, err := e.submitIdx(req)
 	if err != nil {
@@ -659,6 +749,9 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 		return nil, err
 	}
 	e.onSubmit(class)
+	if !preStart.IsZero() {
+		e.tracePre(kind, tag, preStart)
+	}
 	st.MarkInflight()
 	e.stackOps[st] = &stackPending{
 		settled:  settled,

@@ -162,13 +162,13 @@ func TestParseSpecEmpty(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	for _, spec := range []string{
-		"explode",            // unknown kind
-		"stall:p=2",          // probability out of range
-		"stall:wat=1",        // unknown option
-		"stall:p",            // malformed option
-		"latency:p=1",        // latency without d=
-		"stall:op=des",       // unknown op
-		"drop:after=x",       // bad int
+		"explode",      // unknown kind
+		"stall:p=2",    // probability out of range
+		"stall:wat=1",  // unknown option
+		"stall:p",      // malformed option
+		"latency:p=1",  // latency without d=
+		"stall:op=des", // unknown op
+		"drop:after=x", // bad int
 	} {
 		if _, err := ParseSpec(spec, 1); err == nil {
 			t.Fatalf("spec %q accepted", spec)

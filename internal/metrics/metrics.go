@@ -63,6 +63,13 @@ type Histogram struct {
 	max     float64
 	capN    int
 	rng     uint64 // xorshift state for reservoir sampling
+
+	// sorted caches the sorted view of samples for quantile queries;
+	// Observe invalidates it, so repeated scrapes of an idle histogram
+	// never re-sort and the scrape path stays off the Observe critical
+	// section for all but one sort per batch of observations.
+	sorted []float64
+	dirty  bool
 }
 
 // NewHistogram returns a histogram that retains at most capN samples for
@@ -94,6 +101,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	if len(h.samples) < h.capN {
 		h.samples = append(h.samples, v)
+		h.dirty = true
 		return
 	}
 	// Reservoir sampling: replace a random existing sample with
@@ -104,6 +112,7 @@ func (h *Histogram) Observe(v float64) {
 	idx := h.rng % uint64(h.count)
 	if idx < uint64(h.capN) {
 		h.samples[idx] = v
+		h.dirty = true
 	}
 }
 
@@ -147,23 +156,33 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) estimated from the retained
-// samples. It returns 0 when the histogram is empty.
-func (h *Histogram) Quantile(q float64) float64 {
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
+	return h.sum
+}
+
+// sortedLocked returns the sorted view of the retained samples,
+// rebuilding the cache only when observations arrived since the last
+// query. Callers must hold h.mu.
+func (h *Histogram) sortedLocked() []float64 {
+	if h.dirty || h.sorted == nil {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Float64s(h.sorted)
+		h.dirty = false
 	}
+	return h.sorted
+}
+
+// quantileOf interpolates the q-quantile from a sorted, non-empty view.
+func quantileOf(sorted []float64, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
@@ -172,6 +191,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from the retained
+// samples. It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return quantileOf(h.sortedLocked(), q)
 }
 
 // Snapshot is a point-in-time summary of a histogram.
@@ -185,17 +215,27 @@ type Snapshot struct {
 	P99   float64
 }
 
-// Snapshot returns a summary of the histogram.
+// Snapshot returns a summary of the histogram. All fields come from one
+// lock acquisition and at most one sort (reusing the cached sorted
+// view), so a scrape does not stall concurrent Observe callers the way
+// per-quantile copy+sort calls would.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.count}
+	if h.count == 0 {
+		return s
 	}
+	s.Mean = h.sum / float64(h.count)
+	s.Min = h.min
+	s.Max = h.max
+	if len(h.samples) > 0 {
+		sorted := h.sortedLocked()
+		s.P50 = quantileOf(sorted, 0.50)
+		s.P90 = quantileOf(sorted, 0.90)
+		s.P99 = quantileOf(sorted, 0.99)
+	}
+	return s
 }
 
 // String renders the snapshot treating values as nanoseconds.
@@ -209,19 +249,31 @@ func (s Snapshot) String() string {
 		time.Duration(s.Max))
 }
 
-// Registry is a set of named counters, the export surface behind the
-// server's stub_status output and the fault/degradation counters
-// (qat_faults_injected, qat_op_timeouts, qat_sw_fallbacks,
-// qat_instance_trips). Counter is get-or-create, so independent
-// components can share one registry without coordination.
+// Registry is a set of named counters, gauges and histograms — the
+// export surface behind the server's stub_status output, the
+// Prometheus-format /metrics endpoint and the fault/degradation
+// counters (qat_faults_injected, qat_op_timeouts, qat_sw_fallbacks,
+// qat_instance_trips). Every accessor is get-or-create, so independent
+// components can share one registry without coordination. A name may
+// carry a Prometheus label set (`qtls_inflight{worker="0"}`); the
+// exposition writer groups such series under one metric family.
+// Counters, gauges and histograms live in separate namespaces; reusing
+// one name across kinds is allowed but makes for a confusing scrape, so
+// don't.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
 }
 
 // Counter returns the named counter, registering it on first use.
@@ -234,6 +286,47 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use
+// with the default sample cap.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// LookupGauge returns the named gauge if it has been registered.
+func (r *Registry) LookupGauge(name string) (*Gauge, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	return g, ok
+}
+
+// LookupHistogram returns the named histogram if it has been registered.
+func (r *Registry) LookupHistogram(name string) (*Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	return h, ok
 }
 
 // Lookup returns the named counter if it has been registered.
@@ -271,10 +364,17 @@ func (r *Registry) Snapshot() map[string]int64 {
 type Meter struct {
 	start time.Time
 	n     atomic.Int64
+
+	mu    sync.Mutex // guards the IntervalRate read-and-reset window
+	lastN int64
+	lastT time.Time
 }
 
 // NewMeter returns a meter whose interval starts now.
-func NewMeter() *Meter { return &Meter{start: time.Now()} }
+func NewMeter() *Meter {
+	now := time.Now()
+	return &Meter{start: now, lastT: now}
+}
 
 // Mark records n events.
 func (m *Meter) Mark(n int64) { m.n.Add(n) }
@@ -286,6 +386,24 @@ func (m *Meter) Rate() float64 {
 		return 0
 	}
 	return float64(m.n.Load()) / el
+}
+
+// IntervalRate returns events per second since the previous
+// IntervalRate call (or since creation, on the first call) and starts a
+// new interval. Scrapers use it for per-scrape throughput that isn't
+// diluted by process lifetime the way Rate is.
+func (m *Meter) IntervalRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	n := m.n.Load()
+	el := now.Sub(m.lastT).Seconds()
+	dn := n - m.lastN
+	m.lastN, m.lastT = n, now
+	if el <= 0 {
+		return 0
+	}
+	return float64(dn) / el
 }
 
 // Total returns the total number of marked events.

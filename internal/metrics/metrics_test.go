@@ -223,3 +223,94 @@ func TestSnapshotString(t *testing.T) {
 		t.Fatal("empty snapshot string")
 	}
 }
+
+func TestMetricsMeterIntervalRate(t *testing.T) {
+	m := NewMeter()
+	m.Mark(100)
+	time.Sleep(20 * time.Millisecond)
+	r1 := m.IntervalRate()
+	if r1 <= 0 {
+		t.Fatalf("first interval rate = %v, want > 0", r1)
+	}
+	// No new events: the next interval rate must be ~0, unlike Rate,
+	// which still reports the lifetime average.
+	time.Sleep(20 * time.Millisecond)
+	if r2 := m.IntervalRate(); r2 != 0 {
+		t.Fatalf("idle interval rate = %v, want 0", r2)
+	}
+	if m.Rate() <= 0 {
+		t.Fatal("lifetime Rate lost events")
+	}
+	m.Mark(50)
+	time.Sleep(20 * time.Millisecond)
+	if r3 := m.IntervalRate(); r3 <= 0 {
+		t.Fatalf("third interval rate = %v, want > 0", r3)
+	}
+	if m.Total() != 150 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+}
+
+// Get-or-create must return one stable instance per (kind, name) under
+// concurrent first use across all three kinds.
+func TestMetricsRegistryKindsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("kinds_shared").Inc()
+				r.Gauge("kinds_shared").Add(1)
+				r.Histogram("kinds_shared").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("kinds_shared").Value(); v != 4000 {
+		t.Fatalf("counter = %d", v)
+	}
+	if v := r.Gauge("kinds_shared").Value(); v != 4000 {
+		t.Fatalf("gauge = %d", v)
+	}
+	if n := r.Histogram("kinds_shared").Count(); n != 4000 {
+		t.Fatalf("histogram count = %d", n)
+	}
+	if _, ok := r.LookupGauge("kinds_shared"); !ok {
+		t.Fatal("gauge not registered")
+	}
+	if _, ok := r.LookupHistogram("kinds_shared"); !ok {
+		t.Fatal("histogram not registered")
+	}
+	if _, ok := r.LookupGauge("absent"); ok {
+		t.Fatal("phantom gauge")
+	}
+	if _, ok := r.LookupHistogram("absent"); ok {
+		t.Fatal("phantom histogram")
+	}
+}
+
+// Quantiles must track new observations after the sorted view has been
+// cached — the cache invalidation path.
+func TestMetricsHistogramQuantileCache(t *testing.T) {
+	h := NewHistogram(1024)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("max quantile = %v", q)
+	}
+	// Cached now; repeated queries see the same view.
+	if q := h.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("p50 = %v", q)
+	}
+	h.Observe(1000)
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("quantile after invalidation = %v, want 1000", q)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 101 || snap.Max != 1000 || snap.P99 < 99 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qat_sw_fallbacks").Add(7)
+	r.Counter(`qtls_polls{cause="heuristic"}`).Add(3)
+	r.Counter(`qtls_polls{cause="timer"}`).Add(2)
+	r.Gauge(`qtls_inflight{worker="0"}`).Set(5)
+	h := r.Histogram(`qtls_phase_ns{phase="pre"}`)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i * 1000))
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE qat_sw_fallbacks counter\n",
+		"qat_sw_fallbacks 7\n",
+		"# TYPE qtls_polls counter\n",
+		`qtls_polls{cause="heuristic"} 3` + "\n",
+		`qtls_polls{cause="timer"} 2` + "\n",
+		"# TYPE qtls_inflight gauge\n",
+		`qtls_inflight{worker="0"} 5` + "\n",
+		"# TYPE qtls_phase_ns summary\n",
+		`qtls_phase_ns{phase="pre",quantile="0.5"}`,
+		`qtls_phase_ns{phase="pre",quantile="0.9"}`,
+		`qtls_phase_ns{phase="pre",quantile="0.99"}`,
+		`qtls_phase_ns_sum{phase="pre"} 5.05e+06` + "\n",
+		`qtls_phase_ns_count{phase="pre"} 100` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// One TYPE line per family, emitted before that family's samples.
+	if strings.Count(out, "# TYPE qtls_polls ") != 1 {
+		t.Fatalf("duplicate TYPE line for labeled family:\n%s", out)
+	}
+
+	// Every line must be a comment or `name{labels} value`.
+	line := regexp.MustCompile(`^(# .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+)$`)
+	for _, l := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !line.MatchString(l) {
+			t.Errorf("malformed exposition line: %q", l)
+		}
+	}
+}
+
+func TestMetricsPrometheusSanitizesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad-name.with spaces").Inc()
+	r.Counter("0starts_with_digit").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"bad_name_with_spaces 1\n", "_starts_with_digit 1\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsPrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_ns")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "empty_ns_count 0\n") {
+		t.Fatalf("empty histogram not exported:\n%s", out)
+	}
+}

@@ -68,18 +68,18 @@ const (
 	// offloadable crypto operation are marked (crypto); they are the safe
 	// re-entry points for stack async.
 	stateS12ReadClientHello
-	stateS12GenServerKey  // (crypto: ECDH keygen)
-	stateS12SignSKX       // (crypto: RSA/ECDSA sign)
-	stateS12FlushHello    // send SH [+Cert+SKX] +SHD
-	stateS12ReadCKE       // read ClientKeyExchange
-	stateS12ProcessCKE    // (crypto: RSA decrypt | ECDH derive)
-	stateS12DeriveMaster  // (crypto: PRF master secret)
-	stateS12DeriveKeys    // (crypto: PRF key expansion)
-	stateS12ReadCCS       // read ChangeCipherSpec
-	stateS12ReadFinished  // read client Finished
-	stateS12VerifyFin     // (crypto: PRF client verify_data)
-	stateS12ComputeFin    // (crypto: PRF server verify_data)
-	stateS12SendFinished  // send [ticket] CCS+Finished
+	stateS12GenServerKey // (crypto: ECDH keygen)
+	stateS12SignSKX      // (crypto: RSA/ECDSA sign)
+	stateS12FlushHello   // send SH [+Cert+SKX] +SHD
+	stateS12ReadCKE      // read ClientKeyExchange
+	stateS12ProcessCKE   // (crypto: RSA decrypt | ECDH derive)
+	stateS12DeriveMaster // (crypto: PRF master secret)
+	stateS12DeriveKeys   // (crypto: PRF key expansion)
+	stateS12ReadCCS      // read ChangeCipherSpec
+	stateS12ReadFinished // read client Finished
+	stateS12VerifyFin    // (crypto: PRF client verify_data)
+	stateS12ComputeFin   // (crypto: PRF server verify_data)
+	stateS12SendFinished // send [ticket] CCS+Finished
 
 	// TLS 1.2 server abbreviated-handshake (resumption) states.
 	stateS12ResumeKeys    // (crypto: PRF key expansion)

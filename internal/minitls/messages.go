@@ -41,15 +41,15 @@ var errDecode = errors.New("minitls: malformed message")
 // builder assembles length-prefixed wire structures.
 type builder struct{ b []byte }
 
-func (w *builder) bytes() []byte          { return w.b }
-func (w *builder) u8(v uint8)             { w.b = append(w.b, v) }
-func (w *builder) u16(v uint16)           { w.b = binary.BigEndian.AppendUint16(w.b, v) }
-func (w *builder) u24(v int)              { w.b = append(w.b, byte(v>>16), byte(v>>8), byte(v)) }
-func (w *builder) u32(v uint32)           { w.b = binary.BigEndian.AppendUint32(w.b, v) }
-func (w *builder) raw(p []byte)           { w.b = append(w.b, p...) }
-func (w *builder) vec8(p []byte)          { w.u8(uint8(len(p))); w.raw(p) }
-func (w *builder) vec16(p []byte)         { w.u16(uint16(len(p))); w.raw(p) }
-func (w *builder) vec24(p []byte)         { w.u24(len(p)); w.raw(p) }
+func (w *builder) bytes() []byte  { return w.b }
+func (w *builder) u8(v uint8)     { w.b = append(w.b, v) }
+func (w *builder) u16(v uint16)   { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *builder) u24(v int)      { w.b = append(w.b, byte(v>>16), byte(v>>8), byte(v)) }
+func (w *builder) u32(v uint32)   { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *builder) raw(p []byte)   { w.b = append(w.b, p...) }
+func (w *builder) vec8(p []byte)  { w.u8(uint8(len(p))); w.raw(p) }
+func (w *builder) vec16(p []byte) { w.u16(uint16(len(p))); w.raw(p) }
+func (w *builder) vec24(p []byte) { w.u24(len(p)); w.raw(p) }
 
 // reader consumes length-prefixed wire structures.
 type reader struct{ b []byte }

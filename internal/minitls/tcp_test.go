@@ -8,18 +8,25 @@ import (
 func TestHandshakeOverRealTCP(t *testing.T) {
 	rsaID, _ := testIdentities(t)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil { t.Fatal(err) }
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer l.Close()
 	done := make(chan error, 1)
 	go func() {
 		c, err := l.Accept()
-		if err != nil { done <- err; return }
+		if err != nil {
+			done <- err
+			return
+		}
 		defer c.Close()
 		srv := Server(c, &Config{Identity: rsaID, CipherSuites: []uint16{TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA}})
 		done <- srv.Handshake()
 	}()
 	raw, err := net.Dial("tcp", l.Addr().String())
-	if err != nil { t.Fatal(err) }
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer raw.Close()
 	cli := ClientConn(raw, &Config{})
 	if err := cli.Handshake(); err != nil {

@@ -428,14 +428,31 @@ func Fig12c(o Opts) Table {
 	return t
 }
 
+// extraGens holds platform-gated generators — experiments that drive
+// the live event-loop server (linux-only) rather than the portable DES
+// model — registered via init() from their own build-tagged files.
+var (
+	extraGens = map[string]func(Opts) Table{}
+	extraIDs  []string
+)
+
+func registerExtra(id string, gen func(Opts) Table) {
+	extraGens[id] = gen
+	extraIDs = append(extraIDs, id)
+}
+
 // All runs every figure (Table 1 is generated separately by Table1,
 // which exercises the functional stack rather than the model).
 func All(o Opts) []Table {
-	return []Table{
+	out := []Table{
 		Table1(), Fig7a(o), Fig7b(o), Fig7c(o), Fig8(o),
 		Fig9a(o), Fig9b(o), Fig10(o), Fig11(o),
 		Fig12a(o), Fig12b(o), Fig12c(o), Degraded(o),
 	}
+	for _, id := range extraIDs {
+		out = append(out, extraGens[id](o))
+	}
+	return out
 }
 
 // ByID returns the generator for one experiment id.
@@ -448,13 +465,17 @@ func ByID(id string) (func(Opts) Table, bool) {
 		"fig12a": Fig12a, "fig12b": Fig12b, "fig12c": Fig12c,
 		"degraded": Degraded,
 	}
-	g, ok := gens[id]
+	if g, ok := gens[id]; ok {
+		return g, true
+	}
+	g, ok := extraGens[id]
 	return g, ok
 }
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig7a", "fig7b", "fig7c", "fig8",
+	ids := []string{"table1", "fig7a", "fig7b", "fig7c", "fig8",
 		"fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b", "fig12c",
 		"degraded"}
+	return append(ids, extraIDs...)
 }

@@ -125,8 +125,9 @@ func TestFig12bShape(t *testing.T) {
 
 func TestByIDAndIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("want 13 experiments (1 table + 11 figures + degraded), got %d", len(ids))
+	if want := 13 + len(extraIDs); len(ids) != want {
+		t.Fatalf("want %d experiments (1 table + 11 figures + degraded + %d extras), got %d",
+			want, len(extraIDs), len(ids))
 	}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,100 @@
+//go:build linux
+
+package figures
+
+import (
+	"time"
+
+	"qtls/internal/loadgen"
+	"qtls/internal/metrics"
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+	"qtls/internal/server"
+	"qtls/internal/trace"
+)
+
+func init() { registerExtra("phases", Phases) }
+
+// phasesConfigs are the run configurations contrasted by the phase
+// breakdown: QAT+A pays the notification fd round trip through epoll,
+// QTLS takes the kernel-bypass queue (§3.4), so the notify column is
+// where the two should visibly part ways.
+func phasesConfigs() []server.RunConfig {
+	return []server.RunConfig{server.ConfigQATA, server.ConfigQTLS}
+}
+
+// phaseRun drives real ECDHE-RSA handshakes through one offload
+// configuration on the live event-loop stack (not the DES model) with
+// tracing enabled, and returns the four phase-latency histograms.
+func phaseRun(o Opts, run server.RunConfig) [4]*metrics.Histogram {
+	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 3, EnginesPerEndpoint: 4, RingCapacity: 128})
+	defer dev.Close()
+	rec := trace.NewRecorder(4096)
+	rec.SetEnabled(true)
+	reg := metrics.NewRegistry()
+	rsaID, _ := table1Identities()
+	srv, err := server.New(server.Options{
+		Addr:    "127.0.0.1:0",
+		Workers: 2,
+		Run:     run,
+		TLS: &minitls.Config{
+			Identity:     rsaID,
+			CipherSuites: []uint16{minitls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+		},
+		Device:  dev,
+		Handler: server.SizedBodyHandler(1 << 20),
+		Metrics: reg,
+		Trace:   rec,
+	})
+	if err != nil {
+		panic("phases: " + err.Error())
+	}
+	srv.Start()
+	defer srv.Stop()
+	loadgen.STime(loadgen.STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        16,
+		Duration:       o.Warmup + o.Measure,
+		RequestPath:    "/2048",
+		MaxConnections: 4096,
+	})
+	var hists [4]*metrics.Histogram
+	for i, ph := range trace.OffloadPhases() {
+		h, ok := reg.LookupHistogram(trace.PhaseSeriesName(ph))
+		if !ok {
+			panic("phases: missing histogram for phase " + ph.String())
+		}
+		hists[i] = h
+	}
+	return hists
+}
+
+// Phases reproduces the paper's §3.2 offload-phase breakdown on the
+// live stack: per-phase p50/p99 latency for QAT+A versus QTLS, in
+// microseconds. The notify column carries the kernel-bypass story; the
+// retrieve column carries the polling-heuristic story.
+func Phases(o Opts) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "phases",
+		Title:  "Offload phase latency breakdown (live stack)",
+		XLabel: "offload phase (§3.2) quantile",
+		YLabel: "latency (µs)",
+		Notes: "Measured from the span recorder on real handshakes, not the DES model.\n" +
+			"  Phases: pre-processing, QAT response retrieval, async event notification, post-processing.",
+	}
+	for _, ph := range trace.OffloadPhases() {
+		t.Columns = append(t.Columns, ph.String()+" p50", ph.String()+" p99")
+	}
+	for _, run := range phasesConfigs() {
+		hists := phaseRun(o, run)
+		s := Series{Name: run.Name}
+		for _, h := range hists {
+			s.Values = append(s.Values,
+				h.Quantile(0.50)/float64(time.Microsecond),
+				h.Quantile(0.99)/float64(time.Microsecond))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+//go:build linux
+
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"qtls/internal/trace"
+)
+
+// TestPhasesFigureTrace smoke-runs the live-stack phase breakdown and
+// asserts both configurations produced non-zero latency for all four
+// offload phases.
+func TestPhasesFigureTrace(t *testing.T) {
+	tab := Phases(Quick())
+	if tab.ID != "phases" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	if len(tab.Columns) != 8 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Series) != 2 {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Values) != len(tab.Columns) {
+			t.Fatalf("%s: %d values for %d columns", s.Name, len(s.Values), len(tab.Columns))
+		}
+		for i, v := range s.Values {
+			if v <= 0 {
+				t.Errorf("%s %s = %v, want > 0", s.Name, tab.Columns[i], v)
+			}
+		}
+	}
+	if !strings.Contains(tab.Format(), "QTLS") {
+		t.Fatal("formatted table missing QTLS series")
+	}
+}
+
+// TestPhasesRegisteredTrace asserts the extras registry exposes the
+// live-stack figure through ByID and IDs like any model figure.
+func TestPhasesRegisteredTrace(t *testing.T) {
+	if _, ok := ByID("phases"); !ok {
+		t.Fatal("phases not registered in ByID")
+	}
+	found := false
+	for _, id := range IDs() {
+		if id == "phases" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phases missing from IDs(): %v", IDs())
+	}
+	if len(trace.OffloadPhases()) != 4 {
+		t.Fatalf("offload phases = %v", trace.OffloadPhases())
+	}
+}

@@ -140,11 +140,11 @@ func (o opClass) offloadable() bool { return o != opHKDF }
 type stepKind int
 
 const (
-	stepCPU    stepKind = iota // worker CPU burst
-	stepCrypto                 // crypto operation (software or offloaded)
-	stepNet                    // wait for the client (worker free)
-	stepHSDone                 // marker: handshake completed (counts CPS)
-	stepReqDone                // marker: one HTTP request served
+	stepCPU     stepKind = iota // worker CPU burst
+	stepCrypto                  // crypto operation (software or offloaded)
+	stepNet                     // wait for the client (worker free)
+	stepHSDone                  // marker: handshake completed (counts CPS)
+	stepReqDone                 // marker: one HTTP request served
 )
 
 // step is one unit of a connection's server-side script.

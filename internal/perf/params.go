@@ -165,7 +165,7 @@ func DefaultParams() Params {
 		// SwHKDF bundles one TLS 1.3 derivation step with its transcript
 		// hashing and key-install work; the per-handshake total (~9 ops)
 		// matches the non-offloadable CPU share implied by Fig. 8.
-		SwHKDF: 50 * time.Microsecond,
+		SwHKDF:        50 * time.Microsecond,
 		SwCipherPerKB: 2800 * time.Nanosecond, // ≈ 350 MB/s
 
 		QatRSA:         120 * time.Microsecond,
@@ -173,25 +173,25 @@ func DefaultParams() Params {
 		QatCipherPerKB: 1 * time.Microsecond, // wire-speed-class engine
 		QatCipherBase:  4 * time.Microsecond,
 
-		SubmitCost:         3 * time.Microsecond,
-		FiberSwapCost:      1 * time.Microsecond,
-		StackSwapCost:      300 * time.Nanosecond,
-		InterruptCost:      7 * time.Microsecond,
-		PollCost:           500 * time.Nanosecond,
-		PerResponseCost:    500 * time.Nanosecond,
-		NotifyFDCost:       4 * time.Microsecond,
-		NotifyBypassCost:   200 * time.Nanosecond,
-		FDDispatchDelay:    5 * time.Microsecond,
+		SubmitCost:        3 * time.Microsecond,
+		FiberSwapCost:     1 * time.Microsecond,
+		StackSwapCost:     300 * time.Nanosecond,
+		InterruptCost:     7 * time.Microsecond,
+		PollCost:          500 * time.Nanosecond,
+		PerResponseCost:   500 * time.Nanosecond,
+		NotifyFDCost:      4 * time.Microsecond,
+		NotifyBypassCost:  200 * time.Nanosecond,
+		FDDispatchDelay:   5 * time.Microsecond,
 		CtxSwitchCost:     1200 * time.Nanosecond,
 		BlockedOpOverhead: 10 * time.Microsecond,
 		IdleLoopCost:      8 * time.Microsecond,
 		PipeLatencyAsym:   330 * time.Microsecond,
 		PipeLatencySym:    55 * time.Microsecond,
 
-		Endpoints:          3,
+		Endpoints:              3,
 		AsymEnginesPerEndpoint: 4,
 		SymEnginesPerEndpoint:  2,
-		RingCapacity:       64,
+		RingCapacity:           64,
 
 		RTT:      120 * time.Microsecond,
 		LinkGbps: 40,

@@ -56,9 +56,9 @@ func cryptoStep(op opClass, sw, hw time.Duration) step {
 	return step{kind: stepCrypto, op: op, sw: sw, hw: hw}
 }
 
-func cpuStep(d time.Duration) step  { return step{kind: stepCPU, dur: d} }
-func netStep(d time.Duration) step  { return step{kind: stepNet, dur: d} }
-func markStep(k stepKind) step      { return step{kind: k} }
+func cpuStep(d time.Duration) step { return step{kind: stepCPU, dur: d} }
+func netStep(d time.Duration) step { return step{kind: stepNet, dur: d} }
+func markStep(k stepKind) step     { return step{kind: k} }
 
 // BuildScript constructs the server-side step script for one connection.
 // The op sequences match Table 1 (and the minitls implementation): e.g. a
@@ -117,8 +117,8 @@ func BuildScript(p *Params, spec ScriptSpec) []step {
 			)
 		case SuiteECDHEECDSA:
 			s = append(s,
-				cryptoStep(opECDH, curve.SwECDH, curve.QatECDH),   // keygen
-				cryptoStep(opECDSA, curve.SwSign, curve.QatSign),  // SKX sign
+				cryptoStep(opECDH, curve.SwECDH, curve.QatECDH),  // keygen
+				cryptoStep(opECDSA, curve.SwSign, curve.QatSign), // SKX sign
 				cpuStep(p.SendFinCost),
 				netStep(p.RTT),
 				cpuStep(p.ParseCKECost),

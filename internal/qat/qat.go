@@ -228,6 +228,26 @@ type Instance struct {
 	inflight  int
 	leaked    int         // ring slots held by stalled requests
 	responses []completed // response ring; bounded by inflight <= ringCap
+	stats     InstanceStats
+}
+
+// InstanceStats is a snapshot of one instance's ring-level counters: how
+// submission and retrieval behaved, as opposed to the endpoint firmware
+// counters which only count operations.
+type InstanceStats struct {
+	// Submits counts requests accepted onto the request ring.
+	Submits int64
+	// RingFull counts submissions rejected with ErrRingFull.
+	RingFull int64
+	// Polls counts Poll calls.
+	Polls int64
+	// EmptyPolls counts Poll calls that retrieved nothing — wasted CPU
+	// the heuristic polling scheme exists to avoid (§3.3).
+	EmptyPolls int64
+	// Dequeued counts responses retrieved across all polls.
+	Dequeued int64
+	// MaxBatch is the largest single-poll batch observed.
+	MaxBatch int64
 }
 
 type completed struct {
@@ -438,15 +458,20 @@ func (inst *Instance) Submit(req Request) error {
 			return ErrDeviceReset
 		}
 		if out.RingFull {
+			inst.mu.Lock()
+			inst.stats.RingFull++
+			inst.mu.Unlock()
 			return ErrRingFull
 		}
 	}
 	inst.mu.Lock()
 	if inst.inflight >= inst.ringCap {
+		inst.stats.RingFull++
 		inst.mu.Unlock()
 		return ErrRingFull
 	}
 	inst.inflight++
+	inst.stats.Submits++
 	inst.mu.Unlock()
 
 	inst.ep.mu.Lock()
@@ -477,6 +502,14 @@ func (inst *Instance) Poll(max int) int {
 	}
 	inst.responses = inst.responses[:rest]
 	inst.inflight -= n
+	inst.stats.Polls++
+	if n == 0 {
+		inst.stats.EmptyPolls++
+	}
+	inst.stats.Dequeued += int64(n)
+	if int64(n) > inst.stats.MaxBatch {
+		inst.stats.MaxBatch = int64(n)
+	}
 	inst.mu.Unlock()
 
 	for _, c := range batch {
@@ -521,6 +554,13 @@ func (inst *Instance) ReclaimLeaked() int {
 	inst.inflight -= n
 	inst.leaked = 0
 	return n
+}
+
+// Stats returns a snapshot of the instance's ring-level counters.
+func (inst *Instance) Stats() InstanceStats {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.stats
 }
 
 // Endpoint returns the id of the endpoint this instance belongs to.

@@ -366,3 +366,44 @@ func TestManyConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("completed %d, want %d", done.Load(), workers*perWorker)
 	}
 }
+
+func TestInstanceStats(t *testing.T) {
+	d := NewDevice(DeviceSpec{RingCapacity: 2})
+	defer d.Close()
+	inst, err := d.AllocInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Stats(); got != (InstanceStats{}) {
+		t.Fatalf("fresh instance stats = %+v", got)
+	}
+	if n := inst.Poll(0); n != 0 {
+		t.Fatalf("empty poll retrieved %d", n)
+	}
+	block := make(chan struct{})
+	work := func() (any, error) { <-block; return nil, nil }
+	for i := 0; i < 2; i++ {
+		if err := inst.Submit(Request{Op: OpRSA, Work: work}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.Submit(Request{Op: OpRSA, Work: work}); err != ErrRingFull {
+		t.Fatalf("overfull submit err = %v", err)
+	}
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	got := 0
+	for got < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("responses never arrived")
+		}
+		got += inst.Poll(0)
+	}
+	st := inst.Stats()
+	if st.Submits != 2 || st.RingFull != 1 || st.Dequeued != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Polls < 2 || st.EmptyPolls < 1 || st.MaxBatch < 1 || st.MaxBatch > 2 {
+		t.Fatalf("poll stats = %+v", st)
+	}
+}

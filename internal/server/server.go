@@ -9,6 +9,7 @@ import (
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
+	"qtls/internal/trace"
 )
 
 // Names of the fault/degradation counters exported via stub_status.
@@ -44,6 +45,10 @@ type Options struct {
 	// engines' degradation counters. nil creates a private registry, so
 	// stub_status always works.
 	Metrics *metrics.Registry
+	// Trace, when set, enables the four-phase span recorder behind the
+	// /debug/trace endpoint; each worker gets a private ring buffer from
+	// it. nil disables span recording (and /debug/trace 404s).
+	Trace *trace.Recorder
 }
 
 // Server is a set of event-driven workers sharing one listening port.
@@ -81,7 +86,7 @@ func New(opts Options) (*Server, error) {
 	s := &Server{reg: reg}
 	addr := opts.Addr
 	for i := 0; i < opts.Workers; i++ {
-		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler, reg)
+		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler, reg, opts.Trace)
 		if err != nil {
 			s.Stop()
 			return nil, err

@@ -4,18 +4,22 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"qtls/internal/asynclib"
 	"qtls/internal/engine"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/netpoll"
 	"qtls/internal/qat"
+	"qtls/internal/trace"
 )
 
 // Handler produces the response body for a request path; ok=false yields
@@ -69,6 +73,47 @@ type Worker struct {
 
 	stopped atomic.Bool
 	Stats   WorkerStats
+
+	// Observability surface (see internal/trace). tracer/tr are nil-safe:
+	// with tracing off the per-iteration cost is one atomic load.
+	tracer *trace.Recorder // shared recorder behind /debug/trace
+	tr     *trace.Buffer   // this worker's private span ring
+
+	// Pre-created registry series (nil when reg is nil). Histograms are
+	// only fed while tracing is enabled; gauges and mirrored counters are
+	// refreshed every loop iteration regardless.
+	histNotify   *metrics.Histogram    // qtls_phase_ns{phase="notify"}
+	histPost     *metrics.Histogram    // qtls_phase_ns{phase="post"}
+	histLoop     *metrics.Histogram    // busy part of one loop iteration
+	histPollWait *metrics.Histogram    // time blocked in epoll_wait
+	histBatch    [4]*metrics.Histogram // poll batch size by cause
+	gInflight    *metrics.Gauge        // Rtotal, per worker
+	gActive      *metrics.Gauge        // TCactive, per worker
+	gConns       *metrics.Gauge        // live connections
+	gWaiting     *metrics.Gauge        // conns with a paused offload
+	gLag         *metrics.Gauge        // busy ns of the latest iteration
+	mirrors      []mirroredCounter     // WorkerStats → registry counters
+}
+
+// mirroredCounter syncs one WorkerStats atomic into a monotonic registry
+// counter by shipping deltas; last is only touched by the worker
+// goroutine.
+type mirroredCounter struct {
+	src  *atomic.Int64
+	ctr  *metrics.Counter
+	last int64
+}
+
+// pollCauses maps the batch-histogram index to the poll trigger tag.
+var pollCauses = [4]trace.Tag{trace.TagHeuristic, trace.TagTimer, trace.TagFailover, trace.TagRetry}
+
+func batchIdx(tag trace.Tag) int {
+	for i, t := range pollCauses {
+		if t == tag {
+			return i
+		}
+	}
+	return 0
 }
 
 // conn is one TLS connection's event-loop state.
@@ -87,6 +132,10 @@ type conn struct {
 	// deadline passes without a response (zero when deadlines are off);
 	// the engine then degrades the op to software.
 	asyncDeadline time.Time
+	// notifyAt stamps (UnixNano) when the async event for this conn was
+	// queued, so resumeAsync can attribute the notification phase. Zero
+	// when tracing is off.
+	notifyAt int64
 
 	active          bool
 	reqBuf          []byte
@@ -98,8 +147,9 @@ type conn struct {
 }
 
 // NewWorker builds a worker. dev may be nil for the SW configuration;
-// reg may be nil to disable the metrics/stub_status surface.
-func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry) (*Worker, error) {
+// reg may be nil to disable the metrics/stub_status surface; tracer may
+// be nil to disable span recording (the /debug/trace endpoint then 404s).
+func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry, tracer *trace.Recorder) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
 		id:      id,
@@ -107,7 +157,10 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 		handler: handler,
 		reg:     reg,
 		conns:   make(map[int]*conn),
+		tracer:  tracer,
+		tr:      tracer.Buffer(id), // nil recorder → nil (inert) buffer
 	}
+	w.initSeries()
 	var err error
 	if w.poller, err = netpoll.NewPoller(); err != nil {
 		return nil, err
@@ -155,6 +208,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			RetryBackoff: cfg.RetryBackoff,
 			Breaker:      cfg.Breaker,
 			Metrics:      reg,
+			Trace:        w.tr,
 		})
 		if err != nil {
 			w.cleanup()
@@ -198,6 +252,102 @@ func (w *Worker) cleanup() {
 	}
 }
 
+// initSeries pre-creates this worker's registry series so the hot path
+// never hits the registry mutex, and so /metrics lists every series from
+// the first scrape.
+func (w *Worker) initSeries() {
+	if w.reg == nil {
+		return
+	}
+	wl := `{worker="` + strconv.Itoa(w.id) + `"}`
+	w.histNotify = w.reg.Histogram(trace.PhaseSeriesName(trace.PhaseNotify))
+	w.histPost = w.reg.Histogram(trace.PhaseSeriesName(trace.PhasePost))
+	w.histLoop = w.reg.Histogram(`qtls_loop_iter_ns` + wl)
+	w.histPollWait = w.reg.Histogram(`qtls_poll_wait_ns` + wl)
+	for i, tag := range pollCauses {
+		w.histBatch[i] = w.reg.Histogram(`qtls_poll_batch{cause="` + tag.String() + `"}`)
+	}
+	w.gInflight = w.reg.Gauge(`qtls_inflight` + wl)
+	w.gActive = w.reg.Gauge(`qtls_active_conns` + wl)
+	w.gConns = w.reg.Gauge(`qtls_conns` + wl)
+	w.gWaiting = w.reg.Gauge(`qtls_async_waiting` + wl)
+	w.gLag = w.reg.Gauge(`qtls_loop_lag_ns` + wl)
+	// The heuristic thresholds (§3.3: 48 asym / 24 sym by default), so a
+	// dashboard can plot Rtotal against the line it must cross.
+	w.reg.Gauge("qtls_asym_threshold").Set(int64(w.cfg.AsymThreshold))
+	w.reg.Gauge("qtls_sym_threshold").Set(int64(w.cfg.SymThreshold))
+	st := &w.Stats
+	for _, m := range []struct {
+		name string
+		src  *atomic.Int64
+	}{
+		{"qtls_accepted", &st.Accepted},
+		{"qtls_handshakes", &st.Handshakes},
+		{"qtls_resumed", &st.Resumed},
+		{"qtls_requests", &st.Requests},
+		{"qtls_bytes_out", &st.BytesOut},
+		{"qtls_async_events", &st.AsyncEvents},
+		{"qtls_retry_events", &st.RetryEvents},
+		{`qtls_polls{cause="heuristic"}`, &st.HeuristicPolls},
+		{`qtls_polls{cause="timer"}`, &st.TimerPolls},
+		{`qtls_polls{cause="failover"}`, &st.FailoverPolls},
+		{"qtls_deadline_wakeups", &st.DeadlineWakeups},
+		{"qtls_closed_conns", &st.ClosedConns},
+		{"qtls_errors", &st.Errors},
+	} {
+		w.mirrors = append(w.mirrors, mirroredCounter{src: m.src, ctr: w.reg.Counter(m.name)})
+	}
+}
+
+// mirrorStats ships WorkerStats deltas into the shared registry. Only
+// the worker goroutine calls it, so `last` needs no synchronization.
+// Counters are shared across workers (no worker label), so deltas — not
+// absolute stores — keep them correct.
+func (w *Worker) mirrorStats() {
+	for i := range w.mirrors {
+		m := &w.mirrors[i]
+		if v := m.src.Load(); v != m.last {
+			m.ctr.Add(v - m.last)
+			m.last = v
+		}
+	}
+}
+
+// updateGauges publishes the event-loop state the heuristic constraints
+// read (§4.3): Rtotal vs the thresholds, TCactive vs live conns.
+func (w *Worker) updateGauges() {
+	if w.gInflight == nil {
+		return
+	}
+	inflight := 0
+	if w.eng != nil {
+		inflight = w.eng.InflightTotal()
+	}
+	w.gInflight.Set(int64(inflight))
+	w.gActive.Set(int64(w.activeConns))
+	w.gConns.Set(int64(len(w.conns)))
+	w.gWaiting.Set(int64(w.asyncWaiting))
+}
+
+// pollEngine drains QAT responses, attributing the poll to its trigger:
+// a span (arg = batch size) plus a batch-size histogram per cause. The
+// lastPoll / per-cause stat bookkeeping stays at the call sites, which
+// have different rules for it.
+func (w *Worker) pollEngine(tag trace.Tag) int {
+	var start time.Time
+	if w.tr.Active() {
+		start = time.Now()
+	}
+	n := w.eng.Poll(0)
+	if !start.IsZero() {
+		w.tr.Record(trace.PhasePoll, trace.OpNone, tag, int64(n), start, time.Since(start))
+		if h := w.histBatch[batchIdx(tag)]; h != nil {
+			h.Observe(float64(n))
+		}
+	}
+	return n
+}
+
 // Addr returns the worker's listening address.
 func (w *Worker) Addr() string { return w.listener.Addr() }
 
@@ -215,17 +365,32 @@ func (w *Worker) Stop() {
 func (w *Worker) Run() {
 	defer w.shutdown()
 	for !w.stopped.Load() {
+		// Loop profiling splits each iteration into the blocked part
+		// (epoll_wait) and the busy part; the busy part is the event-loop
+		// lag new events experience. Timestamping is skipped entirely
+		// when tracing is off.
+		tracing := w.tr.Active()
+		var iterStart, busyStart time.Time
+		if tracing {
+			iterStart = time.Now()
+		}
 		events, err := w.poller.Wait(w.waitTimeout())
 		if err != nil {
 			w.Stats.Errors.Add(1)
 			return
+		}
+		if tracing {
+			busyStart = time.Now()
+			if w.histPollWait != nil {
+				w.histPollWait.ObserveDuration(busyStart.Sub(iterStart))
+			}
 		}
 		for _, ev := range events {
 			w.dispatch(ev)
 		}
 		retrieved := 0
 		if w.eng != nil && w.cfg.Polling == PollTimer {
-			retrieved = w.eng.Poll(0)
+			retrieved = w.pollEngine(trace.TagTimer)
 			if retrieved > 0 {
 				w.lastPoll = time.Now()
 			}
@@ -242,6 +407,19 @@ func (w *Worker) Run() {
 		w.deadlineCheck()
 		w.processAsyncQueue()
 		w.processRetryQueue()
+		if w.reg != nil {
+			w.updateGauges()
+			w.mirrorStats()
+		}
+		if tracing {
+			busy := time.Since(busyStart)
+			if w.histLoop != nil {
+				w.histLoop.ObserveDuration(busy)
+			}
+			if w.gLag != nil {
+				w.gLag.Set(int64(busy))
+			}
+		}
 		if len(events) == 0 && retrieved == 0 && len(w.asyncQueue) == 0 {
 			// The in-flight crypto work runs on this host's CPUs (the
 			// simulated accelerator's engines are goroutines, unlike the
@@ -355,6 +533,9 @@ func (w *Worker) acceptAll() {
 // It runs on the worker goroutine (inside an engine.Poll call).
 func (w *Worker) asyncEventCallback(arg any) {
 	c := arg.(*conn)
+	if w.tr.Active() {
+		c.notifyAt = time.Now().UnixNano()
+	}
 	if w.cfg.Notify == NotifyKernelBypass {
 		// Insert the async handler at the tail of the async queue — no
 		// kernel involvement (§3.4).
@@ -444,18 +625,45 @@ func (w *Worker) suspendForAsync(c *conn) {
 }
 
 // resumeAsync restores the saved handler and re-enters it (§3.2
-// post-processing).
+// post-processing). With tracing on it attributes the two application
+// phases: notification (event queued → handler picked up) and
+// post-processing (handler re-entry → yield back to the loop).
 func (w *Worker) resumeAsync(c *conn) {
 	if c.closed {
 		return
 	}
 	w.setAsyncPending(c, false)
 	w.Stats.AsyncEvents.Add(1)
-	w.invoke(c)
+	notifyAt := c.notifyAt
+	c.notifyAt = 0
+	if notifyAt != 0 && w.tr.Active() {
+		now := time.Now()
+		nd := time.Duration(now.UnixNano() - notifyAt)
+		w.tr.Record(trace.PhaseNotify, trace.OpNone, w.notifyTag(), int64(c.fd), time.Unix(0, notifyAt), nd)
+		if w.histNotify != nil {
+			w.histNotify.ObserveDuration(nd)
+		}
+		w.invoke(c)
+		pd := time.Since(now)
+		w.tr.Record(trace.PhasePost, trace.OpNone, trace.TagNone, int64(c.fd), now, pd)
+		if w.histPost != nil {
+			w.histPost.ObserveDuration(pd)
+		}
+	} else {
+		w.invoke(c)
+	}
 	if !c.closed && c.pendingRead && !c.asyncPending {
 		c.pendingRead = false
 		w.onReadable(c)
 	}
+}
+
+// notifyTag says which notification scheme delivered the async event.
+func (w *Worker) notifyTag() trace.Tag {
+	if w.cfg.Notify == NotifyKernelBypass {
+		return trace.TagKernelBypass
+	}
+	return trace.TagFD
 }
 
 func (w *Worker) processAsyncQueue() {
@@ -486,7 +694,7 @@ func (w *Worker) processRetryQueue() {
 	}
 	// A failed submission means the request ring was full; retrieving
 	// responses frees slots before the retry.
-	if w.eng != nil && w.eng.Poll(0) > 0 {
+	if w.eng != nil && w.pollEngine(trace.TagRetry) > 0 {
 		w.lastPoll = time.Now()
 	}
 	q := w.retryQueue
@@ -516,7 +724,7 @@ func (w *Worker) heuristicCheck() {
 	// poll immediately once every active connection is waiting on the
 	// accelerator.
 	if rTotal >= threshold || rTotal >= w.activeConns {
-		w.eng.Poll(0)
+		w.pollEngine(trace.TagHeuristic)
 		w.lastPoll = time.Now()
 		w.Stats.HeuristicPolls.Add(1)
 	}
@@ -532,7 +740,7 @@ func (w *Worker) failoverCheck() {
 		return
 	}
 	if time.Since(w.lastPoll) >= w.cfg.FailoverInterval {
-		w.eng.Poll(0)
+		w.pollEngine(trace.TagFailover)
 		w.lastPoll = time.Now()
 		w.Stats.FailoverPolls.Add(1)
 	}
@@ -653,13 +861,22 @@ func (w *Worker) serveRequest(c *conn, req []byte) {
 		return
 	}
 	path := string(fields[1])
+	query := ""
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path, query = path[:i], path[i+1:]
+	}
 	c.closeAfterWrite = requestWantsClose(req)
 	w.Stats.Requests.Add(1)
 	var body []byte
 	var ok bool
-	if path == "/stub_status" && w.reg != nil {
+	switch {
+	case path == "/stub_status" && w.reg != nil:
 		body, ok = w.statusBody(), true
-	} else {
+	case path == "/metrics" && w.reg != nil:
+		body, ok = w.metricsBody(), true
+	case path == "/debug/trace" && w.tracer != nil:
+		body, ok = w.traceBody(query), true
+	default:
 		body, ok = w.handler(path)
 	}
 	status := "200 OK"
@@ -697,6 +914,46 @@ func (w *Worker) statusBody() []byte {
 		}
 	}
 	return b.Bytes()
+}
+
+// metricsBody renders the Prometheus exposition. Scrapes run on the
+// worker goroutine (like every request), so refreshing the mirrored
+// counters and gauges here is race-free and makes the scrape current
+// even mid-iteration.
+func (w *Worker) metricsBody() []byte {
+	w.mirrorStats()
+	w.updateGauges()
+	js := asynclib.Stats()
+	w.reg.Gauge("qtls_jobs_started").Set(js.Started)
+	w.reg.Gauge("qtls_jobs_paused").Set(js.Paused)
+	w.reg.Gauge("qtls_jobs_resumed").Set(js.Resumed)
+	w.reg.Gauge("qtls_jobs_finished").Set(js.Finished)
+	var b bytes.Buffer
+	w.reg.WritePrometheus(&b)
+	return b.Bytes()
+}
+
+// traceBody serves the /debug/trace endpoint: the most recent spans
+// across all workers as a JSON array, newest last. ?n= bounds the count
+// (default 256, <=0 means everything retained).
+func (w *Worker) traceBody(query string) []byte {
+	n := 256
+	for _, kv := range strings.Split(query, "&") {
+		if v, ok := strings.CutPrefix(kv, "n="); ok {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				n = parsed
+			}
+		}
+	}
+	spans := w.tracer.Recent(n)
+	if spans == nil {
+		spans = []trace.Span{}
+	}
+	out, err := json.Marshal(spans)
+	if err != nil {
+		return []byte(`{"error":"trace encoding failed"}`)
+	}
+	return append(out, '\n')
 }
 
 // requestWantsClose scans the header block for "Connection: close"
