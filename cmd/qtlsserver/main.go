@@ -51,6 +51,7 @@ func main() {
 		asymThr  = flag.Int("asym-threshold", 48, "heuristic polling asym threshold")
 		symThr   = flag.Int("sym-threshold", 24, "heuristic polling sym threshold")
 		interval = flag.Duration("poll-interval", 10*time.Microsecond, "timer polling interval")
+		coalesce = flag.Bool("coalesce", false, "batch async submissions per event-loop iteration (one doorbell per batch)")
 		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
 		engines  = flag.Int("engines", 4, "engines per endpoint")
 		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
@@ -127,6 +128,10 @@ func main() {
 		copy(key[:], "qtlsserver-demo-ticket-key-32byte")
 		tlsCfg.TicketKey = &key
 	}
+
+	// Submit coalescing applies to the async configurations only (the
+	// straight-offload path waits for its own response inline).
+	run.CoalesceSubmits = *coalesce
 
 	// Degradation knobs: the deadline/retry ladder and breakers apply to
 	// any configuration; the injector needs the simulated device.

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+	"qtls/internal/trace"
+)
+
+// This file is the engine's submit coalescer: the submit-side dual of the
+// heuristic polling scheme (§3.3). Where heuristic polling amortizes
+// response retrieval by batching ring reads, the coalescer amortizes
+// submission by gathering the ops that pause within one event-loop
+// iteration and pushing them onto the request rings in batches — one ring
+// lock and one doorbell per batch (qat.Instance.SubmitBatch) instead of
+// one per op. The worker flushes at the same points it drains the async
+// notification queue, so an op coalesced in iteration N is on the rings
+// before iteration N+1 sleeps.
+//
+// Only the async modes coalesce. The straight-offload path busy-waits for
+// its own response inside the crypto call, so deferring its submission to
+// the end of the iteration would wait on a request that never left the
+// queue.
+
+// pendingSubmit is one op gathered for the next flush. The accepted and
+// fail hooks run on the worker goroutine during Flush; the op's owner (a
+// paused fiber or a stack-async state flag) is never running at that
+// point, so the hooks may write its locals without synchronization.
+type pendingSubmit struct {
+	req     qat.Request
+	settled *atomic.Bool
+	// accepted runs when the request lands on instance idx inside a
+	// batch; submitAt is the batch's submit timestamp.
+	accepted func(idx int, submitAt time.Time)
+	// fail runs when the flush could not place the request anywhere and
+	// requeueing is pointless (no healthy instance, or a device-level
+	// submission error). The request was never on a ring: fail must not
+	// touch inflight accounting.
+	fail func(error)
+}
+
+// coalescing reports whether async submissions are being gathered.
+func (e *Engine) coalescing() bool { return e.coalesce }
+
+// enqueue adds one op to its class's pending queue for the next flush.
+func (e *Engine) enqueue(class Class, ps *pendingSubmit) {
+	e.pendingQ[class] = append(e.pendingQ[class], ps)
+	e.pendingN.Add(1)
+}
+
+// PendingSubmits returns the number of ops gathered and not yet flushed.
+// The worker uses it to avoid sleeping on a non-empty submit queue.
+func (e *Engine) PendingSubmits() int { return int(e.pendingN.Load()) }
+
+// Flush drains the pending queues onto the request rings in batches and
+// returns the number of ops submitted. The worker calls it wherever it
+// drains the async notification queue. Ops that fit nowhere because every
+// admitted ring is full stay queued for the next flush (one ring-full
+// count per flush, not per op); ops that cannot ever be placed (no
+// healthy instance, device-level errors on every candidate) are failed
+// back to their owners, who retry or degrade to software.
+func (e *Engine) Flush() int {
+	if !e.coalesce || e.pendingN.Load() == 0 {
+		return 0
+	}
+	flushed := 0
+	for c := Class(0); c < numClasses; c++ {
+		if len(e.pendingQ[c]) == 0 {
+			continue
+		}
+		q := e.pendingQ[c]
+		e.pendingQ[c] = nil
+		e.pendingN.Add(-int64(len(q)))
+		flushed += e.flushClass(c, q)
+	}
+	if flushed > 0 {
+		e.flushes.Add(1)
+		e.flushedOps.Add(int64(flushed))
+		if int64(flushed) > e.maxFlush.Load() {
+			e.maxFlush.Store(int64(flushed))
+		}
+		if e.ctrFlushes != nil {
+			e.ctrFlushes.Inc()
+		}
+	}
+	return flushed
+}
+
+// flushClass places one class's gathered ops, batching per instance with
+// inflight-aware load balancing: breaker-admitted instances are tried in
+// free-capacity order, each receiving a chunk sized to its free ring
+// slots in one SubmitBatch call.
+func (e *Engine) flushClass(class Class, q []*pendingSubmit) int {
+	// Ops settled while queued (deadline scan won the CAS) are dropped:
+	// their owners already degraded to software.
+	live := q[:0]
+	for _, ps := range q {
+		if !ps.settled.Load() {
+			live = append(live, ps)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	order := e.instancesByFree()
+	if len(order) == 0 {
+		for _, ps := range live {
+			ps.fail(ErrNoInstance)
+		}
+		return 0
+	}
+	flushed := 0
+	ringFull := false
+	var devErr error
+	for _, idx := range order {
+		if len(live) == 0 {
+			break
+		}
+		inst := e.insts[idx]
+		n := inst.Cap() - inst.Inflight()
+		if n <= 0 {
+			ringFull = true
+			continue
+		}
+		if n > len(live) {
+			n = len(live)
+		}
+		reqs := make([]qat.Request, n)
+		for i := range reqs {
+			reqs[i] = live[i].req
+		}
+		start := time.Now()
+		acc, err := inst.SubmitBatch(reqs)
+		dur := time.Since(start)
+		for i := 0; i < acc; i++ {
+			live[i].accepted(idx, start)
+		}
+		live = live[acc:]
+		flushed += acc
+		if acc > 0 {
+			if e.ctrBatched != nil {
+				for i := 0; i < acc; i++ {
+					e.ctrBatched.Inc()
+				}
+			}
+			if e.histBatch != nil {
+				e.histBatch.Observe(float64(acc))
+			}
+			if e.histAmort != nil {
+				e.histAmort.Observe(float64(dur) / float64(acc))
+			}
+		}
+		if err != nil {
+			if errors.Is(err, qat.ErrRingFull) {
+				ringFull = true
+				continue
+			}
+			// Device-level failure (endpoint reset mid-batch): the breaker
+			// hears about it and the rest of the queue spills to the next
+			// instance. The accepted prefix needs nothing here — its
+			// responses arrive as retryable ErrDeviceReset errors.
+			e.recordResult(idx, false)
+			devErr = err
+			continue
+		}
+	}
+	if len(live) > 0 {
+		if ringFull || devErr == nil {
+			// Pure backpressure: requeue for the next flush, counting the
+			// rejection once per flush rather than once per op.
+			e.ringFulls.Add(1)
+			e.pendingQ[class] = append(e.pendingQ[class], live...)
+			e.pendingN.Add(int64(len(live)))
+		} else {
+			for _, ps := range live {
+				ps.fail(devErr)
+			}
+		}
+	}
+	return flushed
+}
+
+// instancesByFree returns breaker-admitted instance indexes sorted by
+// free ring capacity, fullest-last, so batches land on the instances with
+// the most headroom first.
+func (e *Engine) instancesByFree() []int {
+	type cand struct{ idx, free int }
+	cands := make([]cand, 0, len(e.insts))
+	for i, inst := range e.insts {
+		if !e.instAllowed(i) {
+			continue
+		}
+		cands = append(cands, cand{i, inst.Cap() - inst.Inflight()})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].free > cands[b].free })
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// settleQueued accounts for an op abandoned at its deadline while still
+// in the pending queue: it was never on a ring, so only the timeout is
+// counted — no inflight decrement, no breaker penalty, no leak
+// reclamation (nothing was submitted that could leak).
+func (e *Engine) settleQueued() {
+	e.timeouts.Add(1)
+	if e.ctrTimeouts != nil {
+		e.ctrTimeouts.Inc()
+	}
+}
+
+// coalesceTag distinguishes coalesced first-attempt spans from
+// resubmissions.
+func coalesceTag(attempt int) trace.Tag {
+	if attempt > 0 {
+		return trace.TagRetry
+	}
+	return trace.TagCoalesce
+}
+
+// doFiberCoalesced is doFiber with the submission deferred to the
+// iteration-end batch flush. The fiber enqueues and pauses; the flush
+// (running on the worker while the fiber is paused) either places the
+// request — after which the response callback resumes the fiber as usual
+// — or fails it, which also resumes the fiber to retry or degrade.
+func (e *Engine) doFiberCoalesced(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	for attempt := 0; ; {
+		delivered := false
+		var failErr error
+		var settled atomic.Bool
+		deadline := e.opDeadline()
+		idx := -1
+		var preStart, submitAt time.Time
+		if e.tracing() {
+			preStart = time.Now()
+		}
+		tag := coalesceTag(attempt)
+		req := qat.Request{
+			Op:   opTypeFor(kind),
+			Work: work,
+			Callback: func(r qat.Response) {
+				if !settled.CompareAndSwap(false, true) {
+					return // the op already timed out and degraded
+				}
+				if !submitAt.IsZero() {
+					e.traceRetrieve(kind, tag, submitAt)
+				}
+				call.SetResult(r.Result, r.Err)
+				e.onResponse(class)
+				delivered = true
+				if call.WaitCtx != nil {
+					call.WaitCtx.Notify()
+				}
+			},
+		}
+		e.enqueue(class, &pendingSubmit{
+			req:     req,
+			settled: &settled,
+			accepted: func(i int, at time.Time) {
+				idx = i
+				e.onSubmit(class)
+				if !preStart.IsZero() {
+					submitAt = at
+					e.tracePre(kind, tag, preStart)
+				}
+			},
+			fail: func(err error) {
+				if !settled.CompareAndSwap(false, true) {
+					return
+				}
+				failErr = err
+				if call.WaitCtx != nil {
+					call.WaitCtx.Notify()
+				}
+			},
+		})
+		call.SubmitFailed = false
+		call.SetResult(nil, nil)
+		for {
+			if perr := call.Job.Pause(); perr != nil {
+				return nil, perr
+			}
+			if delivered || failErr != nil {
+				break
+			}
+			if expired(deadline) {
+				if settled.CompareAndSwap(false, true) {
+					if idx < 0 {
+						// Still queued: the flush will drop it. Nothing was
+						// submitted, so only the timeout is accounted.
+						e.settleQueued()
+					} else {
+						e.settleTimeout(class, idx)
+					}
+					return e.swFallback(work)
+				}
+				// Lost the CAS: the response or failure landed first and
+				// the owner-side flags are already set.
+				break
+			}
+		}
+		if failErr != nil {
+			if errors.Is(failErr, ErrNoInstance) {
+				return e.swFallback(work)
+			}
+			if retryable(failErr) {
+				if attempt < e.maxRetry {
+					attempt++
+					e.noteRetry()
+					continue
+				}
+				return e.swFallback(work)
+			}
+			return nil, failErr
+		}
+		result, rerr := call.Result()
+		if rerr != nil {
+			e.recordResult(idx, false)
+			if !retryable(rerr) {
+				return nil, rerr
+			}
+		} else if !e.verifyOK(kind, result) {
+			e.recordResult(idx, false)
+			e.verifyFails.Add(1)
+		} else {
+			e.recordResult(idx, true)
+			return result, nil
+		}
+		if attempt < e.maxRetry {
+			attempt++
+			e.noteRetry()
+			continue
+		}
+		return e.swFallback(work)
+	}
+}

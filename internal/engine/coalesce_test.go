@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"qtls/internal/asynclib"
+	"qtls/internal/fault"
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+)
+
+func newCoalescedEngine(t *testing.T, spec qat.DeviceSpec, cfg Config) (*Engine, *qat.Device) {
+	t.Helper()
+	dev := qat.NewDevice(spec)
+	t.Cleanup(dev.Close)
+	inst, err := dev.AllocInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Instance = inst
+	cfg.Coalesce = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, dev
+}
+
+// drainStack polls until every call's stack op is ready and consumes it,
+// flushing between polls like the worker would.
+func drainStack(t *testing.T, e *Engine, calls []*minitls.OpCall, kind minitls.OpKind) []any {
+	t.Helper()
+	results := make([]any, len(calls))
+	consumed := make([]bool, len(calls))
+	done := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for done < len(calls) {
+		e.Flush()
+		e.Poll(0)
+		for i, call := range calls {
+			if consumed[i] || call.Stack.State() != asynclib.StackReady {
+				continue
+			}
+			res, err := e.Do(call, kind, func() (any, error) { return i, nil })
+			if errors.Is(err, minitls.ErrWantAsync) || errors.Is(err, minitls.ErrWantAsyncRetry) {
+				continue // resubmitted after a retryable failure
+			}
+			if err != nil {
+				t.Fatalf("consume %d: %v", i, err)
+			}
+			results[i] = res
+			consumed[i] = true
+			done++
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d completed", done, len(calls))
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return results
+}
+
+// Ops paused in one iteration ride one doorbell: the coalescer holds them
+// until Flush, which places them in a single batch.
+func TestCoalesceStackFlush(t *testing.T) {
+	e, dev := newCoalescedEngine(t, qat.DeviceSpec{
+		Endpoints: 1, EnginesPerEndpoint: 8, RingCapacity: 64,
+	}, Config{})
+	const ops = 12
+	calls := make([]*minitls.OpCall, ops)
+	for i := range calls {
+		i := i
+		calls[i] = &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: newStack()}
+		if _, err := e.Do(calls[i], minitls.KindRSA, func() (any, error) { return i, nil }); !errors.Is(err, minitls.ErrWantAsync) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Nothing on the device yet: the ops are gathered, not submitted.
+	if got := e.PendingSubmits(); got != ops {
+		t.Fatalf("PendingSubmits = %d, want %d", got, ops)
+	}
+	if e.InflightTotal() != 0 || dev.Counters()[0].TotalRequests() != 0 {
+		t.Fatalf("ops reached the device before Flush (inflight %d)", e.InflightTotal())
+	}
+	if n := e.Flush(); n != ops {
+		t.Fatalf("Flush = %d, want %d", n, ops)
+	}
+	if e.PendingSubmits() != 0 || e.InflightTotal() != ops {
+		t.Fatalf("after flush: pending=%d inflight=%d", e.PendingSubmits(), e.InflightTotal())
+	}
+	ist := e.Instances()[0].Stats()
+	if ist.Doorbells != 1 || ist.SubmitBatches != 1 || ist.BatchSubmitted != ops || ist.MaxSubmitBatch != ops {
+		t.Fatalf("instance stats = %+v (want one doorbell for the whole batch)", ist)
+	}
+	results := drainStack(t, e, calls, minitls.KindRSA)
+	for i, r := range results {
+		if r != i {
+			t.Fatalf("result[%d] = %v", i, r)
+		}
+	}
+	st := e.Stats()
+	if st.Flushes != 1 || st.FlushedOps != ops || st.MaxFlush != ops || st.Submitted != ops || st.Retrieved != ops {
+		t.Fatalf("engine stats = %+v", st)
+	}
+	if e.InflightTotal() != 0 {
+		t.Fatalf("inflight after drain = %d", e.InflightTotal())
+	}
+}
+
+// A flush against full rings requeues the leftovers — counting ring-full
+// once per flush, not once per op — and the next flush places them.
+func TestCoalesceRingFullRequeue(t *testing.T) {
+	block := make(chan struct{})
+	e, _ := newCoalescedEngine(t, qat.DeviceSpec{
+		Endpoints: 1, EnginesPerEndpoint: 1, RingCapacity: 2,
+	}, Config{})
+	const ops = 5
+	calls := make([]*minitls.OpCall, ops)
+	for i := range calls {
+		calls[i] = &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: newStack()}
+		if _, err := e.Do(calls[i], minitls.KindPRF, func() (any, error) { <-block; return nil, nil }); !errors.Is(err, minitls.ErrWantAsync) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if n := e.Flush(); n != 2 {
+		t.Fatalf("Flush = %d, want ring capacity 2", n)
+	}
+	if got := e.PendingSubmits(); got != 3 {
+		t.Fatalf("PendingSubmits = %d, want 3 requeued", got)
+	}
+	st := e.Stats()
+	if st.RingFulls != 1 {
+		t.Fatalf("RingFulls = %d, want exactly 1 per flush", st.RingFulls)
+	}
+	// A second flush against the still-full ring makes no progress and
+	// adds exactly one more ring-full count.
+	if n := e.Flush(); n != 0 {
+		t.Fatalf("second Flush = %d, want 0", n)
+	}
+	if st := e.Stats(); st.RingFulls != 2 {
+		t.Fatalf("RingFulls = %d, want 2", st.RingFulls)
+	}
+	close(block)
+	// Drain and let the remaining ops flush in.
+	deadline := time.Now().Add(10 * time.Second)
+	for e.PendingSubmits() > 0 || e.InflightTotal() > 0 {
+		e.Poll(0)
+		e.Flush()
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck: pending=%d inflight=%d", e.PendingSubmits(), e.InflightTotal())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if st := e.Stats(); st.Submitted != ops {
+		t.Fatalf("Submitted = %d, want %d (no loss, no double-submit)", st.Submitted, ops)
+	}
+}
+
+// When every instance is circuit-broken the flush fails the gathered ops
+// back to their owners, who degrade to software — with no inflight slot
+// ever taken and no double count anywhere.
+func TestCoalesceNoHealthyInstance(t *testing.T) {
+	e, dev := newCoalescedEngine(t, qat.DeviceSpec{Endpoints: 1}, Config{
+		Breaker: &fault.BreakerConfig{},
+	})
+	// Trip the only instance's breaker.
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		e.breakers[0].RecordFailure(now)
+	}
+	if e.breakers[0].Allow(time.Now()) {
+		t.Skip("breaker did not open; config defaults changed")
+	}
+	call := &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: newStack()}
+	if _, err := e.Do(call, minitls.KindRSA, func() (any, error) { return "sw", nil }); !errors.Is(err, minitls.ErrWantAsync) {
+		t.Fatal(err)
+	}
+	if n := e.Flush(); n != 0 {
+		t.Fatalf("Flush = %d, want 0", n)
+	}
+	// The fail path marked the op ready with ErrNoInstance; re-entry
+	// degrades to software.
+	if call.Stack.State() != asynclib.StackReady {
+		t.Fatalf("stack state = %v, want ready", call.Stack.State())
+	}
+	res, err := e.Do(call, minitls.KindRSA, func() (any, error) { return "sw", nil })
+	if err != nil || res != "sw" {
+		t.Fatalf("Do = %v, %v", res, err)
+	}
+	st := e.Stats()
+	if st.SWFallbacks != 1 || st.Submitted != 0 {
+		t.Fatalf("stats = %+v (want one fallback, zero submissions)", st)
+	}
+	if e.InflightTotal() != 0 {
+		t.Fatalf("inflight = %d, want 0 (queued op never took a slot)", e.InflightTotal())
+	}
+	if dev.Counters()[0].TotalRequests() != 0 {
+		t.Fatal("request reached a circuit-broken device")
+	}
+}
+
+// An endpoint reset during the flush fails the accepted prefix retryably
+// and spills the rest; bounded retries re-place everything.
+func TestCoalesceResetMidFlush(t *testing.T) {
+	inj := fault.NewInjector(1, fault.Rule{
+		Kind: fault.Reset, Endpoint: fault.AnyEndpoint, Op: fault.AnyOp,
+		P: 1, After: 2, Limit: 1,
+	})
+	e, _ := newCoalescedEngine(t, qat.DeviceSpec{
+		Endpoints: 1, EnginesPerEndpoint: 4, RingCapacity: 64, Injector: inj,
+	}, Config{MaxRetries: 2})
+	const ops = 6
+	calls := make([]*minitls.OpCall, ops)
+	for i := range calls {
+		i := i
+		calls[i] = &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: newStack()}
+		if _, err := e.Do(calls[i], minitls.KindRSA, func() (any, error) { return i, nil }); !errors.Is(err, minitls.ErrWantAsync) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	results := drainStack(t, e, calls, minitls.KindRSA)
+	for i, r := range results {
+		if r != i {
+			t.Fatalf("result[%d] = %v", i, r)
+		}
+	}
+	st := e.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("stats = %+v (reset mid-flush should force retries)", st)
+	}
+	if st.Submitted != st.Retrieved {
+		t.Fatalf("submitted %d != retrieved %d", st.Submitted, st.Retrieved)
+	}
+	if e.InflightTotal() != 0 {
+		t.Fatalf("inflight = %d", e.InflightTotal())
+	}
+	if got := inj.Injected(fault.Reset); got != 1 {
+		t.Fatalf("resets injected = %d", got)
+	}
+}
+
+// An op whose deadline passes while it is still queued settles as a
+// timeout without an inflight decrement (it never took a slot) and the
+// flush drops it instead of submitting a zombie.
+func TestCoalesceQueuedDeadlineNoDoubleCount(t *testing.T) {
+	e, dev := newCoalescedEngine(t, qat.DeviceSpec{Endpoints: 1}, Config{
+		OpTimeout: time.Millisecond,
+	})
+	call := &minitls.OpCall{Mode: minitls.AsyncModeStack, Stack: newStack()}
+	if _, err := e.Do(call, minitls.KindRSA, func() (any, error) { return "late", nil }); !errors.Is(err, minitls.ErrWantAsync) {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	// Deadline-scan re-entry: the op is still queued (never flushed).
+	res, err := e.Do(call, minitls.KindRSA, func() (any, error) { return "late", nil })
+	if err != nil || res != "late" {
+		t.Fatalf("Do after deadline = %v, %v", res, err)
+	}
+	st := e.Stats()
+	if st.Timeouts != 1 || st.SWFallbacks != 1 || st.Submitted != 0 {
+		t.Fatalf("stats = %+v (want timeout+fallback, zero submissions)", st)
+	}
+	if e.InflightTotal() != 0 {
+		t.Fatalf("inflight = %d, want 0 — queued timeout must not decrement", e.InflightTotal())
+	}
+	// The flush drops the settled op rather than submitting it.
+	if n := e.Flush(); n != 0 {
+		t.Fatalf("Flush submitted %d settled op(s)", n)
+	}
+	if dev.Counters()[0].TotalRequests() != 0 {
+		t.Fatal("abandoned op reached the device")
+	}
+}
+
+// Full fiber-mode handshake with the coalescer enabled, driven the way a
+// worker drives it: flush after each handshake step, then poll. The
+// handshake result must be identical to the uncoalesced path.
+func TestCoalesceFiberHandshake(t *testing.T) {
+	e, _ := newCoalescedEngine(t, qat.DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 4}, Config{})
+	runHandshake(t, e, minitls.AsyncModeFiber)
+	// A single handshake is serial, so batches are small — but every op
+	// must ride the batched path rather than a lone doorbell.
+	ist := e.Instances()[0].Stats()
+	if ist.BatchSubmitted != ist.Submits || ist.SubmitBatches == 0 {
+		t.Fatalf("instance stats = %+v (handshake ops should ride batches)", ist)
+	}
+	if st := e.Stats(); st.Flushes == 0 || st.FlushedOps != st.Submitted {
+		t.Fatalf("engine stats = %+v", st)
+	}
+}
+
+// Same for stack mode.
+func TestCoalesceStackHandshake(t *testing.T) {
+	e, _ := newCoalescedEngine(t, qat.DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 4}, Config{})
+	runHandshake(t, e, minitls.AsyncModeStack)
+	if st := e.Stats(); st.Flushes == 0 || st.FlushedOps != st.Submitted {
+		t.Fatalf("engine stats = %+v", st)
+	}
+}
+
+// runHandshake performs one client/server handshake against e with the
+// worker-style drive loop: handshake step, flush, poll, repeat.
+func runHandshake(t *testing.T, e *Engine, mode minitls.AsyncMode) {
+	t.Helper()
+	cliT, srvT := net.Pipe()
+	defer cliT.Close()
+	defer srvT.Close()
+	var ops minitls.OpCounts
+	server := minitls.Server(srvT, &minitls.Config{
+		Identity:     rsaIdentity(t),
+		Provider:     e,
+		AsyncMode:    mode,
+		CipherSuites: []uint16{minitls.TLS_RSA_WITH_AES_128_CBC_SHA},
+		OpCounter:    &ops,
+	})
+	client := minitls.ClientConn(cliT, &minitls.Config{})
+	cliErr := make(chan error, 1)
+	go func() { cliErr <- client.Handshake() }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := server.Handshake()
+		if err == nil {
+			break
+		}
+		if errors.Is(err, minitls.ErrWantAsync) || errors.Is(err, minitls.ErrWantAsyncRetry) {
+			e.Flush()
+			for e.Poll(0) == 0 && errors.Is(err, minitls.ErrWantAsync) && e.PendingSubmits() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("timed out polling for responses")
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			continue
+		}
+		t.Fatalf("server handshake: %v", err)
+	}
+	if err := <-cliErr; err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	rsaN, _, prfN := ops.Table1Row()
+	if rsaN != 1 || prfN != 4 {
+		t.Fatalf("op counts RSA:%d PRF:%d — batched path must not change handshake results", rsaN, prfN)
+	}
+	if e.InflightTotal() != 0 || e.PendingSubmits() != 0 {
+		t.Fatalf("inflight=%d pending=%d after handshake", e.InflightTotal(), e.PendingSubmits())
+	}
+}

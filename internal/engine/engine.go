@@ -140,6 +140,13 @@ type Config struct {
 	// instance whose recent offloads keep failing is taken out of the
 	// submission rotation until its half-open probes succeed.
 	Breaker *fault.BreakerConfig
+	// Coalesce enables the submit coalescer: async-mode submissions are
+	// gathered per class as their jobs pause and pushed onto the request
+	// rings in batches (one ring lock + doorbell per batch) when the
+	// worker calls Flush at the end of the event-loop iteration. The
+	// straight-offload path is unaffected — it busy-waits inside the
+	// crypto call and must submit immediately. Off by default.
+	Coalesce bool
 	// Trace, when set, receives phase spans for the paper's first two
 	// offload phases (pre-processing: entry → submitted; response
 	// retrieval: submitted → callback). The remaining two phases
@@ -170,6 +177,13 @@ type Engine struct {
 	// dropped lazily when the same StackOp is reused or consumed.
 	stackOps map[*asynclib.StackOp]*stackPending
 
+	// Submit coalescer state (see coalesce.go). The pending queues are
+	// only touched by the worker goroutine and by fibers during their
+	// strict handoff with the worker, so they need no lock.
+	coalesce bool
+	pendingQ [numClasses][]*pendingSubmit
+	pendingN atomic.Int64
+
 	inflight [numClasses]atomic.Int64
 
 	// Cumulative statistics.
@@ -186,11 +200,20 @@ type Engine struct {
 	verifyFails atomic.Int64
 	trips       atomic.Int64
 
+	// Coalescer statistics.
+	flushes    atomic.Int64
+	flushedOps atomic.Int64
+	maxFlush   atomic.Int64
+
 	// Registry counters (nil without Config.Metrics).
 	ctrTimeouts  *metrics.Counter
 	ctrFallbacks *metrics.Counter
 	ctrTrips     *metrics.Counter
 	ctrRetries   *metrics.Counter
+	ctrFlushes   *metrics.Counter
+	ctrBatched   *metrics.Counter
+	histBatch    *metrics.Histogram // qtls_submit_batch
+	histAmort    *metrics.Histogram // qtls_submit_amortized_ns
 
 	// Phase tracing (inert when Config.Trace is nil or disabled).
 	tr           *trace.Buffer
@@ -241,6 +264,7 @@ func New(cfg Config) (*Engine, error) {
 			e.breakers[i] = fault.NewBreaker(*cfg.Breaker)
 		}
 	}
+	e.coalesce = cfg.Coalesce
 	if cfg.Metrics != nil {
 		e.ctrTimeouts = cfg.Metrics.Counter("qat_op_timeouts")
 		e.ctrFallbacks = cfg.Metrics.Counter("qat_sw_fallbacks")
@@ -248,6 +272,10 @@ func New(cfg Config) (*Engine, error) {
 		e.ctrRetries = cfg.Metrics.Counter("qat_retries")
 		e.histPre = cfg.Metrics.Histogram(trace.PhaseSeriesName(trace.PhasePre))
 		e.histRetrieve = cfg.Metrics.Histogram(trace.PhaseSeriesName(trace.PhaseRetrieve))
+		e.ctrFlushes = cfg.Metrics.Counter("qat_submit_flushes")
+		e.ctrBatched = cfg.Metrics.Counter("qat_batched_ops")
+		e.histBatch = cfg.Metrics.Histogram("qtls_submit_batch")
+		e.histAmort = cfg.Metrics.Histogram("qtls_submit_amortized_ns")
 	}
 	e.tr = cfg.Trace
 	return e, nil
@@ -436,6 +464,12 @@ func (e *Engine) Do(call *minitls.OpCall, kind minitls.OpKind, work func() (any,
 	}
 	switch call.Mode {
 	case minitls.AsyncModeFiber:
+		if e.coalescing() {
+			if call.Job == nil {
+				return nil, errors.New("engine: fiber mode without a job")
+			}
+			return e.doFiberCoalesced(call, kind, class, work)
+		}
 		return e.doFiber(call, kind, class, work)
 	case minitls.AsyncModeStack:
 		return e.doStack(call, kind, class, work)
@@ -667,6 +701,11 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 		}
 		result, rerr := st.Consume()
 		if rerr != nil {
+			if errors.Is(rerr, ErrNoInstance) {
+				// The coalesced flush found no healthy instance; the op was
+				// never on a ring (no inflight slot, no breaker signal).
+				return e.swFallback(work)
+			}
 			e.recordResult(idx, false)
 			if !retryable(rerr) {
 				return nil, rerr
@@ -691,7 +730,13 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 		}
 		if expired(sp.deadline) && sp.settled.CompareAndSwap(false, true) {
 			delete(e.stackOps, st)
-			e.settleTimeout(sp.class, sp.inst)
+			if sp.inst < 0 {
+				// Still in the coalescer's queue: nothing was submitted, so
+				// only the timeout is accounted (the flush drops it).
+				e.settleQueued()
+			} else {
+				e.settleTimeout(sp.class, sp.inst)
+			}
 			st.Reset()
 			return e.swFallback(work)
 		}
@@ -706,6 +751,9 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 		preStart = time.Now()
 	}
 	tag := attemptTag(attempt)
+	if e.coalescing() {
+		tag = coalesceTag(attempt)
+	}
 	req := qat.Request{
 		Op:   opTypeFor(kind),
 		Work: work,
@@ -722,6 +770,42 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 				call.WaitCtx.Notify()
 			}
 		},
+	}
+	if e.coalescing() {
+		// Defer the submission to the iteration-end batch flush. The op is
+		// "inflight" from the state flag's point of view; sp.inst stays -1
+		// until the flush actually places it on a ring.
+		sp := &stackPending{
+			settled:  settled,
+			deadline: e.opDeadline(),
+			inst:     -1,
+			class:    class,
+			attempt:  attempt,
+		}
+		e.enqueue(class, &pendingSubmit{
+			req:     req,
+			settled: settled,
+			accepted: func(i int, at time.Time) {
+				sp.inst = i
+				e.onSubmit(class)
+				if !preStart.IsZero() {
+					submitAt = at
+					e.tracePre(kind, tag, preStart)
+				}
+			},
+			fail: func(err error) {
+				if !settled.CompareAndSwap(false, true) {
+					return
+				}
+				st.MarkReady(nil, err)
+				if call.WaitCtx != nil {
+					call.WaitCtx.Notify()
+				}
+			},
+		})
+		st.MarkInflight()
+		e.stackOps[st] = sp
+		return nil, minitls.ErrWantAsync
 	}
 	if !preStart.IsZero() {
 		submitAt = time.Now()
@@ -857,6 +941,11 @@ type Stats struct {
 	Polls      int64
 	PollsEmpty int64
 
+	// Submit-coalescer counters (zero with Config.Coalesce off).
+	Flushes    int64 // Flush calls that submitted at least one op
+	FlushedOps int64 // ops submitted through the coalescer
+	MaxFlush   int64 // largest single-flush op count
+
 	// Degradation counters (zero unless hardening knobs are set and the
 	// device misbehaves).
 	Timeouts    int64
@@ -874,6 +963,9 @@ func (e *Engine) Stats() Stats {
 		RingFulls:   e.ringFulls.Load(),
 		Polls:       e.polls.Load(),
 		PollsEmpty:  e.pollsEmpty.Load(),
+		Flushes:     e.flushes.Load(),
+		FlushedOps:  e.flushedOps.Load(),
+		MaxFlush:    e.maxFlush.Load(),
 		Timeouts:    e.timeouts.Load(),
 		SWFallbacks: e.fallbacks.Load(),
 		Retries:     e.retries.Load(),

@@ -1,0 +1,101 @@
+//go:build linux
+
+package figures
+
+import (
+	"qtls/internal/loadgen"
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+	"qtls/internal/server"
+)
+
+func init() { registerExtra("submitbatch", SubmitBatch) }
+
+// submitBatchRun drives live ECDHE-RSA handshakes through one QTLS
+// variant and returns the measured CPS plus the summed per-instance
+// submit counters, which carry the doorbell-amortization story.
+func submitBatchRun(o Opts, run server.RunConfig) (float64, qat.InstanceStats) {
+	dev := qat.NewDevice(qat.DeviceSpec{Endpoints: 3, EnginesPerEndpoint: 4, RingCapacity: 128})
+	defer dev.Close()
+	rsaID, _ := table1Identities()
+	srv, err := server.New(server.Options{
+		Addr:    "127.0.0.1:0",
+		Workers: 2,
+		Run:     run,
+		TLS: &minitls.Config{
+			Identity:     rsaID,
+			CipherSuites: []uint16{minitls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+		},
+		Device:  dev,
+		Handler: server.SizedBodyHandler(1 << 20),
+	})
+	if err != nil {
+		panic("submitbatch: " + err.Error())
+	}
+	srv.Start()
+	defer srv.Stop()
+	res := loadgen.STime(loadgen.STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        16,
+		Duration:       o.Warmup + o.Measure,
+		RequestPath:    "/2048",
+		MaxConnections: 4096,
+	})
+	var st qat.InstanceStats
+	for _, w := range srv.Workers() {
+		if w.Engine() == nil {
+			continue
+		}
+		for _, inst := range w.Engine().Instances() {
+			is := inst.Stats()
+			st.Submits += is.Submits
+			st.Doorbells += is.Doorbells
+			st.SubmitBatches += is.SubmitBatches
+			st.BatchSubmitted += is.BatchSubmitted
+			if is.MaxSubmitBatch > st.MaxSubmitBatch {
+				st.MaxSubmitBatch = is.MaxSubmitBatch
+			}
+		}
+	}
+	return res.CPS(), st
+}
+
+// SubmitBatch contrasts QTLS with and without the submit coalescer on
+// the live stack: connections per second plus the ring-doorbell cost per
+// submitted op. The batched run amortizes the ring lock and doorbell
+// across the ops gathered within one event-loop iteration (the
+// submit-side dual of the §3.3 polling heuristic), so its doorbells/op
+// falls below 1 whenever concurrent handshakes coalesce.
+func SubmitBatch(o Opts) Table {
+	o = o.withDefaults()
+	batched := server.ConfigQTLS
+	batched.Name = "QTLS+batch"
+	batched.CoalesceSubmits = true
+	t := Table{
+		ID:     "submitbatch",
+		Title:  "Submit batching: doorbell amortization (live stack)",
+		XLabel: "metric",
+		YLabel: "CPS / doorbells per op / batch size",
+		Columns: []string{
+			"CPS", "doorbells/op", "batch mean", "batch max",
+		},
+		Notes: "doorbells/op = ring-lock acquisitions per submitted op (1.0 without batching).\n" +
+			"  Batch mean/max are SubmitBatch sizes; the unbatched path submits one op per doorbell.",
+	}
+	for _, run := range []server.RunConfig{server.ConfigQTLS, batched} {
+		cps, st := submitBatchRun(o, run)
+		perOp, mean, max := 1.0, 1.0, 1.0
+		if st.Submits > 0 {
+			perOp = float64(st.Doorbells) / float64(st.Submits)
+		}
+		if st.SubmitBatches > 0 {
+			mean = float64(st.BatchSubmitted) / float64(st.SubmitBatches)
+			max = float64(st.MaxSubmitBatch)
+		}
+		t.Series = append(t.Series, Series{
+			Name:   run.Name,
+			Values: []float64{cps, perOp, mean, max},
+		})
+	}
+	return t
+}

@@ -1,0 +1,64 @@
+//go:build linux
+
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSubmitBatchFigure smoke-runs the live-stack submit-batching
+// contrast and asserts the batched series routes its submissions through
+// SubmitBatch (batch stats populated) at no loss of correctness (both
+// variants complete connections).
+func TestSubmitBatchFigure(t *testing.T) {
+	tab := SubmitBatch(Quick())
+	if tab.ID != "submitbatch" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	if len(tab.Columns) != 4 || len(tab.Series) != 2 {
+		t.Fatalf("shape = %v / %d series", tab.Columns, len(tab.Series))
+	}
+	unbatched, batched := tab.Series[0], tab.Series[1]
+	for _, s := range tab.Series {
+		if len(s.Values) != 4 {
+			t.Fatalf("%s: values = %v", s.Name, s.Values)
+		}
+		if s.Values[0] <= 0 {
+			t.Errorf("%s: CPS = %v, want > 0", s.Name, s.Values[0])
+		}
+	}
+	// Unbatched: exactly one doorbell per op, size-1 "batches" by
+	// definition.
+	if unbatched.Values[1] != 1 || unbatched.Values[2] != 1 || unbatched.Values[3] != 1 {
+		t.Errorf("unbatched series not 1/1/1: %v", unbatched.Values)
+	}
+	// Batched: every op rides SubmitBatch, so doorbells/op <= 1 and the
+	// batch stats are live.
+	if batched.Values[1] <= 0 || batched.Values[1] > 1 {
+		t.Errorf("batched doorbells/op = %v, want in (0, 1]", batched.Values[1])
+	}
+	if batched.Values[2] < 1 || batched.Values[3] < 1 {
+		t.Errorf("batched batch stats empty: %v", batched.Values)
+	}
+	if !strings.Contains(tab.Format(), "QTLS+batch") {
+		t.Fatal("formatted table missing batched series")
+	}
+}
+
+// TestSubmitBatchRegistered asserts the figure is reachable through the
+// extras registry.
+func TestSubmitBatchRegistered(t *testing.T) {
+	if _, ok := ByID("submitbatch"); !ok {
+		t.Fatal("submitbatch not registered in ByID")
+	}
+	found := false
+	for _, id := range IDs() {
+		if id == "submitbatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("submitbatch missing from IDs(): %v", IDs())
+	}
+}

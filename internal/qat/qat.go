@@ -235,10 +235,26 @@ type Instance struct {
 // submission and retrieval behaved, as opposed to the endpoint firmware
 // counters which only count operations.
 type InstanceStats struct {
-	// Submits counts requests accepted onto the request ring.
+	// Submits counts requests accepted onto the request ring (whether
+	// they arrived one at a time or inside a batch).
 	Submits int64
-	// RingFull counts submissions rejected with ErrRingFull.
+	// RingFull counts submit calls rejected — fully or, for SubmitBatch,
+	// partially — with ErrRingFull. A partially accepted batch counts
+	// once, not once per unaccepted request.
 	RingFull int64
+	// Doorbells counts ring-lock acquisitions on the submit path: one per
+	// Submit and one per SubmitBatch that reaches the ring (a submit-time
+	// endpoint reset fails before the ring lock). The batched submission
+	// path exists to make this number grow slower than Submits.
+	Doorbells int64
+	// SubmitBatches counts SubmitBatch calls that accepted at least one
+	// request.
+	SubmitBatches int64
+	// BatchSubmitted counts requests accepted via SubmitBatch (a subset
+	// of Submits; BatchSubmitted/SubmitBatches is the mean batch size).
+	BatchSubmitted int64
+	// MaxSubmitBatch is the largest single SubmitBatch acceptance.
+	MaxSubmitBatch int64
 	// Polls counts Poll calls.
 	Polls int64
 	// EmptyPolls counts Poll calls that retrieved nothing — wasted CPU
@@ -459,12 +475,14 @@ func (inst *Instance) Submit(req Request) error {
 		}
 		if out.RingFull {
 			inst.mu.Lock()
+			inst.stats.Doorbells++
 			inst.stats.RingFull++
 			inst.mu.Unlock()
 			return ErrRingFull
 		}
 	}
 	inst.mu.Lock()
+	inst.stats.Doorbells++
 	if inst.inflight >= inst.ringCap {
 		inst.stats.RingFull++
 		inst.mu.Unlock()
@@ -482,6 +500,99 @@ func (inst *Instance) Submit(req Request) error {
 	// Guaranteed space: dispatch capacity >= sum of ring capacities.
 	inst.ep.dispatch <- &pending{req: req, inst: inst, epoch: epoch}
 	return nil
+}
+
+// SubmitBatch places up to len(reqs) requests on the instance's request
+// ring, taking the ring lock and ringing the doorbell once for the whole
+// batch. It accepts a prefix of reqs and returns how many were accepted:
+// on ring-full the remainder is rejected with ErrRingFull and the caller
+// retries (or falls back) only the unaccepted tail. Like Submit it never
+// blocks.
+//
+// Partial-acceptance semantics: requests reqs[:accepted] are on the ring
+// exactly as if submitted individually; reqs[accepted:] were never
+// submitted and carry no ring state. When the returned error is
+// ErrDeviceReset the endpoint reset mid-batch; the accepted prefix was on
+// the rings at reset time and will complete with ErrDeviceReset responses
+// (retryable), matching the fate of any other in-flight request.
+func (inst *Instance) SubmitBatch(reqs []Request) (int, error) {
+	for i := range reqs {
+		if reqs[i].Work == nil {
+			panic("qat: SubmitBatch with nil Work")
+		}
+		if reqs[i].Op < 0 || reqs[i].Op >= numOpTypes {
+			panic("qat: SubmitBatch with invalid OpType")
+		}
+	}
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	inst.ep.dev.mu.Lock()
+	closed := inst.ep.dev.closed
+	inst.ep.dev.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	inj := inst.ep.dev.spec.Injector
+
+	// Read the epoch before reserving ring slots so that a reset injected
+	// mid-batch leaves the accepted prefix stale: the engines fail those
+	// requests with ErrDeviceReset instead of executing them, exactly as
+	// they would any request already on the rings when the endpoint reset.
+	inst.ep.mu.Lock()
+	epoch := inst.ep.epoch
+	inst.ep.mu.Unlock()
+
+	var accepted int
+	var batchErr error
+	inst.mu.Lock()
+	inst.stats.Doorbells++
+	for i := range reqs {
+		if inj != nil {
+			out := inj.AtSubmit(inst.ep.id, int(reqs[i].Op))
+			if out.Reset {
+				inst.ep.reset()
+				batchErr = ErrDeviceReset
+				break
+			}
+			if out.RingFull {
+				inst.stats.RingFull++
+				batchErr = ErrRingFull
+				break
+			}
+		}
+		if inst.inflight >= inst.ringCap {
+			inst.stats.RingFull++
+			batchErr = ErrRingFull
+			break
+		}
+		inst.inflight++
+		inst.stats.Submits++
+		accepted++
+	}
+	if accepted > 0 {
+		inst.stats.SubmitBatches++
+		inst.stats.BatchSubmitted += int64(accepted)
+		if int64(accepted) > inst.stats.MaxSubmitBatch {
+			inst.stats.MaxSubmitBatch = int64(accepted)
+		}
+	}
+	inst.mu.Unlock()
+	if accepted == 0 {
+		return 0, batchErr
+	}
+
+	inst.ep.mu.Lock()
+	for i := range reqs[:accepted] {
+		inst.ep.counters.Requests[reqs[i].Op]++
+	}
+	inst.ep.mu.Unlock()
+
+	// Guaranteed space: dispatch capacity >= sum of ring capacities.
+	for i := range reqs[:accepted] {
+		inst.ep.dispatch <- &pending{req: reqs[i], inst: inst, epoch: epoch}
+	}
+	return accepted, batchErr
 }
 
 // Poll retrieves up to max responses (0 or negative means all available),
@@ -562,6 +673,11 @@ func (inst *Instance) Stats() InstanceStats {
 	defer inst.mu.Unlock()
 	return inst.stats
 }
+
+// Cap returns the capacity of the instance's request ring: the maximum
+// number of requests that may be in flight at once. Submitters use
+// Cap()-Inflight() as the free-slot estimate when sizing batches.
+func (inst *Instance) Cap() int { return inst.ringCap }
 
 // Endpoint returns the id of the endpoint this instance belongs to.
 func (inst *Instance) Endpoint() int { return inst.ep.id }

@@ -113,6 +113,12 @@ type RunConfig struct {
 	// worker (default 1; §2.3 allows several, from different endpoints,
 	// to employ more computation engines).
 	InstancesPerWorker int
+	// CoalesceSubmits batches async submissions: ops paused within one
+	// event-loop iteration are gathered by the engine and pushed onto the
+	// request rings with one ring lock and one doorbell per batch — the
+	// submit-side dual of heuristic polling. Straight offload (AsyncModeOff)
+	// is unaffected. Off by default.
+	CoalesceSubmits bool
 
 	// OpTimeout bounds each offloaded crypto operation: past the
 	// deadline the engine abandons the offload and computes the result

@@ -122,7 +122,7 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // Stats aggregates worker counters.
 type Stats struct {
 	Accepted, Handshakes, Resumed, Requests, BytesOut int64
-	AsyncEvents, RetryEvents                          int64
+	AsyncEvents, RetryEvents, SubmitFlushes           int64
 	HeuristicPolls, TimerPolls, FailoverPolls         int64
 	DeadlineWakeups                                   int64
 	Errors                                            int64
@@ -139,6 +139,7 @@ func (s *Server) Stats() Stats {
 		t.BytesOut += w.Stats.BytesOut.Load()
 		t.AsyncEvents += w.Stats.AsyncEvents.Load()
 		t.RetryEvents += w.Stats.RetryEvents.Load()
+		t.SubmitFlushes += w.Stats.SubmitFlushes.Load()
 		t.HeuristicPolls += w.Stats.HeuristicPolls.Load()
 		t.TimerPolls += w.Stats.TimerPolls.Load()
 		t.FailoverPolls += w.Stats.FailoverPolls.Load()

@@ -29,13 +29,16 @@ type Handler func(path string) (body []byte, ok bool)
 // WorkerStats are cumulative per-worker counters, safe to read from other
 // goroutines.
 type WorkerStats struct {
-	Accepted       atomic.Int64
-	Handshakes     atomic.Int64
-	Resumed        atomic.Int64
-	Requests       atomic.Int64
-	BytesOut       atomic.Int64
-	AsyncEvents    atomic.Int64
-	RetryEvents    atomic.Int64
+	Accepted    atomic.Int64
+	Handshakes  atomic.Int64
+	Resumed     atomic.Int64
+	Requests    atomic.Int64
+	BytesOut    atomic.Int64
+	AsyncEvents atomic.Int64
+	RetryEvents atomic.Int64
+	// SubmitFlushes counts submit-coalescer flushes that placed at least
+	// one gathered op on a request ring (see engine.Flush).
+	SubmitFlushes  atomic.Int64
 	HeuristicPolls atomic.Int64
 	TimerPolls     atomic.Int64
 	FailoverPolls  atomic.Int64
@@ -87,6 +90,7 @@ type Worker struct {
 	histLoop     *metrics.Histogram    // busy part of one loop iteration
 	histPollWait *metrics.Histogram    // time blocked in epoll_wait
 	histBatch    [4]*metrics.Histogram // poll batch size by cause
+	histFlush    *metrics.Histogram    // coalescer flush size (ops per flush)
 	gInflight    *metrics.Gauge        // Rtotal, per worker
 	gActive      *metrics.Gauge        // TCactive, per worker
 	gConns       *metrics.Gauge        // live connections
@@ -207,6 +211,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			MaxRetries:   cfg.MaxRetries,
 			RetryBackoff: cfg.RetryBackoff,
 			Breaker:      cfg.Breaker,
+			Coalesce:     cfg.CoalesceSubmits && cfg.AsyncMode != minitls.AsyncModeOff,
 			Metrics:      reg,
 			Trace:        w.tr,
 		})
@@ -267,6 +272,9 @@ func (w *Worker) initSeries() {
 	for i, tag := range pollCauses {
 		w.histBatch[i] = w.reg.Histogram(`qtls_poll_batch{cause="` + tag.String() + `"}`)
 	}
+	if w.cfg.CoalesceSubmits {
+		w.histFlush = w.reg.Histogram(`qtls_submit_flush_batch`)
+	}
 	w.gInflight = w.reg.Gauge(`qtls_inflight` + wl)
 	w.gActive = w.reg.Gauge(`qtls_active_conns` + wl)
 	w.gConns = w.reg.Gauge(`qtls_conns` + wl)
@@ -288,6 +296,7 @@ func (w *Worker) initSeries() {
 		{"qtls_bytes_out", &st.BytesOut},
 		{"qtls_async_events", &st.AsyncEvents},
 		{"qtls_retry_events", &st.RetryEvents},
+		{"qtls_submit_flush_events", &st.SubmitFlushes},
 		{`qtls_polls{cause="heuristic"}`, &st.HeuristicPolls},
 		{`qtls_polls{cause="timer"}`, &st.TimerPolls},
 		{`qtls_polls{cause="failover"}`, &st.FailoverPolls},
@@ -348,6 +357,32 @@ func (w *Worker) pollEngine(tag trace.Tag) int {
 	return n
 }
 
+// flushSubmits pushes the engine's gathered submissions onto the request
+// rings (engine.Flush: one ring lock and one doorbell per instance
+// chunk). The worker calls it wherever it drains the async notification
+// queue, so an op coalesced during this iteration is on the rings before
+// the loop sleeps. With tracing on the flush is one PhaseFlush span whose
+// Arg is the number of ops flushed, plus a flush-size histogram sample.
+func (w *Worker) flushSubmits() {
+	if w.eng == nil || w.eng.PendingSubmits() == 0 {
+		return
+	}
+	var start time.Time
+	if w.tr.Active() {
+		start = time.Now()
+	}
+	n := w.eng.Flush()
+	if n > 0 {
+		w.Stats.SubmitFlushes.Add(1)
+	}
+	if !start.IsZero() {
+		w.tr.Record(trace.PhaseFlush, trace.OpNone, trace.TagCoalesce, int64(n), start, time.Since(start))
+		if w.histFlush != nil && n > 0 {
+			w.histFlush.Observe(float64(n))
+		}
+	}
+}
+
 // Addr returns the worker's listening address.
 func (w *Worker) Addr() string { return w.listener.Addr() }
 
@@ -388,6 +423,9 @@ func (w *Worker) Run() {
 		for _, ev := range events {
 			w.dispatch(ev)
 		}
+		// Ops paused during event dispatch are batched onto the rings now,
+		// so the retrieval checks below can already see them in flight.
+		w.flushSubmits()
 		retrieved := 0
 		if w.eng != nil && w.cfg.Polling == PollTimer {
 			retrieved = w.pollEngine(trace.TagTimer)
@@ -407,6 +445,9 @@ func (w *Worker) Run() {
 		w.deadlineCheck()
 		w.processAsyncQueue()
 		w.processRetryQueue()
+		// Retried submissions and ops paused by resumed handlers after the
+		// last drain round must not wait out the epoll sleep.
+		w.flushSubmits()
 		if w.reg != nil {
 			w.updateGauges()
 			w.mirrorStats()
@@ -446,6 +487,9 @@ func (w *Worker) waitTimeout() int {
 	}
 	switch {
 	case len(w.asyncQueue) > 0 || len(w.retryQueue) > 0 || len(w.fdQueue) > 0:
+		return 0
+	case w.eng != nil && w.eng.PendingSubmits() > 0:
+		// Gathered submissions must reach the rings, not wait out a sleep.
 		return 0
 	case w.cfg.OpTimeout > 0 && w.asyncWaiting > 0:
 		// Paused offload jobs with a deadline: wake soon enough for the
@@ -677,6 +721,10 @@ func (w *Worker) processAsyncQueue() {
 		for _, c := range q {
 			w.resumeAsync(c)
 		}
+		// Resumed handlers typically pause on their next offload op; flush
+		// the batch they formed before the next drain round so its
+		// responses can feed that round.
+		w.flushSubmits()
 	}
 }
 

@@ -55,6 +55,11 @@ const (
 	// phase; Tag says whether the heuristic, the timer or the failover
 	// check triggered it, Arg carries the batch size).
 	PhasePoll
+	// PhaseFlush is one submit-coalescer flush: draining the ops that
+	// paused during an event-loop iteration onto the request rings in
+	// batches (the submit-side dual of PhasePoll; Arg carries the number
+	// of ops flushed).
+	PhaseFlush
 
 	// NumPhases is the number of defined phases.
 	NumPhases
@@ -73,6 +78,8 @@ func (p Phase) String() string {
 		return "post"
 	case PhasePoll:
 		return "poll"
+	case PhaseFlush:
+		return "flush"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -136,6 +143,10 @@ const (
 	// TagFD marks a notification span delivered through the notification
 	// pipe and epoll (costing user/kernel switches).
 	TagFD
+	// TagCoalesce marks a pre-processing span whose submission was
+	// gathered by the engine's submit coalescer and deferred to the
+	// iteration-end batch flush instead of ringing the doorbell alone.
+	TagCoalesce
 )
 
 // String returns the tag name.
@@ -157,6 +168,8 @@ func (t Tag) String() string {
 		return "kernel-bypass"
 	case TagFD:
 		return "fd"
+	case TagCoalesce:
+		return "coalesce"
 	default:
 		return fmt.Sprintf("tag(%d)", int(t))
 	}

@@ -154,8 +154,12 @@ func TestTraceSpanJSON(t *testing.T) {
 
 func TestTraceNames(t *testing.T) {
 	if PhasePre.String() != "pre" || PhaseRetrieve.String() != "retrieve" ||
-		PhaseNotify.String() != "notify" || PhasePost.String() != "post" || PhasePoll.String() != "poll" {
+		PhaseNotify.String() != "notify" || PhasePost.String() != "post" ||
+		PhasePoll.String() != "poll" || PhaseFlush.String() != "flush" {
 		t.Fatal("phase names")
+	}
+	if TagCoalesce.String() != "coalesce" {
+		t.Fatal("tag names")
 	}
 	if Phase(99).String() == "" || Op(99).String() == "" || Tag(99).String() == "" {
 		t.Fatal("unknown value rendering")
