@@ -33,7 +33,7 @@ func main() {
 		engines   = flag.Int("engines", 4, "engines per endpoint")
 		instances = flag.Int("instances", 6, "crypto instances to allocate")
 		burst     = flag.Int("burst", 100, "requests of each type per instance")
-		batch     = flag.Int("batch", 1, "submit in batches of this size via SubmitBatch (1 = per-op Submit)")
+		batch     = flag.Int("batch", 1, "submit in batches of this size via SubmitBatch (1 = per-op Submit, >1 = the coalesced submit mode's doorbell amortization)")
 		service   = flag.Duration("service", 50*time.Microsecond, "modeled RSA service time")
 		faultSpec = flag.String("fault", "", "fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")

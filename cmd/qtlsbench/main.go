@@ -1,6 +1,8 @@
 // Command qtlsbench regenerates the QTLS paper's evaluation tables and
 // figures (§5) on the discrete-event performance model, printing the same
-// rows/series the paper reports.
+// rows/series the paper reports. The offload configurations the
+// experiments sweep (SW, QAT+S, QAT+A, QAT+AH, QTLS) are the named
+// policies of internal/offload, shared with the live server.
 //
 // Usage:
 //

@@ -2,7 +2,9 @@
 // an OpenSSL s_time equivalent (closed-loop TLS connections measuring
 // connections per second) and an ApacheBench equivalent (keepalive
 // requests measuring throughput and response time), targeting a running
-// qtlsserver.
+// qtlsserver. The offload configuration under test (SW, QAT+S, QAT+A,
+// QAT+AH, QTLS — see internal/offload) is selected on the server side;
+// this tool only drives the TLS client half of the workload.
 //
 //	qtlsload -mode stime -addr 127.0.0.1:8443 -clients 50 -duration 10s
 //	qtlsload -mode stime -reuse 1.0            # 100% abbreviated handshakes

@@ -8,7 +8,11 @@
 //
 //	qtlsserver -addr 127.0.0.1:8443 -config QTLS -workers 4
 //	qtlsserver -config SW -max-version 1.3
-//	qtlsserver -config QAT+AH -asym-threshold 48 -sym-threshold 24
+//	qtlsserver -config QAT+AH -asym-threshold 64 -sym-threshold 32
+//
+// The named configurations and the heuristic-polling defaults (thresholds,
+// failover timer) come from internal/offload, the policy layer shared with
+// the performance model; the threshold flags override them.
 //
 // A fault scenario (internal/fault spec grammar) can be injected into the
 // simulated device to watch the server degrade gracefully instead of
@@ -33,6 +37,7 @@ import (
 
 	"qtls/internal/fault"
 	"qtls/internal/minitls"
+	"qtls/internal/offload"
 	"qtls/internal/qat"
 	"qtls/internal/server"
 	"qtls/internal/trace"
@@ -48,9 +53,9 @@ func main() {
 		maxVer   = flag.String("max-version", "1.2", "maximum TLS version: 1.2 or 1.3")
 		tickets  = flag.Bool("tickets", true, "enable session-ticket resumption")
 		cache    = flag.Bool("session-cache", true, "enable session-ID resumption")
-		asymThr  = flag.Int("asym-threshold", 48, "heuristic polling asym threshold")
-		symThr   = flag.Int("sym-threshold", 24, "heuristic polling sym threshold")
-		interval = flag.Duration("poll-interval", 10*time.Microsecond, "timer polling interval")
+		asymThr  = flag.Int("asym-threshold", offload.DefaultAsymThreshold, "heuristic polling asym threshold")
+		symThr   = flag.Int("sym-threshold", offload.DefaultSymThreshold, "heuristic polling sym threshold")
+		interval = flag.Duration("poll-interval", offload.DefaultPollInterval, "timer polling interval")
 		coalesce = flag.Bool("coalesce", false, "batch async submissions per event-loop iteration (one doorbell per batch)")
 		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
 		engines  = flag.Int("engines", 4, "engines per endpoint")

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"qtls/internal/minitls"
 	"qtls/internal/qat"
 	"qtls/internal/trace"
 )
@@ -222,121 +221,4 @@ func coalesceTag(attempt int) trace.Tag {
 		return trace.TagRetry
 	}
 	return trace.TagCoalesce
-}
-
-// doFiberCoalesced is doFiber with the submission deferred to the
-// iteration-end batch flush. The fiber enqueues and pauses; the flush
-// (running on the worker while the fiber is paused) either places the
-// request — after which the response callback resumes the fiber as usual
-// — or fails it, which also resumes the fiber to retry or degrade.
-func (e *Engine) doFiberCoalesced(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
-	for attempt := 0; ; {
-		delivered := false
-		var failErr error
-		var settled atomic.Bool
-		deadline := e.opDeadline()
-		idx := -1
-		var preStart, submitAt time.Time
-		if e.tracing() {
-			preStart = time.Now()
-		}
-		tag := coalesceTag(attempt)
-		req := qat.Request{
-			Op:   opTypeFor(kind),
-			Work: work,
-			Callback: func(r qat.Response) {
-				if !settled.CompareAndSwap(false, true) {
-					return // the op already timed out and degraded
-				}
-				if !submitAt.IsZero() {
-					e.traceRetrieve(kind, tag, submitAt)
-				}
-				call.SetResult(r.Result, r.Err)
-				e.onResponse(class)
-				delivered = true
-				if call.WaitCtx != nil {
-					call.WaitCtx.Notify()
-				}
-			},
-		}
-		e.enqueue(class, &pendingSubmit{
-			req:     req,
-			settled: &settled,
-			accepted: func(i int, at time.Time) {
-				idx = i
-				e.onSubmit(class)
-				if !preStart.IsZero() {
-					submitAt = at
-					e.tracePre(kind, tag, preStart)
-				}
-			},
-			fail: func(err error) {
-				if !settled.CompareAndSwap(false, true) {
-					return
-				}
-				failErr = err
-				if call.WaitCtx != nil {
-					call.WaitCtx.Notify()
-				}
-			},
-		})
-		call.SubmitFailed = false
-		call.SetResult(nil, nil)
-		for {
-			if perr := call.Job.Pause(); perr != nil {
-				return nil, perr
-			}
-			if delivered || failErr != nil {
-				break
-			}
-			if expired(deadline) {
-				if settled.CompareAndSwap(false, true) {
-					if idx < 0 {
-						// Still queued: the flush will drop it. Nothing was
-						// submitted, so only the timeout is accounted.
-						e.settleQueued()
-					} else {
-						e.settleTimeout(class, idx)
-					}
-					return e.swFallback(work)
-				}
-				// Lost the CAS: the response or failure landed first and
-				// the owner-side flags are already set.
-				break
-			}
-		}
-		if failErr != nil {
-			if errors.Is(failErr, ErrNoInstance) {
-				return e.swFallback(work)
-			}
-			if retryable(failErr) {
-				if attempt < e.maxRetry {
-					attempt++
-					e.noteRetry()
-					continue
-				}
-				return e.swFallback(work)
-			}
-			return nil, failErr
-		}
-		result, rerr := call.Result()
-		if rerr != nil {
-			e.recordResult(idx, false)
-			if !retryable(rerr) {
-				return nil, rerr
-			}
-		} else if !e.verifyOK(kind, result) {
-			e.recordResult(idx, false)
-			e.verifyFails.Add(1)
-		} else {
-			e.recordResult(idx, true)
-			return result, nil
-		}
-		if attempt < e.maxRetry {
-			attempt++
-			e.noteRetry()
-			continue
-		}
-		return e.swFallback(work)
-	}
 }

@@ -35,7 +35,6 @@ package engine
 
 import (
 	"errors"
-	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -172,10 +171,10 @@ type Engine struct {
 	breakers []*fault.Breaker // parallel to insts; nil when disabled
 
 	// Stack-async ops in flight, keyed by their state flag, so a
-	// deadline-driven re-entry can find the pending op's deadline and
+	// deadline-driven re-entry can find the pending attempt's deadline and
 	// suppression flag. Entries for connections torn down mid-flight are
 	// dropped lazily when the same StackOp is reused or consumed.
-	stackOps map[*asynclib.StackOp]*stackPending
+	stackOps map[*asynclib.StackOp]*attempt
 
 	// Submit coalescer state (see coalesce.go). The pending queues are
 	// only touched by the worker goroutine and by fibers during their
@@ -221,15 +220,6 @@ type Engine struct {
 	histRetrieve *metrics.Histogram // qtls_phase_ns{phase="retrieve"}
 }
 
-// stackPending is the engine-side state of one in-flight stack-async op.
-type stackPending struct {
-	settled  *atomic.Bool // CAS gate between response and deadline expiry
-	deadline time.Time
-	inst     int
-	class    Class
-	attempt  int
-}
-
 // New creates an engine bound to its QAT instances.
 func New(cfg Config) (*Engine, error) {
 	e := &Engine{
@@ -237,7 +227,7 @@ func New(cfg Config) (*Engine, error) {
 		maxRetry: cfg.MaxRetries,
 		backoff:  cfg.RetryBackoff,
 		verifyFn: cfg.Verify,
-		stackOps: make(map[*asynclib.StackOp]*stackPending),
+		stackOps: make(map[*asynclib.StackOp]*attempt),
 	}
 	if cfg.Instance != nil {
 		e.insts = append(e.insts, cfg.Instance)
@@ -464,513 +454,11 @@ func (e *Engine) Do(call *minitls.OpCall, kind minitls.OpKind, work func() (any,
 	}
 	switch call.Mode {
 	case minitls.AsyncModeFiber:
-		if e.coalescing() {
-			if call.Job == nil {
-				return nil, errors.New("engine: fiber mode without a job")
-			}
-			return e.doFiberCoalesced(call, kind, class, work)
-		}
 		return e.doFiber(call, kind, class, work)
 	case minitls.AsyncModeStack:
 		return e.doStack(call, kind, class, work)
 	default:
 		return e.doStraight(call, kind, class, work)
-	}
-}
-
-// doStraight is the straight offload mode (§2.4, Fig. 3): replace the
-// crypto function call with an offload I/O call and busy-wait for the
-// response. The worker core spins, and at most one engine computes for
-// this worker at any time — the blocking the paper measures.
-func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
-	for attempt := 0; ; attempt++ {
-		deadline := e.opDeadline()
-		var done atomic.Bool
-		var settled atomic.Bool
-		var result any
-		var resultErr error
-		var preStart, submitAt time.Time
-		if e.tracing() {
-			preStart = time.Now()
-		}
-		req := qat.Request{
-			Op:   opTypeFor(kind),
-			Work: work,
-			Callback: func(r qat.Response) {
-				if !settled.CompareAndSwap(false, true) {
-					return // late response for an op already degraded
-				}
-				if !submitAt.IsZero() {
-					e.traceRetrieve(kind, attemptTag(attempt), submitAt)
-				}
-				result, resultErr = r.Result, r.Err
-				e.onResponse(class)
-				done.Store(true)
-			},
-		}
-		if !preStart.IsZero() {
-			submitAt = time.Now()
-		}
-		idx, err := e.submitIdx(req)
-		for err != nil && errors.Is(err, qat.ErrRingFull) {
-			e.ringFulls.Add(1)
-			e.pollAll(0)
-			if expired(deadline) {
-				// The ring stays full past the deadline — leaked slots
-				// from a stalled engine. Reclaim and degrade.
-				e.reclaimLeaked()
-				return e.swFallback(work)
-			}
-			if !preStart.IsZero() {
-				submitAt = time.Now()
-			}
-			idx, err = e.submitIdx(req)
-		}
-		if err != nil {
-			if errors.Is(err, ErrNoInstance) {
-				return e.swFallback(work)
-			}
-			if retryable(err) {
-				if attempt < e.maxRetry {
-					e.noteRetry()
-					e.retrySleep(attempt)
-					continue
-				}
-				return e.swFallback(work)
-			}
-			return nil, err
-		}
-		e.onSubmit(class)
-		if !preStart.IsZero() {
-			e.tracePre(kind, attemptTag(attempt), preStart)
-		}
-		for !done.Load() {
-			if e.pollAll(0) == 0 {
-				runtime.Gosched()
-			}
-			if expired(deadline) && settled.CompareAndSwap(false, true) {
-				e.settleTimeout(class, idx)
-				return e.swFallback(work)
-			}
-		}
-		if resultErr != nil {
-			e.recordResult(idx, false)
-			if !retryable(resultErr) {
-				return nil, resultErr
-			}
-		} else if !e.verifyOK(kind, result) {
-			e.recordResult(idx, false)
-			e.verifyFails.Add(1)
-		} else {
-			e.recordResult(idx, true)
-			return result, nil
-		}
-		// Retryable failure (reset or corruption).
-		if attempt < e.maxRetry {
-			e.noteRetry()
-			e.retrySleep(attempt)
-			continue
-		}
-		return e.swFallback(work)
-	}
-}
-
-// doFiber submits the request and pauses the calling ASYNC_JOB (§3.2
-// pre-processing / Fig. 6). The response callback stores the result on
-// the OpCall and fires the connection's notification; the application
-// then resumes the job, and execution continues right here. A resume
-// after the op deadline (the worker's deadline scan) degrades the op to
-// software instead of re-pausing.
-func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
-	if call.Job == nil {
-		return nil, errors.New("engine: fiber mode without a job")
-	}
-	for attempt := 0; ; {
-		delivered := false
-		var settled atomic.Bool
-		deadline := e.opDeadline()
-		var preStart, submitAt time.Time
-		if e.tracing() {
-			preStart = time.Now()
-		}
-		tag := attemptTag(attempt)
-		req := qat.Request{
-			Op:   opTypeFor(kind),
-			Work: work,
-			Callback: func(r qat.Response) {
-				if !settled.CompareAndSwap(false, true) {
-					return // the op already timed out and degraded
-				}
-				if !submitAt.IsZero() {
-					e.traceRetrieve(kind, tag, submitAt)
-				}
-				call.SetResult(r.Result, r.Err)
-				e.onResponse(class)
-				delivered = true
-				if call.WaitCtx != nil {
-					call.WaitCtx.Notify()
-				}
-			},
-		}
-		if !preStart.IsZero() {
-			submitAt = time.Now()
-		}
-		idx, err := e.submitIdx(req)
-		if err != nil {
-			if errors.Is(err, qat.ErrRingFull) {
-				// Pause with the retry indication; the application
-				// reschedules this handler later and we resubmit (§3.2
-				// "failure of crypto submission").
-				e.ringFulls.Add(1)
-				call.SubmitFailed = true
-				if perr := call.Job.Pause(); perr != nil {
-					return nil, perr
-				}
-				continue
-			}
-			if errors.Is(err, ErrNoInstance) {
-				return e.swFallback(work)
-			}
-			if retryable(err) {
-				if attempt < e.maxRetry {
-					attempt++
-					e.noteRetry()
-					continue
-				}
-				return e.swFallback(work)
-			}
-			return nil, err
-		}
-		e.onSubmit(class)
-		if !preStart.IsZero() {
-			e.tracePre(kind, tag, preStart)
-		}
-		call.SubmitFailed = false
-		call.SetResult(nil, nil)
-		// Tolerate spurious resumes: stay paused until the response
-		// callback has actually delivered a result — unless the deadline
-		// passed, in which case the op is abandoned and degraded.
-		for !delivered {
-			if expired(deadline) && settled.CompareAndSwap(false, true) {
-				e.settleTimeout(class, idx)
-				return e.swFallback(work)
-			}
-			if err := call.Job.Pause(); err != nil {
-				return nil, err
-			}
-		}
-		result, rerr := call.Result()
-		if rerr != nil {
-			e.recordResult(idx, false)
-			if !retryable(rerr) {
-				return nil, rerr
-			}
-		} else if !e.verifyOK(kind, result) {
-			e.recordResult(idx, false)
-			e.verifyFails.Add(1)
-		} else {
-			e.recordResult(idx, true)
-			return result, nil
-		}
-		if attempt < e.maxRetry {
-			attempt++
-			e.noteRetry()
-			continue
-		}
-		return e.swFallback(work)
-	}
-}
-
-// doStack drives the stack-async state flag (Fig. 5): first entry submits
-// and returns ErrWantAsync; the re-entered call consumes the ready result.
-// A re-entry while the op is still inflight past its deadline (the
-// worker's deadline scan) abandons the offload and degrades to software.
-func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
-	st := call.Stack
-	if st == nil {
-		return nil, errors.New("engine: stack mode without a StackOp")
-	}
-	attempt := 0
-	switch st.State() {
-	case asynclib.StackReady:
-		sp := e.stackOps[st]
-		delete(e.stackOps, st)
-		idx := -1
-		if sp != nil {
-			idx, attempt = sp.inst, sp.attempt
-		}
-		result, rerr := st.Consume()
-		if rerr != nil {
-			if errors.Is(rerr, ErrNoInstance) {
-				// The coalesced flush found no healthy instance; the op was
-				// never on a ring (no inflight slot, no breaker signal).
-				return e.swFallback(work)
-			}
-			e.recordResult(idx, false)
-			if !retryable(rerr) {
-				return nil, rerr
-			}
-		} else if !e.verifyOK(kind, result) {
-			e.recordResult(idx, false)
-			e.verifyFails.Add(1)
-		} else {
-			e.recordResult(idx, true)
-			return result, rerr
-		}
-		if attempt >= e.maxRetry {
-			return e.swFallback(work)
-		}
-		attempt++
-		e.noteRetry()
-		// Fall through to resubmission: Consume reset the op to idle.
-	case asynclib.StackInflight:
-		sp := e.stackOps[st]
-		if sp == nil {
-			return nil, errors.New("engine: stack op already in flight")
-		}
-		if expired(sp.deadline) && sp.settled.CompareAndSwap(false, true) {
-			delete(e.stackOps, st)
-			if sp.inst < 0 {
-				// Still in the coalescer's queue: nothing was submitted, so
-				// only the timeout is accounted (the flush drops it).
-				e.settleQueued()
-			} else {
-				e.settleTimeout(sp.class, sp.inst)
-			}
-			st.Reset()
-			return e.swFallback(work)
-		}
-		// Spurious re-entry before the deadline (e.g. the worker's
-		// deadline scan firing early): keep waiting for the response.
-		return nil, minitls.ErrWantAsync
-	}
-	// State idle or retry: submit.
-	settled := &atomic.Bool{}
-	var preStart, submitAt time.Time
-	if e.tracing() {
-		preStart = time.Now()
-	}
-	tag := attemptTag(attempt)
-	if e.coalescing() {
-		tag = coalesceTag(attempt)
-	}
-	req := qat.Request{
-		Op:   opTypeFor(kind),
-		Work: work,
-		Callback: func(r qat.Response) {
-			if !settled.CompareAndSwap(false, true) {
-				return // the op already timed out and degraded
-			}
-			if !submitAt.IsZero() {
-				e.traceRetrieve(kind, tag, submitAt)
-			}
-			st.MarkReady(r.Result, r.Err)
-			e.onResponse(class)
-			if call.WaitCtx != nil {
-				call.WaitCtx.Notify()
-			}
-		},
-	}
-	if e.coalescing() {
-		// Defer the submission to the iteration-end batch flush. The op is
-		// "inflight" from the state flag's point of view; sp.inst stays -1
-		// until the flush actually places it on a ring.
-		sp := &stackPending{
-			settled:  settled,
-			deadline: e.opDeadline(),
-			inst:     -1,
-			class:    class,
-			attempt:  attempt,
-		}
-		e.enqueue(class, &pendingSubmit{
-			req:     req,
-			settled: settled,
-			accepted: func(i int, at time.Time) {
-				sp.inst = i
-				e.onSubmit(class)
-				if !preStart.IsZero() {
-					submitAt = at
-					e.tracePre(kind, tag, preStart)
-				}
-			},
-			fail: func(err error) {
-				if !settled.CompareAndSwap(false, true) {
-					return
-				}
-				st.MarkReady(nil, err)
-				if call.WaitCtx != nil {
-					call.WaitCtx.Notify()
-				}
-			},
-		})
-		st.MarkInflight()
-		e.stackOps[st] = sp
-		return nil, minitls.ErrWantAsync
-	}
-	if !preStart.IsZero() {
-		submitAt = time.Now()
-	}
-	idx, err := e.submitIdx(req)
-	if err != nil {
-		if errors.Is(err, qat.ErrRingFull) {
-			e.ringFulls.Add(1)
-			st.MarkRetry()
-			return nil, minitls.ErrWantAsyncRetry
-		}
-		if errors.Is(err, ErrNoInstance) {
-			return e.swFallback(work)
-		}
-		if retryable(err) {
-			if attempt >= e.maxRetry {
-				return e.swFallback(work)
-			}
-			// A submit-time reset: surface the retry to the event loop,
-			// which re-invokes us with the state flag set to retry.
-			e.noteRetry()
-			st.MarkRetry()
-			return nil, minitls.ErrWantAsyncRetry
-		}
-		return nil, err
-	}
-	e.onSubmit(class)
-	if !preStart.IsZero() {
-		e.tracePre(kind, tag, preStart)
-	}
-	st.MarkInflight()
-	e.stackOps[st] = &stackPending{
-		settled:  settled,
-		deadline: e.opDeadline(),
-		inst:     idx,
-		class:    class,
-		attempt:  attempt,
-	}
-	return nil, minitls.ErrWantAsync
-}
-
-func (e *Engine) onSubmit(class Class) {
-	e.inflight[class].Add(1)
-	e.submitted.Add(1)
-}
-
-func (e *Engine) onResponse(class Class) {
-	e.inflight[class].Add(-1)
-	e.retrieved.Add(1)
-}
-
-// Poll retrieves up to max QAT responses (0 = all available), running
-// response callbacks on the calling goroutine. It returns the number
-// retrieved.
-func (e *Engine) Poll(max int) int {
-	n := e.pollAll(max)
-	e.polls.Add(1)
-	if n == 0 {
-		e.pollsEmpty.Add(1)
-	}
-	return n
-}
-
-// pollAll drains responses from every assigned instance.
-func (e *Engine) pollAll(max int) int {
-	n := 0
-	for _, inst := range e.insts {
-		n += inst.Poll(max)
-	}
-	return n
-}
-
-// InflightTotal returns Rtotal — the number of submitted-but-unretrieved
-// crypto requests across all classes (§4.3).
-func (e *Engine) InflightTotal() int {
-	var t int64
-	for i := range e.inflight {
-		t += e.inflight[i].Load()
-	}
-	return int(t)
-}
-
-// InflightAsym returns Rasym, the in-flight asymmetric requests.
-func (e *Engine) InflightAsym() int { return int(e.inflight[ClassAsym].Load()) }
-
-// Inflight returns the in-flight count for one class.
-func (e *Engine) Inflight(c Class) int { return int(e.inflight[c].Load()) }
-
-// InstanceHealth is one crypto instance's degradation view: its breaker
-// state plus the device-level slot accounting.
-type InstanceHealth struct {
-	// Index is the instance's position in the engine's rotation.
-	Index int
-	// Endpoint is the QAT endpoint the instance's rings belong to.
-	Endpoint int
-	// State is the circuit-breaker state (closed when breakers are off).
-	State fault.BreakerState
-	// Breaker is the breaker's window snapshot (zero when breakers are
-	// off).
-	Breaker fault.BreakerSnapshot
-	// Inflight is the instance's occupied ring slots.
-	Inflight int
-	// Leaked is the ring slots currently leaked by stalled requests.
-	Leaked int
-}
-
-// Health reports per-instance breaker and slot state (for qatinfo and the
-// server's stub_status).
-func (e *Engine) Health() []InstanceHealth {
-	out := make([]InstanceHealth, len(e.insts))
-	for i, inst := range e.insts {
-		h := InstanceHealth{
-			Index:    i,
-			Endpoint: inst.Endpoint(),
-			State:    fault.StateClosed,
-			Inflight: inst.Inflight(),
-			Leaked:   inst.Leaked(),
-		}
-		if e.breakers != nil {
-			h.State = e.breakers[i].State()
-			h.Breaker = e.breakers[i].Snapshot()
-		}
-		out[i] = h
-	}
-	return out
-}
-
-// Stats is a snapshot of engine counters.
-type Stats struct {
-	Submitted  int64
-	Retrieved  int64
-	RingFulls  int64
-	Polls      int64
-	PollsEmpty int64
-
-	// Submit-coalescer counters (zero with Config.Coalesce off).
-	Flushes    int64 // Flush calls that submitted at least one op
-	FlushedOps int64 // ops submitted through the coalescer
-	MaxFlush   int64 // largest single-flush op count
-
-	// Degradation counters (zero unless hardening knobs are set and the
-	// device misbehaves).
-	Timeouts    int64
-	SWFallbacks int64
-	Retries     int64
-	VerifyFails int64
-	Trips       int64
-}
-
-// Stats returns cumulative counters.
-func (e *Engine) Stats() Stats {
-	return Stats{
-		Submitted:   e.submitted.Load(),
-		Retrieved:   e.retrieved.Load(),
-		RingFulls:   e.ringFulls.Load(),
-		Polls:       e.polls.Load(),
-		PollsEmpty:  e.pollsEmpty.Load(),
-		Flushes:     e.flushes.Load(),
-		FlushedOps:  e.flushedOps.Load(),
-		MaxFlush:    e.maxFlush.Load(),
-		Timeouts:    e.timeouts.Load(),
-		SWFallbacks: e.fallbacks.Load(),
-		Retries:     e.retries.Load(),
-		VerifyFails: e.verifyFails.Load(),
-		Trips:       e.trips.Load(),
 	}
 }
 

@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"qtls/internal/asynclib"
+	"qtls/internal/minitls"
+	"qtls/internal/qat"
+	"qtls/internal/trace"
+)
+
+// This file is the engine's single async submit path. Fiber vs stack
+// pause mechanics and direct vs coalesced submission used to be four
+// copies of the same control flow; they now differ only in injected
+// behavior: submitPath owns the request construction, the settled/trace/
+// in-flight bookkeeping and the submit-failure policy, and a
+// pauseStrategy contributes the three points where the pause
+// implementations genuinely diverge (result delivery, parking, and the
+// reaction to a full ring).
+
+// attempt is the state of one submission attempt, shared between the
+// submit path, the response callback, the coalescer hooks and the
+// deadline logic. The settled flag is the CAS gate between response
+// delivery and deadline expiry; everything else is only touched on the
+// worker goroutine or during the fiber↔worker strict handoff.
+type attempt struct {
+	e     *Engine
+	call  *minitls.OpCall
+	kind  minitls.OpKind
+	class Class
+	work  func() (any, error)
+
+	n        int // attempt number (0-based)
+	tag      trace.Tag
+	settled  atomic.Bool
+	deadline time.Time
+	idx      int // instance index; -1 while queued or unplaced
+	preStart time.Time
+	submitAt time.Time
+}
+
+func (e *Engine) newAttempt(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error), n int) *attempt {
+	return &attempt{e: e, call: call, kind: kind, class: class, work: work, n: n, idx: -1}
+}
+
+// outcome says what submitPath's caller should do next.
+type outcome int
+
+const (
+	// outReturn: the res/err pair is final for this Do invocation.
+	outReturn outcome = iota
+	// outResubmit: run another submission attempt (a.n was advanced for
+	// retryable failures; ring-full resubmissions keep their count).
+	outResubmit
+)
+
+// pauseStrategy is the injected behavior distinguishing the crypto pause
+// implementations (§4.1): ASYNC_JOB fibers park inside the engine, stack
+// ops park by returning ErrWantAsync to the event loop.
+type pauseStrategy interface {
+	// deliver hands a completed result (or a coalescer failure) to the
+	// op's owner and fires the connection's async notification. It runs
+	// with the settled CAS already won.
+	deliver(a *attempt, result any, err error)
+	// park suspends the op after its request was submitted or enqueued.
+	park(a *attempt) (any, error, outcome)
+	// ringFull reacts to a full request ring on the direct submit path
+	// (§3.2 "failure of crypto submission").
+	ringFull(a *attempt) (any, error, outcome)
+	// retryFailed reacts to a retryable submit-time failure (e.g. a
+	// device reset) — resubmit within budget, degrade past it.
+	retryFailed(a *attempt) (any, error, outcome)
+}
+
+// callback builds the qat response callback: settle the op, trace the
+// retrieval phase, settle the in-flight counter, deliver.
+func (a *attempt) callback(s pauseStrategy) func(qat.Response) {
+	return func(r qat.Response) {
+		if !a.settled.CompareAndSwap(false, true) {
+			return // the op already timed out and degraded
+		}
+		if !a.submitAt.IsZero() {
+			a.e.traceRetrieve(a.kind, a.tag, a.submitAt)
+		}
+		a.e.onResponse(a.class)
+		s.deliver(a, r.Result, r.Err)
+	}
+}
+
+// settleDeadline settles an expired attempt: ops still in the coalescer
+// queue were never submitted (the flush drops them), ops on a ring pay
+// the full timeout accounting.
+func (a *attempt) settleDeadline() {
+	if a.idx < 0 {
+		a.e.settleQueued()
+	} else {
+		a.e.settleTimeout(a.class, a.idx)
+	}
+}
+
+// submitPath runs one submission attempt for an async op: build the
+// request, place it (directly, or via the coalescer for the
+// iteration-end batch flush), and park the op through the strategy.
+func (e *Engine) submitPath(a *attempt, s pauseStrategy) (any, error, outcome) {
+	if e.tracing() {
+		a.preStart = time.Now()
+	}
+	a.tag = attemptTag(a.n)
+	if e.coalescing() {
+		a.tag = coalesceTag(a.n)
+	}
+	a.deadline = e.opDeadline()
+	req := qat.Request{
+		Op:       opTypeFor(a.kind),
+		Work:     a.work,
+		Callback: a.callback(s),
+	}
+	if e.coalescing() {
+		// Defer the submission to the iteration-end batch flush. a.idx
+		// stays -1 until the flush actually places the request on a ring.
+		e.enqueue(a.class, &pendingSubmit{
+			req:     req,
+			settled: &a.settled,
+			accepted: func(i int, at time.Time) {
+				a.idx = i
+				e.onSubmit(a.class)
+				if !a.preStart.IsZero() {
+					a.submitAt = at
+					e.tracePre(a.kind, a.tag, a.preStart)
+				}
+			},
+			fail: func(err error) {
+				if !a.settled.CompareAndSwap(false, true) {
+					return
+				}
+				s.deliver(a, nil, err)
+			},
+		})
+		return s.park(a)
+	}
+	if !a.preStart.IsZero() {
+		a.submitAt = time.Now()
+	}
+	idx, err := e.submitIdx(req)
+	if err != nil {
+		if errors.Is(err, qat.ErrRingFull) {
+			e.ringFulls.Add(1)
+			return s.ringFull(a)
+		}
+		if errors.Is(err, ErrNoInstance) {
+			res, ferr := e.swFallback(a.work)
+			return res, ferr, outReturn
+		}
+		if retryable(err) {
+			return s.retryFailed(a)
+		}
+		return nil, err, outReturn
+	}
+	a.idx = idx
+	e.onSubmit(a.class)
+	if !a.preStart.IsZero() {
+		e.tracePre(a.kind, a.tag, a.preStart)
+	}
+	return s.park(a)
+}
+
+// resultAction is settleResult's verdict on a delivered result.
+type resultAction int
+
+const (
+	// actReturn: hand the result (or its non-retryable error) to the TLS
+	// stack.
+	actReturn resultAction = iota
+	// actRetry: retryable failure with retry budget left.
+	actRetry
+	// actFallback: degrade the operation to software.
+	actFallback
+)
+
+// settleResult is the shared response epilogue: breaker accounting,
+// result verification, and the retry/fallback decision. idx < 0 (the op
+// never reached a ring) skips the breaker. An ErrNoInstance result means
+// the coalesced flush found no healthy instance — no inflight slot, no
+// breaker signal, straight to software.
+func (e *Engine) settleResult(kind minitls.OpKind, idx, n int, result any, rerr error) resultAction {
+	if rerr != nil {
+		if errors.Is(rerr, ErrNoInstance) {
+			return actFallback
+		}
+		e.recordResult(idx, false)
+		if !retryable(rerr) {
+			return actReturn
+		}
+	} else if !e.verifyOK(kind, result) {
+		e.recordResult(idx, false)
+		e.verifyFails.Add(1)
+	} else {
+		e.recordResult(idx, true)
+		return actReturn
+	}
+	if n < e.maxRetry {
+		return actRetry
+	}
+	return actFallback
+}
+
+// --- fiber strategy --------------------------------------------------------
+
+// fiberStrategy parks the calling ASYNC_JOB (§3.2 pre-processing /
+// Fig. 6): the response callback stores the result on the OpCall and
+// fires the connection's notification; the application then resumes the
+// job, and execution continues inside park. A resume after the op
+// deadline (the worker's deadline scan) degrades the op to software
+// instead of re-pausing.
+type fiberStrategy struct {
+	delivered bool
+}
+
+func (s *fiberStrategy) deliver(a *attempt, result any, err error) {
+	a.call.SetResult(result, err)
+	s.delivered = true
+	if a.call.WaitCtx != nil {
+		a.call.WaitCtx.Notify()
+	}
+}
+
+func (s *fiberStrategy) park(a *attempt) (any, error, outcome) {
+	e := a.e
+	a.call.SubmitFailed = false
+	a.call.SetResult(nil, nil)
+	// Tolerate spurious resumes: stay paused until the response callback
+	// (or the coalescer's failure hook) has delivered — unless the
+	// deadline passed, in which case the op is abandoned and degraded.
+	for {
+		if err := a.call.Job.Pause(); err != nil {
+			return nil, err, outReturn
+		}
+		if s.delivered {
+			break
+		}
+		if expired(a.deadline) {
+			if a.settled.CompareAndSwap(false, true) {
+				a.settleDeadline()
+				res, err := e.swFallback(a.work)
+				return res, err, outReturn
+			}
+			break // lost the CAS: the response landed first
+		}
+	}
+	result, rerr := a.call.Result()
+	switch e.settleResult(a.kind, a.idx, a.n, result, rerr) {
+	case actReturn:
+		if rerr != nil {
+			return nil, rerr, outReturn
+		}
+		return result, nil, outReturn
+	case actRetry:
+		a.n++
+		e.noteRetry()
+		return nil, nil, outResubmit
+	default:
+		res, err := e.swFallback(a.work)
+		return res, err, outReturn
+	}
+}
+
+func (s *fiberStrategy) ringFull(a *attempt) (any, error, outcome) {
+	// Pause with the retry indication; the application reschedules this
+	// handler later and we resubmit with the same attempt count.
+	a.call.SubmitFailed = true
+	if perr := a.call.Job.Pause(); perr != nil {
+		return nil, perr, outReturn
+	}
+	return nil, nil, outResubmit
+}
+
+func (s *fiberStrategy) retryFailed(a *attempt) (any, error, outcome) {
+	if a.n < a.e.maxRetry {
+		a.n++
+		a.e.noteRetry()
+		return nil, nil, outResubmit
+	}
+	res, err := a.e.swFallback(a.work)
+	return res, err, outReturn
+}
+
+// doFiber submits through submitPath until an attempt is final.
+func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	if call.Job == nil {
+		return nil, errors.New("engine: fiber mode without a job")
+	}
+	for n := 0; ; {
+		a := e.newAttempt(call, kind, class, work, n)
+		res, err, out := e.submitPath(a, &fiberStrategy{})
+		if out == outReturn {
+			return res, err
+		}
+		n = a.n
+	}
+}
+
+// --- stack strategy --------------------------------------------------------
+
+// stackStrategy drives the stack-async state flag (Fig. 5): the op parks
+// by marking the flag in flight and returning ErrWantAsync; the
+// re-entered Do call (see doStack) consumes the ready result.
+type stackStrategy struct {
+	st *asynclib.StackOp
+}
+
+func (s *stackStrategy) deliver(a *attempt, result any, err error) {
+	s.st.MarkReady(result, err)
+	if a.call.WaitCtx != nil {
+		a.call.WaitCtx.Notify()
+	}
+}
+
+func (s *stackStrategy) park(a *attempt) (any, error, outcome) {
+	s.st.MarkInflight()
+	a.e.stackOps[s.st] = a
+	return nil, minitls.ErrWantAsync, outReturn
+}
+
+func (s *stackStrategy) ringFull(a *attempt) (any, error, outcome) {
+	s.st.MarkRetry()
+	return nil, minitls.ErrWantAsyncRetry, outReturn
+}
+
+func (s *stackStrategy) retryFailed(a *attempt) (any, error, outcome) {
+	if a.n >= a.e.maxRetry {
+		res, err := a.e.swFallback(a.work)
+		return res, err, outReturn
+	}
+	// A submit-time reset: surface the retry to the event loop, which
+	// re-invokes us with the state flag set to retry.
+	a.e.noteRetry()
+	s.st.MarkRetry()
+	return nil, minitls.ErrWantAsyncRetry, outReturn
+}
+
+// doStack handles the stack-async re-entries around submitPath: first
+// entry submits and returns ErrWantAsync; the re-entered call consumes
+// the ready result. A re-entry while the op is still inflight past its
+// deadline (the worker's deadline scan) abandons the offload and
+// degrades to software.
+func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	st := call.Stack
+	if st == nil {
+		return nil, errors.New("engine: stack mode without a StackOp")
+	}
+	n := 0
+	switch st.State() {
+	case asynclib.StackReady:
+		a := e.stackOps[st]
+		delete(e.stackOps, st)
+		idx := -1
+		if a != nil {
+			idx, n = a.idx, a.n
+		}
+		result, rerr := st.Consume()
+		switch e.settleResult(kind, idx, n, result, rerr) {
+		case actReturn:
+			if rerr != nil {
+				return nil, rerr
+			}
+			return result, nil
+		case actFallback:
+			return e.swFallback(work)
+		}
+		n++
+		e.noteRetry()
+		// Fall through to resubmission: Consume reset the op to idle.
+	case asynclib.StackInflight:
+		a := e.stackOps[st]
+		if a == nil {
+			return nil, errors.New("engine: stack op already in flight")
+		}
+		if expired(a.deadline) && a.settled.CompareAndSwap(false, true) {
+			delete(e.stackOps, st)
+			a.settleDeadline()
+			st.Reset()
+			return e.swFallback(work)
+		}
+		// Spurious re-entry before the deadline (e.g. the worker's
+		// deadline scan firing early): keep waiting for the response.
+		return nil, minitls.ErrWantAsync
+	}
+	// State idle or retry: submit.
+	res, err, _ := e.submitPath(e.newAttempt(call, kind, class, work, n), &stackStrategy{st: st})
+	return res, err
+}
+
+// --- straight offload ------------------------------------------------------
+
+// doStraight is the straight offload mode (§2.4, Fig. 3): replace the
+// crypto function call with an offload I/O call and busy-wait for the
+// response. The worker core spins, and at most one engine computes for
+// this worker at any time — the blocking the paper measures. It shares
+// the result epilogue (settleResult) with the async paths but keeps its
+// own submission loop: it must submit immediately and block, so neither
+// pause strategy nor the coalescer applies.
+func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
+	for n := 0; ; n++ {
+		deadline := e.opDeadline()
+		var done atomic.Bool
+		var settled atomic.Bool
+		var result any
+		var resultErr error
+		var preStart, submitAt time.Time
+		if e.tracing() {
+			preStart = time.Now()
+		}
+		req := qat.Request{
+			Op:   opTypeFor(kind),
+			Work: work,
+			Callback: func(r qat.Response) {
+				if !settled.CompareAndSwap(false, true) {
+					return // late response for an op already degraded
+				}
+				if !submitAt.IsZero() {
+					e.traceRetrieve(kind, attemptTag(n), submitAt)
+				}
+				result, resultErr = r.Result, r.Err
+				e.onResponse(class)
+				done.Store(true)
+			},
+		}
+		if !preStart.IsZero() {
+			submitAt = time.Now()
+		}
+		idx, err := e.submitIdx(req)
+		for err != nil && errors.Is(err, qat.ErrRingFull) {
+			e.ringFulls.Add(1)
+			e.pollAll(0)
+			if expired(deadline) {
+				// The ring stays full past the deadline — leaked slots
+				// from a stalled engine. Reclaim and degrade.
+				e.reclaimLeaked()
+				return e.swFallback(work)
+			}
+			if !preStart.IsZero() {
+				submitAt = time.Now()
+			}
+			idx, err = e.submitIdx(req)
+		}
+		if err != nil {
+			if errors.Is(err, ErrNoInstance) {
+				return e.swFallback(work)
+			}
+			if retryable(err) {
+				if n < e.maxRetry {
+					e.noteRetry()
+					e.retrySleep(n)
+					continue
+				}
+				return e.swFallback(work)
+			}
+			return nil, err
+		}
+		e.onSubmit(class)
+		if !preStart.IsZero() {
+			e.tracePre(kind, attemptTag(n), preStart)
+		}
+		for !done.Load() {
+			if e.pollAll(0) == 0 {
+				runtime.Gosched()
+			}
+			if expired(deadline) && settled.CompareAndSwap(false, true) {
+				e.settleTimeout(class, idx)
+				return e.swFallback(work)
+			}
+		}
+		switch e.settleResult(kind, idx, n, result, resultErr) {
+		case actReturn:
+			if resultErr != nil {
+				return nil, resultErr
+			}
+			return result, nil
+		case actRetry:
+			e.noteRetry()
+			e.retrySleep(n)
+			continue
+		default:
+			return e.swFallback(work)
+		}
+	}
+}

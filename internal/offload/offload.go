@@ -1,0 +1,264 @@
+// Package offload is the shared policy vocabulary of the QTLS offload
+// framework. The paper's five evaluated configurations (SW, QAT+S, QAT+A,
+// QAT+AH, QTLS — §5.1) are a matrix of three orthogonal policies:
+//
+//   - how QAT responses are retrieved (PollPolicy: none/inline, a timer
+//     polling thread, or the heuristic scheme of §3.3 with its 48/24
+//     thresholds and 5 ms failover timer);
+//   - how async events reach the event loop (Notifier: a file descriptor
+//     watched by epoll vs the kernel-bypass async queue, §3.4); and
+//   - how submissions reach the request rings (SubmitMode: one doorbell
+//     per op vs coalesced batches per event-loop iteration).
+//
+// Both the live stack (internal/server, internal/engine) and the
+// discrete-event performance model (internal/perf) consume this package,
+// so the thresholds, defaults and poll decisions are defined exactly once
+// and the two stacks cannot drift.
+package offload
+
+import (
+	"fmt"
+	"time"
+)
+
+// The heuristic polling defaults of §3.3/§4.3 and the artifact's SSL
+// Engine Framework directives (§A.7). These are the single definition of
+// the paper's magic numbers; every other package references them.
+const (
+	// DefaultAsymThreshold is qat_heuristic_poll_asym_threshold: the
+	// efficiency-constraint threshold while asymmetric requests are in
+	// flight.
+	DefaultAsymThreshold = 48
+	// DefaultSymThreshold is qat_heuristic_poll_sym_threshold: the
+	// threshold while only symmetric/PRF requests are in flight.
+	DefaultSymThreshold = 24
+	// DefaultFailoverInterval backs the heuristic scheme up: if no poll
+	// happened for this long while requests are in flight, poll once.
+	DefaultFailoverInterval = 5 * time.Millisecond
+	// DefaultPollInterval is the timer polling period (the QAT Engine's
+	// default 10 µs polling thread).
+	DefaultPollInterval = 10 * time.Microsecond
+)
+
+// PollScheme selects how QAT responses are retrieved (§3.3, §5.6).
+type PollScheme int
+
+const (
+	// PollNone: no retrieval loop — software crypto (SW) or the inline
+	// blocking retrieval of the straight offload mode (QAT+S).
+	PollNone PollScheme = iota
+	// PollTimer: poll at fixed intervals (the default QAT Engine polling
+	// thread).
+	PollTimer
+	// PollHeuristic: the QTLS heuristic polling scheme driven by in-flight
+	// request counts and active-connection counts.
+	PollHeuristic
+	// PollInterrupt: no polling — each completion raises a kernel
+	// interrupt (the alternative §3.3 rejects for its per-event kernel
+	// cost; modeled as an ablation by internal/perf only).
+	PollInterrupt
+)
+
+// String returns the scheme name.
+func (p PollScheme) String() string {
+	switch p {
+	case PollNone:
+		return "none"
+	case PollTimer:
+		return "timer"
+	case PollHeuristic:
+		return "heuristic"
+	case PollInterrupt:
+		return "interrupt"
+	default:
+		return fmt.Sprintf("PollScheme(%d)", int(p))
+	}
+}
+
+// Notifier selects how async events reach the event loop (§3.4).
+type Notifier int
+
+const (
+	// NotifierFD: the response callback writes to a descriptor monitored
+	// by epoll — user/kernel switches on every event.
+	NotifierFD Notifier = iota
+	// NotifierKernelBypass: the response callback pushes the saved async
+	// handler onto an application-level async queue drained at the end of
+	// the event loop.
+	NotifierKernelBypass
+)
+
+// String returns the notifier name.
+func (n Notifier) String() string {
+	switch n {
+	case NotifierFD:
+		return "fd"
+	case NotifierKernelBypass:
+		return "kernel-bypass"
+	default:
+		return fmt.Sprintf("Notifier(%d)", int(n))
+	}
+}
+
+// SubmitMode selects how submissions reach the request rings.
+type SubmitMode int
+
+const (
+	// SubmitDirect places each request on a ring as its op pauses — one
+	// ring lock and one doorbell per op.
+	SubmitDirect SubmitMode = iota
+	// SubmitCoalesced gathers the ops paused within one event-loop
+	// iteration and pushes them onto the rings in batches — the
+	// submit-side dual of heuristic polling.
+	SubmitCoalesced
+)
+
+// String returns the mode name.
+func (m SubmitMode) String() string {
+	switch m {
+	case SubmitDirect:
+		return "direct"
+	case SubmitCoalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("SubmitMode(%d)", int(m))
+	}
+}
+
+// PollPolicy is one response-retrieval policy: the scheme plus every
+// parameter the schemes read. The zero value resolves to the paper's
+// defaults via WithDefaults.
+type PollPolicy struct {
+	// Scheme selects the retrieval mechanism.
+	Scheme PollScheme
+	// Interval is the timer polling period (PollTimer; default 10 µs).
+	Interval time.Duration
+	// AsymThreshold is the heuristic efficiency threshold while
+	// asymmetric requests are in flight (default 48).
+	AsymThreshold int
+	// SymThreshold is the heuristic threshold otherwise (default 24).
+	SymThreshold int
+	// FailoverInterval is the heuristic failover timer (default 5 ms).
+	FailoverInterval time.Duration
+}
+
+// WithDefaults resolves unset parameters to the paper's defaults.
+func (p PollPolicy) WithDefaults() PollPolicy {
+	if p.Interval <= 0 {
+		p.Interval = DefaultPollInterval
+	}
+	if p.AsymThreshold <= 0 {
+		p.AsymThreshold = DefaultAsymThreshold
+	}
+	if p.SymThreshold <= 0 {
+		p.SymThreshold = DefaultSymThreshold
+	}
+	if p.FailoverInterval <= 0 {
+		p.FailoverInterval = DefaultFailoverInterval
+	}
+	return p
+}
+
+// Threshold returns the efficiency-constraint threshold in effect:
+// AsymThreshold while any asymmetric request is in flight, SymThreshold
+// otherwise (§4.3: "48 when asymmetric requests are in flight, 24
+// otherwise").
+func (p PollPolicy) Threshold(inflightAsym int) int {
+	if inflightAsym > 0 {
+		return p.AsymThreshold
+	}
+	return p.SymThreshold
+}
+
+// ShouldPoll is the heuristic polling decision (§3.3): poll when the
+// efficiency constraint holds (enough responses to coalesce into one
+// retrieval) or the timeliness constraint holds (every active connection
+// is waiting on the accelerator, so nothing else can make progress).
+// It returns false when nothing is in flight or the scheme is not
+// heuristic.
+func (p PollPolicy) ShouldPoll(inflight, inflightAsym, activeConns int) bool {
+	if p.Scheme != PollHeuristic || inflight <= 0 {
+		return false
+	}
+	return inflight >= p.Threshold(inflightAsym) || inflight >= activeConns
+}
+
+// FailoverDue reports whether the failover timer demands a poll: requests
+// are in flight but no poll has happened for a full interval (§4.3).
+func (p PollPolicy) FailoverDue(inflight int, sinceLastPoll time.Duration) bool {
+	if p.Scheme != PollHeuristic || inflight <= 0 {
+		return false
+	}
+	return sinceLastPoll >= p.FailoverInterval
+}
+
+// Policy is one complete offload configuration: whether the accelerator
+// is used at all, whether offloads pause asynchronously or block, and the
+// three orthogonal sub-policies.
+type Policy struct {
+	// Name labels the configuration ("SW", "QAT+S", ...).
+	Name string
+	// UseQAT enables the accelerator.
+	UseQAT bool
+	// Async enables the asynchronous offload framework; false with UseQAT
+	// is the straight (blocking) offload mode.
+	Async bool
+	// Poll is the response-retrieval policy.
+	Poll PollPolicy
+	// Notify is the async event notification scheme.
+	Notify Notifier
+	// Submit is the submission strategy.
+	Submit SubmitMode
+}
+
+// WithDefaults resolves the poll policy's unset parameters.
+func (p Policy) WithDefaults() Policy {
+	p.Poll = p.Poll.WithDefaults()
+	return p
+}
+
+// The paper's five configurations (§5.1), built from the composable
+// policy values. Both the live stack's RunConfig constructors and the
+// DES Config constructors derive from these.
+
+// SW is software calculation with AES-NI-class instructions.
+func SW() Policy { return Policy{Name: "SW"} }
+
+// QATS is the straight (blocking) offload mode.
+func QATS() Policy {
+	return Policy{Name: "QAT+S", UseQAT: true, Poll: PollPolicy{Scheme: PollNone}}
+}
+
+// QATA is the async framework with timer polling and FD notification.
+func QATA() Policy {
+	return Policy{Name: "QAT+A", UseQAT: true, Async: true,
+		Poll: PollPolicy{Scheme: PollTimer}, Notify: NotifierFD}
+}
+
+// QATAH replaces the polling thread with the heuristic scheme.
+func QATAH() Policy {
+	return Policy{Name: "QAT+AH", UseQAT: true, Async: true,
+		Poll: PollPolicy{Scheme: PollHeuristic}, Notify: NotifierFD}
+}
+
+// QTLS is the full QTLS: heuristic polling + kernel-bypass notification.
+func QTLS() Policy {
+	return Policy{Name: "QTLS", UseQAT: true, Async: true,
+		Poll: PollPolicy{Scheme: PollHeuristic}, Notify: NotifierKernelBypass}
+}
+
+// Configurations lists the five configurations in evaluation order.
+func Configurations() []Policy {
+	return []Policy{SW(), QATS(), QATA(), QATAH(), QTLS()}
+}
+
+// ByName returns the named configuration (resolved to defaults) and
+// whether the name is known.
+func ByName(name string) (Policy, bool) {
+	for _, p := range Configurations() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}

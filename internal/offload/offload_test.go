@@ -1,0 +1,135 @@
+package offload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWithDefaults(t *testing.T) {
+	p := PollPolicy{}.WithDefaults()
+	if p.AsymThreshold != DefaultAsymThreshold || p.SymThreshold != DefaultSymThreshold {
+		t.Fatalf("thresholds = %d/%d", p.AsymThreshold, p.SymThreshold)
+	}
+	if p.FailoverInterval != DefaultFailoverInterval {
+		t.Fatalf("failover = %v", p.FailoverInterval)
+	}
+	if p.Interval != DefaultPollInterval {
+		t.Fatalf("interval = %v", p.Interval)
+	}
+	// Explicit values survive.
+	q := PollPolicy{AsymThreshold: 7, SymThreshold: 3, Interval: time.Millisecond,
+		FailoverInterval: time.Second}.WithDefaults()
+	if q.AsymThreshold != 7 || q.SymThreshold != 3 || q.Interval != time.Millisecond ||
+		q.FailoverInterval != time.Second {
+		t.Fatalf("explicit values clobbered: %+v", q)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	p := PollPolicy{Scheme: PollHeuristic}.WithDefaults()
+	if got := p.Threshold(1); got != DefaultAsymThreshold {
+		t.Fatalf("asym threshold = %d", got)
+	}
+	if got := p.Threshold(0); got != DefaultSymThreshold {
+		t.Fatalf("sym threshold = %d", got)
+	}
+}
+
+func TestShouldPoll(t *testing.T) {
+	p := PollPolicy{Scheme: PollHeuristic}.WithDefaults()
+	cases := []struct {
+		name                            string
+		inflight, inflightAsym, actives int
+		want                            bool
+	}{
+		{"nothing inflight", 0, 0, 10, false},
+		{"below both constraints", 10, 1, 100, false},
+		{"efficiency asym", DefaultAsymThreshold, 1, 1000, true},
+		{"efficiency sym", DefaultSymThreshold, 0, 1000, true},
+		{"sym count under asym threshold", DefaultSymThreshold, 1, 1000, false},
+		{"timeliness", 3, 1, 3, true},
+		{"timeliness excess", 3, 0, 2, true},
+	}
+	for _, c := range cases {
+		if got := p.ShouldPoll(c.inflight, c.inflightAsym, c.actives); got != c.want {
+			t.Errorf("%s: ShouldPoll(%d,%d,%d) = %v, want %v",
+				c.name, c.inflight, c.inflightAsym, c.actives, got, c.want)
+		}
+	}
+	// Non-heuristic schemes never poll heuristically.
+	for _, s := range []PollScheme{PollNone, PollTimer, PollInterrupt} {
+		q := PollPolicy{Scheme: s}.WithDefaults()
+		if q.ShouldPoll(1000, 1000, 1) {
+			t.Errorf("scheme %v: ShouldPoll fired", s)
+		}
+	}
+}
+
+func TestFailoverDue(t *testing.T) {
+	p := PollPolicy{Scheme: PollHeuristic}.WithDefaults()
+	if p.FailoverDue(0, time.Hour) {
+		t.Fatal("failover with nothing in flight")
+	}
+	if p.FailoverDue(1, DefaultFailoverInterval-time.Microsecond) {
+		t.Fatal("failover before the interval")
+	}
+	if !p.FailoverDue(1, DefaultFailoverInterval) {
+		t.Fatal("no failover at the interval")
+	}
+	if (PollPolicy{Scheme: PollTimer}).WithDefaults().FailoverDue(1, time.Hour) {
+		t.Fatal("failover under timer polling")
+	}
+}
+
+func TestNamedConfigurations(t *testing.T) {
+	want := []struct {
+		name   string
+		useQAT bool
+		async  bool
+		scheme PollScheme
+		notify Notifier
+	}{
+		{"SW", false, false, PollNone, NotifierFD},
+		{"QAT+S", true, false, PollNone, NotifierFD},
+		{"QAT+A", true, true, PollTimer, NotifierFD},
+		{"QAT+AH", true, true, PollHeuristic, NotifierFD},
+		{"QTLS", true, true, PollHeuristic, NotifierKernelBypass},
+	}
+	got := Configurations()
+	if len(got) != len(want) {
+		t.Fatalf("%d configurations", len(got))
+	}
+	for i, w := range want {
+		p := got[i]
+		if p.Name != w.name || p.UseQAT != w.useQAT || p.Async != w.async ||
+			p.Poll.Scheme != w.scheme || p.Notify != w.notify {
+			t.Errorf("config %d = %+v, want %+v", i, p, w)
+		}
+		if p.Submit != SubmitDirect {
+			t.Errorf("%s: submit mode = %v, want direct", p.Name, p.Submit)
+		}
+		byName, ok := ByName(w.name)
+		if !ok || byName.Name != w.name {
+			t.Errorf("ByName(%q) = %+v, %v", w.name, byName, ok)
+		}
+	}
+	if _, ok := ByName("QAT+X"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if PollNone.String() != "none" || PollTimer.String() != "timer" ||
+		PollHeuristic.String() != "heuristic" || PollInterrupt.String() != "interrupt" {
+		t.Fatal("PollScheme strings")
+	}
+	if NotifierFD.String() != "fd" || NotifierKernelBypass.String() != "kernel-bypass" {
+		t.Fatal("Notifier strings")
+	}
+	if SubmitDirect.String() != "direct" || SubmitCoalesced.String() != "coalesced" {
+		t.Fatal("SubmitMode strings")
+	}
+	if PollScheme(99).String() == "" || Notifier(99).String() == "" || SubmitMode(99).String() == "" {
+		t.Fatal("out-of-range strings")
+	}
+}

@@ -1,0 +1,79 @@
+//go:build linux
+
+package offload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"qtls/internal/offload"
+	"qtls/internal/perf"
+	"qtls/internal/server"
+)
+
+// TestCrossStackPolicyParity pins the guarantee that makes the shared
+// policy layer worth having: for every named configuration, the live
+// server (internal/server) and the performance model (internal/perf)
+// resolve to exactly the same offload policy — thresholds, failover
+// timer, polling scheme and interval, notification mode, submit mode.
+// Before internal/offload existed, the two stacks each carried a private
+// copy of these parameters and could silently drift apart.
+func TestCrossStackPolicyParity(t *testing.T) {
+	serverByName := map[string]server.RunConfig{}
+	for _, rc := range server.Configurations() {
+		serverByName[rc.Name] = rc
+	}
+	perfByName := map[string]perf.Config{}
+	for _, pc := range perf.Configurations(1) {
+		perfByName[pc.Name] = pc
+	}
+
+	params := perf.DefaultParams()
+	configs := offload.Configurations()
+	if len(configs) != 5 {
+		t.Fatalf("offload.Configurations() returned %d policies, want 5", len(configs))
+	}
+	for _, canonical := range configs {
+		t.Run(canonical.Name, func(t *testing.T) {
+			want := canonical.WithDefaults()
+
+			rc, ok := serverByName[canonical.Name]
+			if !ok {
+				t.Fatalf("server has no configuration named %q", canonical.Name)
+			}
+			fromServer := rc.OffloadPolicy()
+
+			pc, ok := perfByName[canonical.Name]
+			if !ok {
+				t.Fatalf("perf has no configuration named %q", canonical.Name)
+			}
+			fromPerf := pc.OffloadPolicy(params)
+
+			if !reflect.DeepEqual(fromServer, want) {
+				t.Errorf("server policy drifted from internal/offload:\n server: %+v\n  want:  %+v", fromServer, want)
+			}
+			if !reflect.DeepEqual(fromPerf, want) {
+				t.Errorf("perf policy drifted from internal/offload:\n perf: %+v\n want: %+v", fromPerf, want)
+			}
+			if !reflect.DeepEqual(fromServer, fromPerf) {
+				t.Errorf("server and perf resolve %q differently:\n server: %+v\n perf:   %+v", canonical.Name, fromServer, fromPerf)
+			}
+		})
+	}
+}
+
+// TestParityCoversModelKnobs guards the parameters the model exposes
+// through Params rather than Config: the defaults the DES actually runs
+// with must be the shared package's defaults, not a re-tuned copy.
+func TestParityCoversModelKnobs(t *testing.T) {
+	p := perf.DefaultParams()
+	if p.AsymThreshold != offload.DefaultAsymThreshold {
+		t.Errorf("Params.AsymThreshold = %d, want offload.DefaultAsymThreshold (%d)", p.AsymThreshold, offload.DefaultAsymThreshold)
+	}
+	if p.SymThreshold != offload.DefaultSymThreshold {
+		t.Errorf("Params.SymThreshold = %d, want offload.DefaultSymThreshold (%d)", p.SymThreshold, offload.DefaultSymThreshold)
+	}
+	if p.FailoverInterval != offload.DefaultFailoverInterval {
+		t.Errorf("Params.FailoverInterval = %v, want offload.DefaultFailoverInterval (%v)", p.FailoverInterval, offload.DefaultFailoverInterval)
+	}
+}

@@ -5,26 +5,30 @@ import (
 	"time"
 
 	"qtls/internal/metrics"
+	"qtls/internal/offload"
 	"qtls/internal/sim"
 )
 
-// PollKind selects the response retrieval scheme in the model.
-type PollKind int
+// PollKind selects the response retrieval scheme in the model. It is the
+// shared offload.PollScheme under its historical name.
+type PollKind = offload.PollScheme
 
 const (
 	// PollInline: the blocking straight-offload retrieval (QAT+S).
-	PollInline PollKind = iota
+	PollInline = offload.PollNone
 	// PollTimer: a timer-based polling thread pinned to the worker core.
-	PollTimer
+	PollTimer = offload.PollTimer
 	// PollHeuristic: the QTLS heuristic polling scheme.
-	PollHeuristic
+	PollHeuristic = offload.PollHeuristic
 	// PollInterrupt: no polling — each completion raises a kernel
 	// interrupt that delivers the response to the worker (the alternative
 	// §3.3 rejects for its per-event kernel cost; ablation only).
-	PollInterrupt
+	PollInterrupt = offload.PollInterrupt
 )
 
 // AsyncImpl selects the crypto pause implementation (§4.1 ablation).
+// The live stack has a matching knob (minitls.AsyncMode) but the choice
+// does not change offload policy, so it stays outside internal/offload.
 type AsyncImpl int
 
 const (
@@ -35,14 +39,15 @@ const (
 	ImplStack
 )
 
-// NotifKind selects the async event notification scheme.
-type NotifKind int
+// NotifKind selects the async event notification scheme. It is the
+// shared offload.Notifier under its historical name.
+type NotifKind = offload.Notifier
 
 const (
 	// NotifFD is the descriptor-based scheme (write(2) + epoll).
-	NotifFD NotifKind = iota
+	NotifFD = offload.NotifierFD
 	// NotifBypass is the kernel-bypass async queue.
-	NotifBypass
+	NotifBypass = offload.NotifierKernelBypass
 )
 
 // Config selects one offload configuration for a model run.
@@ -91,27 +96,57 @@ type FaultScenario struct {
 	TripThreshold int
 }
 
-// The paper's five configurations (§5.1) at a given worker count.
-func SW(workers int) Config { return Config{Name: "SW", Workers: workers} }
-
-func QATS(workers int) Config {
-	return Config{Name: "QAT+S", UseQAT: true, Workers: workers, PollInterval: 10 * time.Microsecond}
+// fromPolicy builds a model Config from a shared offload policy at a
+// given worker count.
+func fromPolicy(p offload.Policy, workers int) Config {
+	return Config{
+		Name:         p.Name,
+		UseQAT:       p.UseQAT,
+		Async:        p.Async,
+		Polling:      p.Poll.Scheme,
+		PollInterval: p.Poll.Interval,
+		Notify:       p.Notify,
+		Workers:      workers,
+	}
 }
 
-func QATA(workers int) Config {
-	return Config{Name: "QAT+A", UseQAT: true, Async: true, Polling: PollTimer,
-		PollInterval: 10 * time.Microsecond, Notify: NotifFD, Workers: workers}
+// pollPolicy resolves the Config's retrieval knobs plus the calibrated
+// thresholds into the shared policy value.
+func (cfg Config) pollPolicy(p Params) offload.PollPolicy {
+	return offload.PollPolicy{
+		Scheme:           cfg.Polling,
+		Interval:         cfg.PollInterval,
+		AsymThreshold:    p.AsymThreshold,
+		SymThreshold:     p.SymThreshold,
+		FailoverInterval: p.FailoverInterval,
+	}.WithDefaults()
 }
 
-func QATAH(workers int) Config {
-	return Config{Name: "QAT+AH", UseQAT: true, Async: true, Polling: PollHeuristic,
-		Notify: NotifFD, Workers: workers}
+// OffloadPolicy resolves the Config (with the given model parameters)
+// into the shared offload-policy vocabulary — the same value the live
+// stack's RunConfig.OffloadPolicy yields for each named configuration
+// (see the parity test in internal/offload).
+func (cfg Config) OffloadPolicy(p Params) offload.Policy {
+	return offload.Policy{
+		Name:   cfg.Name,
+		UseQAT: cfg.UseQAT,
+		Async:  cfg.Async,
+		Poll:   cfg.pollPolicy(p),
+		Notify: cfg.Notify,
+	}
 }
 
-func QTLS(workers int) Config {
-	return Config{Name: "QTLS", UseQAT: true, Async: true, Polling: PollHeuristic,
-		Notify: NotifBypass, Workers: workers}
-}
+// The paper's five configurations (§5.1) at a given worker count,
+// derived from the shared policy layer.
+func SW(workers int) Config { return fromPolicy(offload.SW(), workers) }
+
+func QATS(workers int) Config { return fromPolicy(offload.QATS(), workers) }
+
+func QATA(workers int) Config { return fromPolicy(offload.QATA(), workers) }
+
+func QATAH(workers int) Config { return fromPolicy(offload.QATAH(), workers) }
+
+func QTLS(workers int) Config { return fromPolicy(offload.QTLS(), workers) }
 
 // Configurations returns the paper's five configurations in order.
 func Configurations(workers int) []Config {
@@ -199,6 +234,7 @@ type Model struct {
 	sim     *sim.Simulation
 	p       Params
 	cfg     Config
+	poll    offload.PollPolicy // resolved retrieval policy (shared seam)
 	workers []*worker
 	dev     *device
 	link    *link
@@ -213,13 +249,13 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	if cfg.PollInterval <= 0 {
-		cfg.PollInterval = 10 * time.Microsecond
-	}
+	poll := cfg.pollPolicy(p)
+	cfg.PollInterval = poll.Interval
 	m := &Model{
 		sim:   sim.New(seed),
 		p:     p,
 		cfg:   cfg,
+		poll:  poll,
 		stats: newStats(),
 		link:  &link{gbps: p.LinkGbps},
 	}

@@ -12,7 +12,11 @@
 // the *shapes*: who wins, by what factor, and where the crossovers fall.
 package perf
 
-import "time"
+import (
+	"time"
+
+	"qtls/internal/offload"
+)
 
 // Params holds every calibrated constant of the model. The defaults are
 // tuned against the anchors in §5 (see EXPERIMENTS.md for the full
@@ -140,12 +144,18 @@ type Params struct {
 	LinkGbps float64
 
 	// --- heuristic polling defaults (§4.3) -----------------------------
+	//
+	// The default values live in internal/offload (the single definition
+	// both the model and the live stack share).
 
-	// AsymThreshold triggers a poll when Rasym > 0 (default 48).
+	// AsymThreshold triggers a poll when Rasym > 0 (default
+	// offload.DefaultAsymThreshold).
 	AsymThreshold int
-	// SymThreshold triggers a poll otherwise (default 24).
+	// SymThreshold triggers a poll otherwise (default
+	// offload.DefaultSymThreshold).
 	SymThreshold int
-	// FailoverInterval is the heuristic failover timer (default 5 ms).
+	// FailoverInterval is the heuristic failover timer (default
+	// offload.DefaultFailoverInterval).
 	FailoverInterval time.Duration
 }
 
@@ -196,9 +206,9 @@ func DefaultParams() Params {
 		RTT:      120 * time.Microsecond,
 		LinkGbps: 40,
 
-		AsymThreshold:    48,
-		SymThreshold:     24,
-		FailoverInterval: 5 * time.Millisecond,
+		AsymThreshold:    offload.DefaultAsymThreshold,
+		SymThreshold:     offload.DefaultSymThreshold,
+		FailoverInterval: offload.DefaultFailoverInterval,
 	}
 }
 

@@ -432,24 +432,17 @@ func (w *worker) deliverInterrupt(c *conn) {
 }
 
 // heuristicCheck applies the efficiency and timeliness constraints
-// (§3.3). It returns true when a poll was scheduled (the poll re-enters
-// taskBoundary).
+// (§3.3) via the shared offload.PollPolicy. It returns true when a poll
+// was scheduled (the poll re-enters taskBoundary).
 func (w *worker) heuristicCheck() bool {
-	if !w.m.cfg.UseQAT || !w.m.cfg.Async || w.m.cfg.Polling != PollHeuristic {
+	if !w.m.cfg.UseQAT || !w.m.cfg.Async {
 		return false
 	}
-	if w.inflight == 0 {
+	if !w.m.poll.ShouldPoll(w.inflight, w.inflightAsym, w.active()) {
 		return false
 	}
-	threshold := w.m.p.SymThreshold
-	if w.inflightAsym > 0 {
-		threshold = w.m.p.AsymThreshold
-	}
-	if w.inflight >= threshold || w.inflight >= w.active() {
-		w.poll(false)
-		return true
-	}
-	return false
+	w.poll(false)
+	return true
 }
 
 // startTimerPolling launches the timer-based polling thread: every
@@ -519,11 +512,11 @@ func (w *worker) startTimerPolling() {
 // happened during the last interval but requests are in flight, poll
 // once.
 func (w *worker) startFailoverTimer() {
-	interval := w.m.p.FailoverInterval
+	interval := w.m.poll.FailoverInterval
 	var tick func()
 	tick = func() {
 		w.m.sim.After(interval, func() {
-			if w.inflight > 0 && w.now()-w.lastPoll >= sim.Time(interval) {
+			if w.m.poll.FailoverDue(w.inflight, time.Duration(w.now()-w.lastPoll)) {
 				if !w.busy {
 					w.beginBusy()
 					w.poll(true)

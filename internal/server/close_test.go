@@ -139,22 +139,3 @@ type tlsReaderAdapter struct{ c *minitls.Conn }
 func (r tlsReaderAdapter) Read(p []byte) (int, error) { return r.c.Read(p) }
 
 func readerFor(c *minitls.Conn) io.Reader { return tlsReaderAdapter{c} }
-
-func TestRequestWantsClose(t *testing.T) {
-	cases := []struct {
-		req  string
-		want bool
-	}{
-		{"GET / HTTP/1.1\r\nConnection: close", true},
-		{"GET / HTTP/1.1\r\nconnection:   CLOSE", true},
-		{"GET / HTTP/1.1\r\nConnection: keep-alive", false},
-		{"GET / HTTP/1.1\r\nHost: x", false},
-		{"GET / HTTP/1.1", false},
-		{"GET / HTTP/1.1\r\nX-Connection: close", false},
-	}
-	for _, tc := range cases {
-		if got := requestWantsClose([]byte(tc.req)); got != tc.want {
-			t.Fatalf("requestWantsClose(%q) = %v", tc.req, got)
-		}
-	}
-}

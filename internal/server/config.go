@@ -5,6 +5,13 @@
 // saved read handler for event disorder), the heuristic polling scheme
 // (§3.3/§4.3) and both async event notification schemes (§3.4/§4.4).
 //
+// The offload-policy vocabulary — polling scheme and thresholds,
+// notification scheme, submit strategy, and the five named configurations
+// — lives in internal/offload and is shared with the DES performance
+// model (internal/perf). This package re-exports the enum values under
+// their historical names and adds the live-stack-only knobs (fiber mode,
+// hardening ladder, instance counts).
+//
 // The five configurations evaluated in the paper map onto RunConfig:
 //
 //	SW      — software crypto, no engine
@@ -15,67 +22,43 @@
 package server
 
 import (
-	"fmt"
 	"time"
 
 	"qtls/internal/fault"
 	"qtls/internal/minitls"
+	"qtls/internal/offload"
 )
 
 // PollingScheme selects how QAT responses are retrieved (§3.3, §5.6).
-type PollingScheme int
+// It is the shared offload.PollScheme under its historical name.
+type PollingScheme = offload.PollScheme
 
 const (
 	// PollNone: no accelerator (SW) or inline blocking retrieval (QAT+S).
-	PollNone PollingScheme = iota
+	PollNone = offload.PollNone
 	// PollTimer: poll at fixed intervals (the default QAT Engine polling
 	// thread; integrated into the loop's wait timeout in this functional
 	// implementation — the separate-thread context-switch cost is modeled
 	// in the DES, internal/perf).
-	PollTimer
+	PollTimer = offload.PollTimer
 	// PollHeuristic: the QTLS heuristic polling scheme driven by in-flight
 	// counts and active-connection counts.
-	PollHeuristic
+	PollHeuristic = offload.PollHeuristic
 )
 
-// String returns the scheme name.
-func (p PollingScheme) String() string {
-	switch p {
-	case PollNone:
-		return "none"
-	case PollTimer:
-		return "timer"
-	case PollHeuristic:
-		return "heuristic"
-	default:
-		return fmt.Sprintf("PollingScheme(%d)", int(p))
-	}
-}
-
 // NotifyScheme selects how async events reach the event loop (§3.4).
-type NotifyScheme int
+// It is the shared offload.Notifier under its historical name.
+type NotifyScheme = offload.Notifier
 
 const (
 	// NotifyFD: the response callback writes to a descriptor monitored by
 	// epoll — user/kernel switches on every event.
-	NotifyFD NotifyScheme = iota
+	NotifyFD = offload.NotifierFD
 	// NotifyKernelBypass: the response callback pushes the saved async
 	// handler onto an application-level async queue drained at the end of
 	// the event loop.
-	NotifyKernelBypass
+	NotifyKernelBypass = offload.NotifierKernelBypass
 )
-
-// String returns the scheme name.
-func (n NotifyScheme) String() string {
-	switch n {
-	case NotifyFD:
-		return "fd"
-	case NotifyKernelBypass:
-		return "kernel-bypass"
-	default:
-		return fmt.Sprintf("NotifyScheme(%d)", int(n))
-	}
-}
 
 // RunConfig selects the offload configuration of a worker, mirroring the
 // paper's five evaluated configurations plus the knobs the SSL Engine
@@ -90,20 +73,21 @@ type RunConfig struct {
 	AsyncMode minitls.AsyncMode
 	// Polling selects the response retrieval scheme.
 	Polling PollingScheme
-	// PollInterval is the timer polling period (default 10 µs, the QAT
-	// Engine default).
+	// PollInterval is the timer polling period (default
+	// offload.DefaultPollInterval, the QAT Engine default).
 	PollInterval time.Duration
 	// Notify selects the async event notification scheme.
 	Notify NotifyScheme
 	// AsymThreshold is the heuristic coalescing threshold when asymmetric
 	// requests are in flight (qat_heuristic_poll_asym_threshold, default
-	// 48).
+	// offload.DefaultAsymThreshold).
 	AsymThreshold int
 	// SymThreshold is the heuristic threshold otherwise
-	// (qat_heuristic_poll_sym_threshold, default 24).
+	// (qat_heuristic_poll_sym_threshold, default
+	// offload.DefaultSymThreshold).
 	SymThreshold int
-	// FailoverInterval is the heuristic failover timer (default 5 ms,
-	// §4.3).
+	// FailoverInterval is the heuristic failover timer (default
+	// offload.DefaultFailoverInterval, §4.3).
 	FailoverInterval time.Duration
 	// Offload selects which crypto op kinds the engine offloads (the
 	// default_algorithm directive, §A.7); nil means all offloadable
@@ -138,35 +122,79 @@ type RunConfig struct {
 	Breaker *fault.BreakerConfig
 }
 
+// pollPolicy resolves the RunConfig's retrieval knobs into the shared
+// policy value, applying the paper's defaults for unset parameters.
+func (rc RunConfig) pollPolicy() offload.PollPolicy {
+	return offload.PollPolicy{
+		Scheme:           rc.Polling,
+		Interval:         rc.PollInterval,
+		AsymThreshold:    rc.AsymThreshold,
+		SymThreshold:     rc.SymThreshold,
+		FailoverInterval: rc.FailoverInterval,
+	}.WithDefaults()
+}
+
 func (rc RunConfig) withDefaults() RunConfig {
-	if rc.PollInterval <= 0 {
-		rc.PollInterval = 10 * time.Microsecond
+	p := rc.pollPolicy()
+	rc.PollInterval = p.Interval
+	rc.AsymThreshold = p.AsymThreshold
+	rc.SymThreshold = p.SymThreshold
+	rc.FailoverInterval = p.FailoverInterval
+	return rc
+}
+
+// OffloadPolicy resolves the RunConfig into the shared offload-policy
+// vocabulary (defaults applied). The DES's perf.Config resolves to the
+// same value for each of the five named configurations — the parity test
+// in internal/offload holds the two stacks together.
+func (rc RunConfig) OffloadPolicy() offload.Policy {
+	p := offload.Policy{
+		Name:   rc.Name,
+		UseQAT: rc.UseQAT,
+		Async:  rc.UseQAT && rc.AsyncMode != minitls.AsyncModeOff,
+		Poll:   rc.pollPolicy(),
+		Notify: rc.Notify,
 	}
-	if rc.AsymThreshold <= 0 {
-		rc.AsymThreshold = 48
+	if rc.CoalesceSubmits {
+		p.Submit = offload.SubmitCoalesced
 	}
-	if rc.SymThreshold <= 0 {
-		rc.SymThreshold = 24
+	return p
+}
+
+// FromPolicy builds a RunConfig from a shared offload policy. Async
+// policies run the fiber pause implementation (the OpenSSL ASYNC_JOB
+// equivalent the paper ships, §4.1).
+func FromPolicy(p offload.Policy) RunConfig {
+	rc := RunConfig{
+		Name:             p.Name,
+		UseQAT:           p.UseQAT,
+		Polling:          p.Poll.Scheme,
+		PollInterval:     p.Poll.Interval,
+		AsymThreshold:    p.Poll.AsymThreshold,
+		SymThreshold:     p.Poll.SymThreshold,
+		FailoverInterval: p.Poll.FailoverInterval,
+		Notify:           p.Notify,
+		CoalesceSubmits:  p.Submit == offload.SubmitCoalesced,
 	}
-	if rc.FailoverInterval <= 0 {
-		rc.FailoverInterval = 5 * time.Millisecond
+	if p.Async {
+		rc.AsyncMode = minitls.AsyncModeFiber
 	}
 	return rc
 }
 
-// The paper's five configurations.
+// The paper's five configurations, derived from the shared policy layer.
 var (
 	// ConfigSW is software calculation with AES-NI-class instructions.
-	ConfigSW = RunConfig{Name: "SW"}
+	ConfigSW = FromPolicy(offload.SW())
 	// ConfigQATS is the straight offload mode.
-	ConfigQATS = RunConfig{Name: "QAT+S", UseQAT: true, AsyncMode: minitls.AsyncModeOff, Polling: PollNone}
+	ConfigQATS = FromPolicy(offload.QATS())
 	// ConfigQATA is the async framework with timer polling and FD
 	// notification.
-	ConfigQATA = RunConfig{Name: "QAT+A", UseQAT: true, AsyncMode: minitls.AsyncModeFiber, Polling: PollTimer, Notify: NotifyFD}
+	ConfigQATA = FromPolicy(offload.QATA())
 	// ConfigQATAH replaces the polling thread with the heuristic scheme.
-	ConfigQATAH = RunConfig{Name: "QAT+AH", UseQAT: true, AsyncMode: minitls.AsyncModeFiber, Polling: PollHeuristic, Notify: NotifyFD}
+	ConfigQATAH = FromPolicy(offload.QATAH())
 	// ConfigQTLS is the full QTLS: heuristic polling + kernel bypass.
-	ConfigQTLS = RunConfig{Name: "QTLS", UseQAT: true, AsyncMode: minitls.AsyncModeFiber, Polling: PollHeuristic, Notify: NotifyKernelBypass}
+	ConfigQTLS = FromPolicy(offload.QTLS())
 )
 
 // Configurations lists the paper's five configurations in evaluation

@@ -1,0 +1,310 @@
+//go:build linux
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qtls/internal/asynclib"
+	"qtls/internal/minitls"
+	"qtls/internal/trace"
+)
+
+// TLS / HTTP handlers and the built-in endpoints (stub_status, /metrics,
+// /debug/trace), plus the header-parsing helpers they lean on.
+
+func (w *Worker) handshakeHandler(c *conn) {
+	err := c.tls.Handshake()
+	switch {
+	case err == nil:
+		w.Stats.Handshakes.Add(1)
+		if c.tls.ConnectionState().DidResume {
+			w.Stats.Resumed.Add(1)
+		}
+		c.handler = w.requestHandler
+		w.requestHandler(c)
+	case errors.Is(err, minitls.ErrWantRead):
+		// Waiting for the client's next flight: the server owes this
+		// connection nothing until a read event arrives, so it leaves
+		// TCactive — the timeliness constraint compares in-flight
+		// requests against connections actually awaiting server work
+		// (§3.3: "all active connections are waiting for QAT responses").
+		if c.active {
+			c.active = false
+			w.activeConns--
+		}
+	case errors.Is(err, minitls.ErrWantAsync):
+		w.suspendForAsync(c)
+	case errors.Is(err, minitls.ErrWantAsyncRetry):
+		w.setAsyncPending(c, true)
+		w.retryQueue = append(w.retryQueue, c)
+	default:
+		w.Stats.Errors.Add(1)
+		w.closeConn(c)
+	}
+}
+
+func (w *Worker) requestHandler(c *conn) {
+	var buf [4096]byte
+	for {
+		n, err := c.tls.Read(buf[:])
+		if n > 0 {
+			c.reqBuf = append(c.reqBuf, buf[:n]...)
+			if len(c.reqBuf) > 64<<10 {
+				w.closeConn(c)
+				return
+			}
+			if i := bytes.Index(c.reqBuf, []byte("\r\n\r\n")); i >= 0 {
+				req := c.reqBuf[:i]
+				rest := len(c.reqBuf) - (i + 4)
+				copy(c.reqBuf, c.reqBuf[i+4:])
+				c.reqBuf = c.reqBuf[:rest]
+				w.serveRequest(c, req)
+				return
+			}
+			continue
+		}
+		switch {
+		case errors.Is(err, minitls.ErrWantRead):
+			// Waiting for a request (keepalive included) with nothing
+			// buffered means the connection is idle (§3.3).
+			if len(c.reqBuf) == 0 && c.active {
+				c.active = false
+				w.activeConns--
+			}
+			return
+		case errors.Is(err, minitls.ErrWantAsync):
+			w.suspendForAsync(c)
+			return
+		case errors.Is(err, minitls.ErrWantAsyncRetry):
+			w.setAsyncPending(c, true)
+			w.retryQueue = append(w.retryQueue, c)
+			return
+		default:
+			// EOF or fatal error.
+			w.closeConn(c)
+			return
+		}
+	}
+}
+
+// serveRequest parses the request line and headers, then prepares the
+// response. "Connection: close" is honored: the response carries the
+// same header and the connection is torn down after the write completes.
+func (w *Worker) serveRequest(c *conn, req []byte) {
+	line := req
+	if i := bytes.IndexByte(line, '\r'); i >= 0 {
+		line = line[:i]
+	}
+	fields := bytes.Fields(line)
+	if len(fields) < 2 || string(fields[0]) != "GET" {
+		w.closeConn(c)
+		return
+	}
+	path := string(fields[1])
+	query := ""
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path, query = path[:i], path[i+1:]
+	}
+	c.closeAfterWrite = requestWantsClose(req)
+	w.Stats.Requests.Add(1)
+	var body []byte
+	var ok bool
+	switch {
+	case path == "/stub_status" && w.reg != nil:
+		body, ok = w.statusBody(), true
+	case path == "/metrics" && w.reg != nil:
+		body, ok = w.metricsBody(), true
+	case path == "/debug/trace" && w.tracer != nil:
+		body, ok = w.traceBody(query), true
+	default:
+		body, ok = w.handler(path)
+	}
+	status := "200 OK"
+	if !ok {
+		status = "404 Not Found"
+		body = []byte("not found\n")
+	}
+	connHdr := "keep-alive"
+	if c.closeAfterWrite {
+		connHdr = "close"
+	}
+	hdr := "HTTP/1.1 " + status + "\r\nContent-Length: " + strconv.Itoa(len(body)) +
+		"\r\nConnection: " + connHdr + "\r\n\r\n"
+	c.writeBody = append([]byte(hdr), body...)
+	c.handler = w.writeHandler
+	w.writeHandler(c)
+}
+
+func (w *Worker) writeHandler(c *conn) {
+	n, err := c.tls.Write(c.writeBody)
+	switch {
+	case err == nil:
+		w.Stats.BytesOut.Add(int64(n))
+		c.writeBody = nil
+		if c.closeAfterWrite {
+			c.tls.Close() // sends close-notify into the write buffer
+			if c.nc.Flush(); c.nc.HasPending() {
+				// Linger until the kernel accepts the tail of the
+				// response; the writable event completes the close.
+				c.draining = true
+				w.updateWriteInterest(c)
+				return
+			}
+			w.closeConn(c)
+			return
+		}
+		c.handler = w.requestHandler
+		// Response done: the connection is idle until the next request
+		// (keepalive), which updates TCactive (§4.3).
+		if c.active {
+			c.active = false
+			w.activeConns--
+		}
+		// Data may already be buffered (pipelined request).
+		if len(c.reqBuf) > 0 {
+			c.active = true
+			w.activeConns++
+			w.requestHandler(c)
+		}
+	case errors.Is(err, minitls.ErrWantRead):
+		// Cannot happen on the write path, but harmless.
+	case errors.Is(err, minitls.ErrWantAsync):
+		w.suspendForAsync(c)
+	case errors.Is(err, minitls.ErrWantAsyncRetry):
+		w.setAsyncPending(c, true)
+		w.retryQueue = append(w.retryQueue, c)
+	default:
+		w.Stats.Errors.Add(1)
+		w.closeConn(c)
+	}
+}
+
+// statusBody renders the stub_status page: worker activity, the shared
+// fault/degradation counters, and per-instance health/breaker state.
+func (w *Worker) statusBody() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Active connections: %d\n", len(w.conns))
+	fmt.Fprintf(&b, "handshakes %d requests %d errors %d deadline_wakeups %d\n",
+		w.Stats.Handshakes.Load(), w.Stats.Requests.Load(),
+		w.Stats.Errors.Load(), w.Stats.DeadlineWakeups.Load())
+	snap := w.reg.Snapshot()
+	for _, name := range w.reg.Names() {
+		fmt.Fprintf(&b, "%s %d\n", name, snap[name])
+	}
+	if w.eng != nil {
+		for _, h := range w.eng.Health() {
+			fmt.Fprintf(&b, "instance %d endpoint %d inflight %d leaked %d breaker %s\n",
+				h.Index, h.Endpoint, h.Inflight, h.Leaked, h.Breaker)
+		}
+	}
+	return b.Bytes()
+}
+
+// metricsBody renders the Prometheus exposition. Scrapes run on the
+// worker goroutine (like every request), so refreshing the mirrored
+// counters and gauges here is race-free and makes the scrape current
+// even mid-iteration.
+func (w *Worker) metricsBody() []byte {
+	w.mirrorStats()
+	w.updateGauges()
+	js := asynclib.Stats()
+	w.reg.Gauge("qtls_jobs_started").Set(js.Started)
+	w.reg.Gauge("qtls_jobs_paused").Set(js.Paused)
+	w.reg.Gauge("qtls_jobs_resumed").Set(js.Resumed)
+	w.reg.Gauge("qtls_jobs_finished").Set(js.Finished)
+	var b bytes.Buffer
+	w.reg.WritePrometheus(&b)
+	return b.Bytes()
+}
+
+// traceBody serves the /debug/trace endpoint: the most recent spans
+// across all workers as a JSON array, newest last. ?n= bounds the count
+// (default 256, <=0 means everything retained).
+func (w *Worker) traceBody(query string) []byte {
+	n := 256
+	for _, kv := range strings.Split(query, "&") {
+		if v, ok := strings.CutPrefix(kv, "n="); ok {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				n = parsed
+			}
+		}
+	}
+	spans := w.tracer.Recent(n)
+	if spans == nil {
+		spans = []trace.Span{}
+	}
+	out, err := json.Marshal(spans)
+	if err != nil {
+		return []byte(`{"error":"trace encoding failed"}`)
+	}
+	return append(out, '\n')
+}
+
+// requestWantsClose reports whether the request headers ask for the
+// connection to be torn down after the response: any Connection header
+// whose comma-separated option list contains the "close" token (ASCII
+// case-insensitive). Obs-fold continuation lines (leading SP/HTAB)
+// extend the previous header's value, and every Connection line counts,
+// not just the first.
+func requestWantsClose(req []byte) bool {
+	lines := bytes.Split(req, []byte("\r\n"))
+	inConnection := false
+	for i, line := range lines {
+		if i == 0 {
+			continue // request line
+		}
+		if len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
+			// Folded continuation of the previous header field.
+			if inConnection && connectionValueHasClose(line) {
+				return true
+			}
+			continue
+		}
+		inConnection = false
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		if !asciiEqualFold(bytes.TrimSpace(line[:colon]), "connection") {
+			continue
+		}
+		inConnection = true
+		if connectionValueHasClose(line[colon+1:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// connectionValueHasClose scans one fragment of a Connection header value
+// for the "close" option among its comma-separated tokens.
+func connectionValueHasClose(v []byte) bool {
+	for _, tok := range bytes.Split(v, []byte{','}) {
+		if asciiEqualFold(bytes.TrimSpace(tok), "close") {
+			return true
+		}
+	}
+	return false
+}
+
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c, d := b[i], s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+//go:build linux
+
+package server
+
+import "testing"
+
+func TestRequestWantsClose(t *testing.T) {
+	cases := []struct {
+		name string
+		req  string
+		want bool
+	}{
+		{"no headers", "GET / HTTP/1.1", false},
+		{"keep-alive", "GET / HTTP/1.1\r\nConnection: keep-alive", false},
+		{"plain close", "GET / HTTP/1.1\r\nConnection: close", true},
+		{"mixed case", "GET / HTTP/1.1\r\nCONNECTION: Close", true},
+		{"surrounding space", "GET / HTTP/1.1\r\nConnection :   close  ", true},
+		{"multiple tokens", "GET / HTTP/1.1\r\nConnection: keep-alive, close", true},
+		{"multiple tokens no close", "GET / HTTP/1.1\r\nConnection: keep-alive, upgrade", false},
+		{"token is a substring", "GET / HTTP/1.1\r\nConnection: close-ish", false},
+		{"missing value", "GET / HTTP/1.1\r\nConnection:", false},
+		{"second connection header", "GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close", true},
+		{"folded continuation", "GET / HTTP/1.1\r\nConnection: keep-alive,\r\n close", true},
+		{"folded with tab", "GET / HTTP/1.1\r\nConnection: upgrade,\r\n\tclose", true},
+		{"folded other header", "GET / HTTP/1.1\r\nX-Note: first,\r\n close\r\nConnection: keep-alive", false},
+		{"close in other header", "GET / HTTP/1.1\r\nX-Mode: close", false},
+		{"prefixed header name", "GET / HTTP/1.1\r\nX-Connection: close", false},
+		{"lower name upper value", "GET / HTTP/1.1\r\nconnection:   CLOSE", true},
+		{"close in request line", "GET /close HTTP/1.1\r\nHost: x", false},
+		{"request line with colon", "GET /a:close HTTP/1.1\r\nHost: x", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := requestWantsClose([]byte(tc.req)); got != tc.want {
+				t.Fatalf("requestWantsClose(%q) = %v, want %v", tc.req, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestASCIIEqualFold(t *testing.T) {
+	cases := []struct {
+		b, s string
+		want bool
+	}{
+		{"connection", "connection", true},
+		{"CONNECTION", "connection", true},
+		{"CoNnEcTiOn", "connection", true},
+		{"connectio", "connection", false},
+		{"connectionn", "connection", false},
+		{"", "", true},
+		// Folding is one-directional: the reference string must already be
+		// lower-case, and non-ASCII bytes must match exactly.
+		{"close\x80", "close\x80", true},
+	}
+	for _, tc := range cases {
+		if got := asciiEqualFold([]byte(tc.b), tc.s); got != tc.want {
+			t.Errorf("asciiEqualFold(%q, %q) = %v, want %v", tc.b, tc.s, got, tc.want)
+		}
+	}
+}

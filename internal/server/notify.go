@@ -1,0 +1,128 @@
+//go:build linux
+
+package server
+
+import (
+	"time"
+
+	"qtls/internal/trace"
+)
+
+// Async event notification (§3.4) and the queues it feeds: the
+// kernel-bypass async queue, the FD-notification queue, and the
+// submission-retry queue. Everything here runs on the worker goroutine —
+// the engine's response callbacks fire inside engine.Poll, which the
+// worker drives.
+
+// asyncEventCallback is the engine's response-callback notification hook.
+// It runs on the worker goroutine (inside an engine.Poll call).
+func (w *Worker) asyncEventCallback(arg any) {
+	c := arg.(*conn)
+	if w.tr.Active() {
+		c.notifyAt = time.Now().UnixNano()
+	}
+	if w.cfg.Notify == NotifyKernelBypass {
+		// Insert the async handler at the tail of the async queue — no
+		// kernel involvement (§3.4).
+		w.asyncQueue = append(w.asyncQueue, c)
+		return
+	}
+	// FD-based: a real write syscall on the notification pipe; epoll
+	// reports it on a later iteration, costing user/kernel switches.
+	w.fdQueue = append(w.fdQueue, c)
+	w.notifyPipe.Notify()
+}
+
+// suspendForAsync parks the connection while an offload job is paused.
+func (w *Worker) suspendForAsync(c *conn) {
+	w.setAsyncPending(c, true)
+	if w.cfg.OpTimeout > 0 {
+		c.asyncDeadline = time.Now().Add(w.cfg.OpTimeout)
+	}
+}
+
+// resumeAsync restores the saved handler and re-enters it (§3.2
+// post-processing). With tracing on it attributes the two application
+// phases: notification (event queued → handler picked up) and
+// post-processing (handler re-entry → yield back to the loop).
+func (w *Worker) resumeAsync(c *conn) {
+	if c.closed {
+		return
+	}
+	w.setAsyncPending(c, false)
+	w.Stats.AsyncEvents.Add(1)
+	notifyAt := c.notifyAt
+	c.notifyAt = 0
+	if notifyAt != 0 && w.tr.Active() {
+		now := time.Now()
+		nd := time.Duration(now.UnixNano() - notifyAt)
+		w.tr.Record(trace.PhaseNotify, trace.OpNone, w.notifyTag(), int64(c.fd), time.Unix(0, notifyAt), nd)
+		if w.histNotify != nil {
+			w.histNotify.ObserveDuration(nd)
+		}
+		w.invoke(c)
+		pd := time.Since(now)
+		w.tr.Record(trace.PhasePost, trace.OpNone, trace.TagNone, int64(c.fd), now, pd)
+		if w.histPost != nil {
+			w.histPost.ObserveDuration(pd)
+		}
+	} else {
+		w.invoke(c)
+	}
+	if !c.closed && c.pendingRead && !c.asyncPending {
+		c.pendingRead = false
+		w.onReadable(c)
+	}
+}
+
+// notifyTag says which notification scheme delivered the async event.
+func (w *Worker) notifyTag() trace.Tag {
+	if w.cfg.Notify == NotifyKernelBypass {
+		return trace.TagKernelBypass
+	}
+	return trace.TagFD
+}
+
+func (w *Worker) processAsyncQueue() {
+	// Drain the application-defined async queue at the end of the main
+	// event loop (§3.4). Handlers may enqueue more events (next offload
+	// op of the same connection completes during a heuristic poll), so
+	// iterate until empty.
+	for len(w.asyncQueue) > 0 {
+		q := w.asyncQueue
+		w.asyncQueue = nil
+		for _, c := range q {
+			w.resumeAsync(c)
+		}
+		// Resumed handlers typically pause on their next offload op; flush
+		// the batch they formed before the next drain round so its
+		// responses can feed that round.
+		w.flushSubmits()
+	}
+}
+
+func (w *Worker) processFDQueue() {
+	q := w.fdQueue
+	w.fdQueue = nil
+	for _, c := range q {
+		w.resumeAsync(c)
+	}
+}
+
+func (w *Worker) processRetryQueue() {
+	if len(w.retryQueue) == 0 {
+		return
+	}
+	// A failed submission means the request ring was full; retrieving
+	// responses frees slots before the retry.
+	if w.eng != nil && w.pollEngine(trace.TagRetry) > 0 {
+		w.lastPoll = time.Now()
+	}
+	q := w.retryQueue
+	w.retryQueue = nil
+	for _, c := range q {
+		w.Stats.RetryEvents.Add(1)
+		w.setAsyncPending(c, false)
+		w.invoke(c)
+	}
+}

@@ -1,0 +1,118 @@
+//go:build linux
+
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"qtls/internal/metrics"
+	"qtls/internal/trace"
+)
+
+// Registry plumbing: pre-created series, WorkerStats mirroring and the
+// per-iteration gauge refresh. The series names here are the public
+// /metrics contract — keep them stable.
+
+// mirroredCounter syncs one WorkerStats atomic into a monotonic registry
+// counter by shipping deltas; last is only touched by the worker
+// goroutine.
+type mirroredCounter struct {
+	src  *atomic.Int64
+	ctr  *metrics.Counter
+	last int64
+}
+
+// pollCauses maps the batch-histogram index to the poll trigger tag.
+var pollCauses = [4]trace.Tag{trace.TagHeuristic, trace.TagTimer, trace.TagFailover, trace.TagRetry}
+
+func batchIdx(tag trace.Tag) int {
+	for i, t := range pollCauses {
+		if t == tag {
+			return i
+		}
+	}
+	return 0
+}
+
+// initSeries pre-creates this worker's registry series so the hot path
+// never hits the registry mutex, and so /metrics lists every series from
+// the first scrape.
+func (w *Worker) initSeries() {
+	if w.reg == nil {
+		return
+	}
+	wl := `{worker="` + strconv.Itoa(w.id) + `"}`
+	w.histNotify = w.reg.Histogram(trace.PhaseSeriesName(trace.PhaseNotify))
+	w.histPost = w.reg.Histogram(trace.PhaseSeriesName(trace.PhasePost))
+	w.histLoop = w.reg.Histogram(`qtls_loop_iter_ns` + wl)
+	w.histPollWait = w.reg.Histogram(`qtls_poll_wait_ns` + wl)
+	for i, tag := range pollCauses {
+		w.histBatch[i] = w.reg.Histogram(`qtls_poll_batch{cause="` + tag.String() + `"}`)
+	}
+	if w.cfg.CoalesceSubmits {
+		w.histFlush = w.reg.Histogram(`qtls_submit_flush_batch`)
+	}
+	w.gInflight = w.reg.Gauge(`qtls_inflight` + wl)
+	w.gActive = w.reg.Gauge(`qtls_active_conns` + wl)
+	w.gConns = w.reg.Gauge(`qtls_conns` + wl)
+	w.gWaiting = w.reg.Gauge(`qtls_async_waiting` + wl)
+	w.gLag = w.reg.Gauge(`qtls_loop_lag_ns` + wl)
+	// The heuristic thresholds in effect (offload.Default* unless the
+	// conf overrides them), so a dashboard can plot Rtotal against the
+	// line it must cross.
+	w.reg.Gauge("qtls_asym_threshold").Set(int64(w.poll.AsymThreshold))
+	w.reg.Gauge("qtls_sym_threshold").Set(int64(w.poll.SymThreshold))
+	st := &w.Stats
+	for _, m := range []struct {
+		name string
+		src  *atomic.Int64
+	}{
+		{"qtls_accepted", &st.Accepted},
+		{"qtls_handshakes", &st.Handshakes},
+		{"qtls_resumed", &st.Resumed},
+		{"qtls_requests", &st.Requests},
+		{"qtls_bytes_out", &st.BytesOut},
+		{"qtls_async_events", &st.AsyncEvents},
+		{"qtls_retry_events", &st.RetryEvents},
+		{"qtls_submit_flush_events", &st.SubmitFlushes},
+		{`qtls_polls{cause="heuristic"}`, &st.HeuristicPolls},
+		{`qtls_polls{cause="timer"}`, &st.TimerPolls},
+		{`qtls_polls{cause="failover"}`, &st.FailoverPolls},
+		{"qtls_deadline_wakeups", &st.DeadlineWakeups},
+		{"qtls_closed_conns", &st.ClosedConns},
+		{"qtls_errors", &st.Errors},
+	} {
+		w.mirrors = append(w.mirrors, mirroredCounter{src: m.src, ctr: w.reg.Counter(m.name)})
+	}
+}
+
+// mirrorStats ships WorkerStats deltas into the shared registry. Only
+// the worker goroutine calls it, so `last` needs no synchronization.
+// Counters are shared across workers (no worker label), so deltas — not
+// absolute stores — keep them correct.
+func (w *Worker) mirrorStats() {
+	for i := range w.mirrors {
+		m := &w.mirrors[i]
+		if v := m.src.Load(); v != m.last {
+			m.ctr.Add(v - m.last)
+			m.last = v
+		}
+	}
+}
+
+// updateGauges publishes the event-loop state the heuristic constraints
+// read (§4.3): Rtotal vs the thresholds, TCactive vs live conns.
+func (w *Worker) updateGauges() {
+	if w.gInflight == nil {
+		return
+	}
+	inflight := 0
+	if w.eng != nil {
+		inflight = w.eng.InflightTotal()
+	}
+	w.gInflight.Set(int64(inflight))
+	w.gActive.Set(int64(w.activeConns))
+	w.gConns.Set(int64(len(w.conns)))
+	w.gWaiting.Set(int64(w.asyncWaiting))
+}

@@ -22,10 +22,13 @@ import (
 //	        qat_offload_mode async;
 //	        qat_notify_mode poll;
 //	        qat_poll_mode heuristic;
-//	        qat_heuristic_poll_asym_threshold 48;
-//	        qat_heuristic_poll_sym_threshold 24;
+//	        qat_heuristic_poll_asym_threshold 64;
+//	        qat_heuristic_poll_sym_threshold 32;
 //	    }
 //	}
+//
+// The threshold directives override the paper defaults, which are defined
+// once in internal/offload and applied when a directive is absent.
 //
 // ParseEngineConfig understands this dialect (plus worker_processes and a
 // qat_poll_interval extension) and produces the equivalent RunConfig and

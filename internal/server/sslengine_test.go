@@ -8,7 +8,9 @@ import (
 	"qtls/internal/minitls"
 )
 
-// The exact example from the artifact appendix (§A.7).
+// The example from the artifact appendix (§A.7), with threshold overrides
+// deliberately different from the offload-package defaults so the test
+// proves the directives are read rather than defaulted.
 const artifactConf = `
 worker_processes 8;
 ssl_engine {
@@ -18,8 +20,8 @@ ssl_engine {
         qat_offload_mode async;
         qat_notify_mode poll;
         qat_poll_mode heuristic;
-        qat_heuristic_poll_asym_threshold 48;
-        qat_heuristic_poll_sym_threshold 24;
+        qat_heuristic_poll_asym_threshold 64;
+        qat_heuristic_poll_sym_threshold 32;
     }
 }
 `
@@ -41,7 +43,7 @@ func TestParseArtifactExample(t *testing.T) {
 	if s.Run.Polling != PollHeuristic || s.Run.Notify != NotifyKernelBypass {
 		t.Fatalf("polling/notify = %v/%v", s.Run.Polling, s.Run.Notify)
 	}
-	if s.Run.AsymThreshold != 48 || s.Run.SymThreshold != 24 {
+	if s.Run.AsymThreshold != 64 || s.Run.SymThreshold != 32 {
 		t.Fatalf("thresholds = %d/%d", s.Run.AsymThreshold, s.Run.SymThreshold)
 	}
 	// RSA,EC,DH,PKEY_CRYPTO → RSA, ECDSA, ECDH, PRF (no cipher).

@@ -3,21 +3,17 @@
 package server
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
-	"qtls/internal/asynclib"
 	"qtls/internal/engine"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/netpoll"
+	"qtls/internal/offload"
 	"qtls/internal/qat"
 	"qtls/internal/trace"
 )
@@ -55,6 +51,7 @@ type WorkerStats struct {
 type Worker struct {
 	id      int
 	cfg     RunConfig
+	poll    offload.PollPolicy // resolved retrieval policy (shared seam)
 	tlsTmpl *minitls.Config
 	eng     *engine.Engine
 	handler Handler
@@ -99,27 +96,6 @@ type Worker struct {
 	mirrors      []mirroredCounter     // WorkerStats → registry counters
 }
 
-// mirroredCounter syncs one WorkerStats atomic into a monotonic registry
-// counter by shipping deltas; last is only touched by the worker
-// goroutine.
-type mirroredCounter struct {
-	src  *atomic.Int64
-	ctr  *metrics.Counter
-	last int64
-}
-
-// pollCauses maps the batch-histogram index to the poll trigger tag.
-var pollCauses = [4]trace.Tag{trace.TagHeuristic, trace.TagTimer, trace.TagFailover, trace.TagRetry}
-
-func batchIdx(tag trace.Tag) int {
-	for i, t := range pollCauses {
-		if t == tag {
-			return i
-		}
-	}
-	return 0
-}
-
 // conn is one TLS connection's event-loop state.
 type conn struct {
 	fd      int
@@ -158,6 +134,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 	w := &Worker{
 		id:      id,
 		cfg:     cfg,
+		poll:    cfg.pollPolicy(),
 		handler: handler,
 		reg:     reg,
 		conns:   make(map[int]*conn),
@@ -257,132 +234,6 @@ func (w *Worker) cleanup() {
 	}
 }
 
-// initSeries pre-creates this worker's registry series so the hot path
-// never hits the registry mutex, and so /metrics lists every series from
-// the first scrape.
-func (w *Worker) initSeries() {
-	if w.reg == nil {
-		return
-	}
-	wl := `{worker="` + strconv.Itoa(w.id) + `"}`
-	w.histNotify = w.reg.Histogram(trace.PhaseSeriesName(trace.PhaseNotify))
-	w.histPost = w.reg.Histogram(trace.PhaseSeriesName(trace.PhasePost))
-	w.histLoop = w.reg.Histogram(`qtls_loop_iter_ns` + wl)
-	w.histPollWait = w.reg.Histogram(`qtls_poll_wait_ns` + wl)
-	for i, tag := range pollCauses {
-		w.histBatch[i] = w.reg.Histogram(`qtls_poll_batch{cause="` + tag.String() + `"}`)
-	}
-	if w.cfg.CoalesceSubmits {
-		w.histFlush = w.reg.Histogram(`qtls_submit_flush_batch`)
-	}
-	w.gInflight = w.reg.Gauge(`qtls_inflight` + wl)
-	w.gActive = w.reg.Gauge(`qtls_active_conns` + wl)
-	w.gConns = w.reg.Gauge(`qtls_conns` + wl)
-	w.gWaiting = w.reg.Gauge(`qtls_async_waiting` + wl)
-	w.gLag = w.reg.Gauge(`qtls_loop_lag_ns` + wl)
-	// The heuristic thresholds (§3.3: 48 asym / 24 sym by default), so a
-	// dashboard can plot Rtotal against the line it must cross.
-	w.reg.Gauge("qtls_asym_threshold").Set(int64(w.cfg.AsymThreshold))
-	w.reg.Gauge("qtls_sym_threshold").Set(int64(w.cfg.SymThreshold))
-	st := &w.Stats
-	for _, m := range []struct {
-		name string
-		src  *atomic.Int64
-	}{
-		{"qtls_accepted", &st.Accepted},
-		{"qtls_handshakes", &st.Handshakes},
-		{"qtls_resumed", &st.Resumed},
-		{"qtls_requests", &st.Requests},
-		{"qtls_bytes_out", &st.BytesOut},
-		{"qtls_async_events", &st.AsyncEvents},
-		{"qtls_retry_events", &st.RetryEvents},
-		{"qtls_submit_flush_events", &st.SubmitFlushes},
-		{`qtls_polls{cause="heuristic"}`, &st.HeuristicPolls},
-		{`qtls_polls{cause="timer"}`, &st.TimerPolls},
-		{`qtls_polls{cause="failover"}`, &st.FailoverPolls},
-		{"qtls_deadline_wakeups", &st.DeadlineWakeups},
-		{"qtls_closed_conns", &st.ClosedConns},
-		{"qtls_errors", &st.Errors},
-	} {
-		w.mirrors = append(w.mirrors, mirroredCounter{src: m.src, ctr: w.reg.Counter(m.name)})
-	}
-}
-
-// mirrorStats ships WorkerStats deltas into the shared registry. Only
-// the worker goroutine calls it, so `last` needs no synchronization.
-// Counters are shared across workers (no worker label), so deltas — not
-// absolute stores — keep them correct.
-func (w *Worker) mirrorStats() {
-	for i := range w.mirrors {
-		m := &w.mirrors[i]
-		if v := m.src.Load(); v != m.last {
-			m.ctr.Add(v - m.last)
-			m.last = v
-		}
-	}
-}
-
-// updateGauges publishes the event-loop state the heuristic constraints
-// read (§4.3): Rtotal vs the thresholds, TCactive vs live conns.
-func (w *Worker) updateGauges() {
-	if w.gInflight == nil {
-		return
-	}
-	inflight := 0
-	if w.eng != nil {
-		inflight = w.eng.InflightTotal()
-	}
-	w.gInflight.Set(int64(inflight))
-	w.gActive.Set(int64(w.activeConns))
-	w.gConns.Set(int64(len(w.conns)))
-	w.gWaiting.Set(int64(w.asyncWaiting))
-}
-
-// pollEngine drains QAT responses, attributing the poll to its trigger:
-// a span (arg = batch size) plus a batch-size histogram per cause. The
-// lastPoll / per-cause stat bookkeeping stays at the call sites, which
-// have different rules for it.
-func (w *Worker) pollEngine(tag trace.Tag) int {
-	var start time.Time
-	if w.tr.Active() {
-		start = time.Now()
-	}
-	n := w.eng.Poll(0)
-	if !start.IsZero() {
-		w.tr.Record(trace.PhasePoll, trace.OpNone, tag, int64(n), start, time.Since(start))
-		if h := w.histBatch[batchIdx(tag)]; h != nil {
-			h.Observe(float64(n))
-		}
-	}
-	return n
-}
-
-// flushSubmits pushes the engine's gathered submissions onto the request
-// rings (engine.Flush: one ring lock and one doorbell per instance
-// chunk). The worker calls it wherever it drains the async notification
-// queue, so an op coalesced during this iteration is on the rings before
-// the loop sleeps. With tracing on the flush is one PhaseFlush span whose
-// Arg is the number of ops flushed, plus a flush-size histogram sample.
-func (w *Worker) flushSubmits() {
-	if w.eng == nil || w.eng.PendingSubmits() == 0 {
-		return
-	}
-	var start time.Time
-	if w.tr.Active() {
-		start = time.Now()
-	}
-	n := w.eng.Flush()
-	if n > 0 {
-		w.Stats.SubmitFlushes.Add(1)
-	}
-	if !start.IsZero() {
-		w.tr.Record(trace.PhaseFlush, trace.OpNone, trace.TagCoalesce, int64(n), start, time.Since(start))
-		if w.histFlush != nil && n > 0 {
-			w.histFlush.Observe(float64(n))
-		}
-	}
-}
-
 // Addr returns the worker's listening address.
 func (w *Worker) Addr() string { return w.listener.Addr() }
 
@@ -427,14 +278,14 @@ func (w *Worker) Run() {
 		// so the retrieval checks below can already see them in flight.
 		w.flushSubmits()
 		retrieved := 0
-		if w.eng != nil && w.cfg.Polling == PollTimer {
+		if w.eng != nil && w.poll.Scheme == PollTimer {
 			retrieved = w.pollEngine(trace.TagTimer)
 			if retrieved > 0 {
 				w.lastPoll = time.Now()
 			}
 			w.Stats.TimerPolls.Add(1)
 		}
-		if w.cfg.Polling == PollHeuristic {
+		if w.poll.Scheme == PollHeuristic {
 			// The loop keeps executing while requests are in flight
 			// (§3.4); each iteration re-evaluates the heuristic
 			// constraints so responses are retrieved as soon as the
@@ -495,13 +346,13 @@ func (w *Worker) waitTimeout() int {
 		// Paused offload jobs with a deadline: wake soon enough for the
 		// deadline scan even if the device never responds.
 		return 1
-	case w.cfg.Polling == PollTimer && w.eng != nil && inflight > 0:
+	case w.poll.Scheme == PollTimer && w.eng != nil && inflight > 0:
 		// Timer polling: wake at the polling interval. Sub-millisecond
 		// intervals degenerate to a busy poll, like a 10 µs polling
 		// thread does.
-		ms := int(w.cfg.PollInterval / time.Millisecond)
+		ms := int(w.poll.Interval / time.Millisecond)
 		return ms // 0 for <1ms: immediate re-poll
-	case w.cfg.Polling == PollHeuristic && inflight > 0:
+	case w.poll.Scheme == PollHeuristic && inflight > 0:
 		// Keep the loop executing while offload requests are in flight
 		// (§3.4): response retrieval is driven by the in-loop heuristic
 		// checks under either notification scheme.
@@ -573,25 +424,6 @@ func (w *Worker) acceptAll() {
 	}
 }
 
-// asyncEventCallback is the engine's response-callback notification hook.
-// It runs on the worker goroutine (inside an engine.Poll call).
-func (w *Worker) asyncEventCallback(arg any) {
-	c := arg.(*conn)
-	if w.tr.Active() {
-		c.notifyAt = time.Now().UnixNano()
-	}
-	if w.cfg.Notify == NotifyKernelBypass {
-		// Insert the async handler at the tail of the async queue — no
-		// kernel involvement (§3.4).
-		w.asyncQueue = append(w.asyncQueue, c)
-		return
-	}
-	// FD-based: a real write syscall on the notification pipe; epoll
-	// reports it on a later iteration, costing user/kernel switches.
-	w.fdQueue = append(w.fdQueue, c)
-	w.notifyPipe.Notify()
-}
-
 // invoke runs the connection's current handler and then the heuristic
 // checks ("wherever a crypto operation may be involved or TCactive may be
 // updated", §4.3).
@@ -658,426 +490,6 @@ func (w *Worker) closeConn(c *conn) {
 	w.poller.Del(c.fd)
 	c.nc.Close()
 	w.Stats.ClosedConns.Add(1)
-}
-
-// suspendForAsync parks the connection while an offload job is paused.
-func (w *Worker) suspendForAsync(c *conn) {
-	w.setAsyncPending(c, true)
-	if w.cfg.OpTimeout > 0 {
-		c.asyncDeadline = time.Now().Add(w.cfg.OpTimeout)
-	}
-}
-
-// resumeAsync restores the saved handler and re-enters it (§3.2
-// post-processing). With tracing on it attributes the two application
-// phases: notification (event queued → handler picked up) and
-// post-processing (handler re-entry → yield back to the loop).
-func (w *Worker) resumeAsync(c *conn) {
-	if c.closed {
-		return
-	}
-	w.setAsyncPending(c, false)
-	w.Stats.AsyncEvents.Add(1)
-	notifyAt := c.notifyAt
-	c.notifyAt = 0
-	if notifyAt != 0 && w.tr.Active() {
-		now := time.Now()
-		nd := time.Duration(now.UnixNano() - notifyAt)
-		w.tr.Record(trace.PhaseNotify, trace.OpNone, w.notifyTag(), int64(c.fd), time.Unix(0, notifyAt), nd)
-		if w.histNotify != nil {
-			w.histNotify.ObserveDuration(nd)
-		}
-		w.invoke(c)
-		pd := time.Since(now)
-		w.tr.Record(trace.PhasePost, trace.OpNone, trace.TagNone, int64(c.fd), now, pd)
-		if w.histPost != nil {
-			w.histPost.ObserveDuration(pd)
-		}
-	} else {
-		w.invoke(c)
-	}
-	if !c.closed && c.pendingRead && !c.asyncPending {
-		c.pendingRead = false
-		w.onReadable(c)
-	}
-}
-
-// notifyTag says which notification scheme delivered the async event.
-func (w *Worker) notifyTag() trace.Tag {
-	if w.cfg.Notify == NotifyKernelBypass {
-		return trace.TagKernelBypass
-	}
-	return trace.TagFD
-}
-
-func (w *Worker) processAsyncQueue() {
-	// Drain the application-defined async queue at the end of the main
-	// event loop (§3.4). Handlers may enqueue more events (next offload
-	// op of the same connection completes during a heuristic poll), so
-	// iterate until empty.
-	for len(w.asyncQueue) > 0 {
-		q := w.asyncQueue
-		w.asyncQueue = nil
-		for _, c := range q {
-			w.resumeAsync(c)
-		}
-		// Resumed handlers typically pause on their next offload op; flush
-		// the batch they formed before the next drain round so its
-		// responses can feed that round.
-		w.flushSubmits()
-	}
-}
-
-func (w *Worker) processFDQueue() {
-	q := w.fdQueue
-	w.fdQueue = nil
-	for _, c := range q {
-		w.resumeAsync(c)
-	}
-}
-
-func (w *Worker) processRetryQueue() {
-	if len(w.retryQueue) == 0 {
-		return
-	}
-	// A failed submission means the request ring was full; retrieving
-	// responses frees slots before the retry.
-	if w.eng != nil && w.pollEngine(trace.TagRetry) > 0 {
-		w.lastPoll = time.Now()
-	}
-	q := w.retryQueue
-	w.retryQueue = nil
-	for _, c := range q {
-		w.Stats.RetryEvents.Add(1)
-		w.setAsyncPending(c, false)
-		w.invoke(c)
-	}
-}
-
-// heuristicCheck implements the efficiency and timeliness constraints of
-// the heuristic polling scheme (§3.3, §4.3).
-func (w *Worker) heuristicCheck() {
-	if w.cfg.Polling != PollHeuristic || w.eng == nil {
-		return
-	}
-	rTotal := w.eng.InflightTotal()
-	if rTotal == 0 {
-		return
-	}
-	threshold := w.cfg.SymThreshold
-	if w.eng.InflightAsym() > 0 {
-		threshold = w.cfg.AsymThreshold
-	}
-	// Efficiency: coalesce responses until the threshold. Timeliness:
-	// poll immediately once every active connection is waiting on the
-	// accelerator.
-	if rTotal >= threshold || rTotal >= w.activeConns {
-		w.pollEngine(trace.TagHeuristic)
-		w.lastPoll = time.Now()
-		w.Stats.HeuristicPolls.Add(1)
-	}
-}
-
-// failoverCheck is the 5 ms failover timer: if no heuristic poll happened
-// during the last interval but requests are in flight, poll once (§4.3).
-func (w *Worker) failoverCheck() {
-	if w.cfg.Polling != PollHeuristic || w.eng == nil {
-		return
-	}
-	if w.eng.InflightTotal() == 0 {
-		return
-	}
-	if time.Since(w.lastPoll) >= w.cfg.FailoverInterval {
-		w.pollEngine(trace.TagFailover)
-		w.lastPoll = time.Now()
-		w.Stats.FailoverPolls.Add(1)
-	}
-}
-
-// deadlineCheck resumes paused offload jobs whose op deadline has passed
-// without a response — the graceful-degradation path for a sick device.
-// The forced resume re-enters the engine, which abandons the offload and
-// computes the result in software (see engine.Config.OpTimeout). If the
-// engine's own deadline has not quite expired yet the job re-pauses and
-// is re-resumed a millisecond later.
-func (w *Worker) deadlineCheck() {
-	if w.cfg.OpTimeout <= 0 || w.asyncWaiting == 0 {
-		return
-	}
-	now := time.Now()
-	var due []*conn
-	for _, c := range w.conns {
-		if c.asyncPending && !c.asyncDeadline.IsZero() && now.After(c.asyncDeadline) {
-			due = append(due, c)
-		}
-	}
-	for _, c := range due {
-		c.asyncDeadline = now.Add(time.Millisecond)
-		w.Stats.DeadlineWakeups.Add(1)
-		w.resumeAsync(c)
-	}
-}
-
-// --- TLS / HTTP handlers --------------------------------------------------
-
-func (w *Worker) handshakeHandler(c *conn) {
-	err := c.tls.Handshake()
-	switch {
-	case err == nil:
-		w.Stats.Handshakes.Add(1)
-		if c.tls.ConnectionState().DidResume {
-			w.Stats.Resumed.Add(1)
-		}
-		c.handler = w.requestHandler
-		w.requestHandler(c)
-	case errors.Is(err, minitls.ErrWantRead):
-		// Waiting for the client's next flight: the server owes this
-		// connection nothing until a read event arrives, so it leaves
-		// TCactive — the timeliness constraint compares in-flight
-		// requests against connections actually awaiting server work
-		// (§3.3: "all active connections are waiting for QAT responses").
-		if c.active {
-			c.active = false
-			w.activeConns--
-		}
-	case errors.Is(err, minitls.ErrWantAsync):
-		w.suspendForAsync(c)
-	case errors.Is(err, minitls.ErrWantAsyncRetry):
-		w.setAsyncPending(c, true)
-		w.retryQueue = append(w.retryQueue, c)
-	default:
-		w.Stats.Errors.Add(1)
-		w.closeConn(c)
-	}
-}
-
-func (w *Worker) requestHandler(c *conn) {
-	var buf [4096]byte
-	for {
-		n, err := c.tls.Read(buf[:])
-		if n > 0 {
-			c.reqBuf = append(c.reqBuf, buf[:n]...)
-			if len(c.reqBuf) > 64<<10 {
-				w.closeConn(c)
-				return
-			}
-			if i := bytes.Index(c.reqBuf, []byte("\r\n\r\n")); i >= 0 {
-				req := c.reqBuf[:i]
-				rest := len(c.reqBuf) - (i + 4)
-				copy(c.reqBuf, c.reqBuf[i+4:])
-				c.reqBuf = c.reqBuf[:rest]
-				w.serveRequest(c, req)
-				return
-			}
-			continue
-		}
-		switch {
-		case errors.Is(err, minitls.ErrWantRead):
-			// Waiting for a request (keepalive included) with nothing
-			// buffered means the connection is idle (§3.3).
-			if len(c.reqBuf) == 0 && c.active {
-				c.active = false
-				w.activeConns--
-			}
-			return
-		case errors.Is(err, minitls.ErrWantAsync):
-			w.suspendForAsync(c)
-			return
-		case errors.Is(err, minitls.ErrWantAsyncRetry):
-			w.setAsyncPending(c, true)
-			w.retryQueue = append(w.retryQueue, c)
-			return
-		default:
-			// EOF or fatal error.
-			w.closeConn(c)
-			return
-		}
-	}
-}
-
-// serveRequest parses the request line and headers, then prepares the
-// response. "Connection: close" is honored: the response carries the
-// same header and the connection is torn down after the write completes.
-func (w *Worker) serveRequest(c *conn, req []byte) {
-	line := req
-	if i := bytes.IndexByte(line, '\r'); i >= 0 {
-		line = line[:i]
-	}
-	fields := bytes.Fields(line)
-	if len(fields) < 2 || string(fields[0]) != "GET" {
-		w.closeConn(c)
-		return
-	}
-	path := string(fields[1])
-	query := ""
-	if i := strings.IndexByte(path, '?'); i >= 0 {
-		path, query = path[:i], path[i+1:]
-	}
-	c.closeAfterWrite = requestWantsClose(req)
-	w.Stats.Requests.Add(1)
-	var body []byte
-	var ok bool
-	switch {
-	case path == "/stub_status" && w.reg != nil:
-		body, ok = w.statusBody(), true
-	case path == "/metrics" && w.reg != nil:
-		body, ok = w.metricsBody(), true
-	case path == "/debug/trace" && w.tracer != nil:
-		body, ok = w.traceBody(query), true
-	default:
-		body, ok = w.handler(path)
-	}
-	status := "200 OK"
-	if !ok {
-		status = "404 Not Found"
-		body = []byte("not found\n")
-	}
-	connHdr := "keep-alive"
-	if c.closeAfterWrite {
-		connHdr = "close"
-	}
-	hdr := "HTTP/1.1 " + status + "\r\nContent-Length: " + strconv.Itoa(len(body)) +
-		"\r\nConnection: " + connHdr + "\r\n\r\n"
-	c.writeBody = append([]byte(hdr), body...)
-	c.handler = w.writeHandler
-	w.writeHandler(c)
-}
-
-// statusBody renders the stub_status page: worker activity, the shared
-// fault/degradation counters, and per-instance health/breaker state.
-func (w *Worker) statusBody() []byte {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "Active connections: %d\n", len(w.conns))
-	fmt.Fprintf(&b, "handshakes %d requests %d errors %d deadline_wakeups %d\n",
-		w.Stats.Handshakes.Load(), w.Stats.Requests.Load(),
-		w.Stats.Errors.Load(), w.Stats.DeadlineWakeups.Load())
-	snap := w.reg.Snapshot()
-	for _, name := range w.reg.Names() {
-		fmt.Fprintf(&b, "%s %d\n", name, snap[name])
-	}
-	if w.eng != nil {
-		for _, h := range w.eng.Health() {
-			fmt.Fprintf(&b, "instance %d endpoint %d inflight %d leaked %d breaker %s\n",
-				h.Index, h.Endpoint, h.Inflight, h.Leaked, h.Breaker)
-		}
-	}
-	return b.Bytes()
-}
-
-// metricsBody renders the Prometheus exposition. Scrapes run on the
-// worker goroutine (like every request), so refreshing the mirrored
-// counters and gauges here is race-free and makes the scrape current
-// even mid-iteration.
-func (w *Worker) metricsBody() []byte {
-	w.mirrorStats()
-	w.updateGauges()
-	js := asynclib.Stats()
-	w.reg.Gauge("qtls_jobs_started").Set(js.Started)
-	w.reg.Gauge("qtls_jobs_paused").Set(js.Paused)
-	w.reg.Gauge("qtls_jobs_resumed").Set(js.Resumed)
-	w.reg.Gauge("qtls_jobs_finished").Set(js.Finished)
-	var b bytes.Buffer
-	w.reg.WritePrometheus(&b)
-	return b.Bytes()
-}
-
-// traceBody serves the /debug/trace endpoint: the most recent spans
-// across all workers as a JSON array, newest last. ?n= bounds the count
-// (default 256, <=0 means everything retained).
-func (w *Worker) traceBody(query string) []byte {
-	n := 256
-	for _, kv := range strings.Split(query, "&") {
-		if v, ok := strings.CutPrefix(kv, "n="); ok {
-			if parsed, err := strconv.Atoi(v); err == nil {
-				n = parsed
-			}
-		}
-	}
-	spans := w.tracer.Recent(n)
-	if spans == nil {
-		spans = []trace.Span{}
-	}
-	out, err := json.Marshal(spans)
-	if err != nil {
-		return []byte(`{"error":"trace encoding failed"}`)
-	}
-	return append(out, '\n')
-}
-
-// requestWantsClose scans the header block for "Connection: close"
-// (ASCII case-insensitive).
-func requestWantsClose(req []byte) bool {
-	for _, line := range bytes.Split(req, []byte("\r\n")) {
-		i := bytes.IndexByte(line, ':')
-		if i < 0 {
-			continue
-		}
-		if !asciiEqualFold(bytes.TrimSpace(line[:i]), "connection") {
-			continue
-		}
-		return asciiEqualFold(bytes.TrimSpace(line[i+1:]), "close")
-	}
-	return false
-}
-
-func asciiEqualFold(b []byte, s string) bool {
-	if len(b) != len(s) {
-		return false
-	}
-	for i := 0; i < len(b); i++ {
-		c, d := b[i], s[i]
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		if c != d {
-			return false
-		}
-	}
-	return true
-}
-
-func (w *Worker) writeHandler(c *conn) {
-	n, err := c.tls.Write(c.writeBody)
-	switch {
-	case err == nil:
-		w.Stats.BytesOut.Add(int64(n))
-		c.writeBody = nil
-		if c.closeAfterWrite {
-			c.tls.Close() // sends close-notify into the write buffer
-			if c.nc.Flush(); c.nc.HasPending() {
-				// Linger until the kernel accepts the tail of the
-				// response; the writable event completes the close.
-				c.draining = true
-				w.updateWriteInterest(c)
-				return
-			}
-			w.closeConn(c)
-			return
-		}
-		c.handler = w.requestHandler
-		// Response done: the connection is idle until the next request
-		// (keepalive), which updates TCactive (§4.3).
-		if c.active {
-			c.active = false
-			w.activeConns--
-		}
-		// Data may already be buffered (pipelined request).
-		if len(c.reqBuf) > 0 {
-			c.active = true
-			w.activeConns++
-			w.requestHandler(c)
-		}
-	case errors.Is(err, minitls.ErrWantRead):
-		// Cannot happen on the write path, but harmless.
-	case errors.Is(err, minitls.ErrWantAsync):
-		w.suspendForAsync(c)
-	case errors.Is(err, minitls.ErrWantAsyncRetry):
-		w.setAsyncPending(c, true)
-		w.retryQueue = append(w.retryQueue, c)
-	default:
-		w.Stats.Errors.Add(1)
-		w.closeConn(c)
-	}
 }
 
 // ConnCount returns the number of live connections (test/diagnostic use;
