@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"crypto/elliptic"
 	"flag"
 	"fmt"
@@ -68,6 +69,14 @@ func main() {
 		opTimeout = flag.Duration("op-timeout", 0, "per-op offload deadline before software fallback (0 = off)")
 		maxRetry  = flag.Int("max-retries", 2, "offload retries after retryable device errors")
 		breaker   = flag.Bool("breaker", false, "enable per-instance circuit breakers")
+
+		hsTimeout = flag.Duration("handshake-timeout", offload.DefaultHandshakeTimeout, "TLS handshake deadline (negative = off)")
+		hdTimeout = flag.Duration("header-timeout", offload.DefaultHeaderTimeout, "request-header deadline (negative = off)")
+		kaTimeout = flag.Duration("keepalive-timeout", offload.DefaultKeepaliveTimeout, "keepalive idle deadline (negative = off)")
+		wsTimeout = flag.Duration("write-stall-timeout", offload.DefaultWriteStallTimeout, "buffered-write stall deadline (negative = off)")
+		maxConns  = flag.Int("max-conns", offload.DefaultMaxConnsPerWorker, "per-worker connection cap before accept-time shedding (negative = off)")
+		shedFrac  = flag.Float64("shed-fraction", offload.DefaultShedFraction, "QAT inflight/ring-capacity fraction that sheds new accepts (negative = off)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before the hard cutoff")
 	)
 	flag.Parse()
 
@@ -145,6 +154,19 @@ func main() {
 	if *breaker {
 		run.Breaker = &fault.BreakerConfig{}
 	}
+	// Lifecycle deadlines and admission control (the connection-lifecycle
+	// hardening layer; zero RunConfig fields take the offload defaults).
+	run.Deadlines = offload.DeadlinePolicy{
+		Handshake:  *hsTimeout,
+		Header:     *hdTimeout,
+		Keepalive:  *kaTimeout,
+		WriteStall: *wsTimeout,
+	}
+	run.Overload = offload.OverloadPolicy{
+		MaxConns:     *maxConns,
+		ShedFraction: *shedFrac,
+	}
+
 	inj, err := fault.ParseSpec(*faultSpec, *faultSeed)
 	if err != nil {
 		log.Fatalf("-fault: %v", err)
@@ -228,9 +250,23 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
+	// SIGTERM/SIGINT starts a graceful drain: stop accepting, finish
+	// admitted requests and in-flight QAT responses, close-notify idle
+	// keepalive connections. A second signal — or the drain budget
+	// expiring — forces the hard cutoff.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
-	srv.Stop()
+	log.Printf("draining (budget %s; signal again for hard stop)", *drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain cut short: %v", err)
+	} else {
+		log.Print("drained cleanly")
+	}
+	cancel()
 }

@@ -94,6 +94,13 @@ func opTypeFor(kind minitls.OpKind) qat.OpType {
 // circuit-broken; the engine then degrades the operation to software.
 var ErrNoInstance = errors.New("engine: no healthy crypto instance available")
 
+// ErrCancelled is returned when an in-flight offload is abandoned because
+// its connection is being torn down (OpCall.Cancelled set via
+// minitls.Conn.CancelAsync): the op's inflight slot is released and the
+// instance breaker is informed, but no software fallback is computed —
+// the result has no consumer.
+var ErrCancelled = errors.New("engine: async operation cancelled")
+
 // Config configures an Engine.
 type Config struct {
 	// Instance is the QAT crypto instance assigned to this worker
@@ -198,6 +205,7 @@ type Engine struct {
 	retries     atomic.Int64
 	verifyFails atomic.Int64
 	trips       atomic.Int64
+	cancels     atomic.Int64
 
 	// Coalescer statistics.
 	flushes    atomic.Int64
@@ -206,6 +214,7 @@ type Engine struct {
 
 	// Registry counters (nil without Config.Metrics).
 	ctrTimeouts  *metrics.Counter
+	ctrCancels   *metrics.Counter
 	ctrFallbacks *metrics.Counter
 	ctrTrips     *metrics.Counter
 	ctrRetries   *metrics.Counter
@@ -257,6 +266,7 @@ func New(cfg Config) (*Engine, error) {
 	e.coalesce = cfg.Coalesce
 	if cfg.Metrics != nil {
 		e.ctrTimeouts = cfg.Metrics.Counter("qat_op_timeouts")
+		e.ctrCancels = cfg.Metrics.Counter("qat_op_cancels")
 		e.ctrFallbacks = cfg.Metrics.Counter("qat_sw_fallbacks")
 		e.ctrTrips = cfg.Metrics.Counter("qat_instance_trips")
 		e.ctrRetries = cfg.Metrics.Counter("qat_retries")
@@ -438,8 +448,36 @@ func (e *Engine) retrySleep(attempt int) {
 	time.Sleep(e.backoff << attempt)
 }
 
+// settleCancel accounts for an op abandoned because its connection is
+// being torn down: same inflight/breaker/leak bookkeeping as a timeout
+// (a cancel on a stalled device must still trip its breaker), under its
+// own counter. Queued ops were never submitted, so only the cancel is
+// counted — the coalescer flush drops the settled entry.
+func (e *Engine) settleCancel(class Class, idx int) {
+	e.cancels.Add(1)
+	if e.ctrCancels != nil {
+		e.ctrCancels.Inc()
+	}
+	if idx >= 0 {
+		e.inflight[class].Add(-1)
+		e.recordResult(idx, false)
+		e.reclaimLeaked()
+	}
+}
+
 // Instances returns the engine's crypto instances.
 func (e *Engine) Instances() []*qat.Instance { return e.insts }
+
+// RingCapacity returns the summed request-ring capacity across the
+// engine's crypto instances — the denominator of the admission-control
+// pressure ratio (offload.OverloadPolicy).
+func (e *Engine) RingCapacity() int {
+	n := 0
+	for _, inst := range e.insts {
+		n += inst.Cap()
+	}
+	return n
+}
 
 // Name implements minitls.Provider.
 func (e *Engine) Name() string { return "qat-engine" }

@@ -113,6 +113,7 @@ type Stats struct {
 	Retries     int64
 	VerifyFails int64
 	Trips       int64
+	Cancels     int64
 }
 
 // Stats returns cumulative counters.
@@ -131,5 +132,6 @@ func (e *Engine) Stats() Stats {
 		Retries:     e.retries.Load(),
 		VerifyFails: e.verifyFails.Load(),
 		Trips:       e.trips.Load(),
+		Cancels:     e.cancels.Load(),
 	}
 }

@@ -241,6 +241,16 @@ func (s *fiberStrategy) park(a *attempt) (any, error, outcome) {
 		if s.delivered {
 			break
 		}
+		if a.call.Cancelled {
+			// The connection is being torn down (lifecycle deadline or
+			// drain cutoff): abandon the offload without a software
+			// fallback — nothing will consume the result.
+			if a.settled.CompareAndSwap(false, true) {
+				a.e.settleCancel(a.class, a.idx)
+				return nil, ErrCancelled, outReturn
+			}
+			break // lost the CAS: the response landed first, consume it
+		}
 		if expired(a.deadline) {
 			if a.settled.CompareAndSwap(false, true) {
 				a.settleDeadline()
@@ -291,6 +301,11 @@ func (s *fiberStrategy) retryFailed(a *attempt) (any, error, outcome) {
 func (e *Engine) doFiber(call *minitls.OpCall, kind minitls.OpKind, class Class, work func() (any, error)) (any, error) {
 	if call.Job == nil {
 		return nil, errors.New("engine: fiber mode without a job")
+	}
+	if call.Cancelled {
+		// The connection is already being torn down; refuse new
+		// submissions so a cancelled handshake cannot re-park.
+		return nil, ErrCancelled
 	}
 	for n := 0; ; {
 		a := e.newAttempt(call, kind, class, work, n)
@@ -351,6 +366,9 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 	if st == nil {
 		return nil, errors.New("engine: stack mode without a StackOp")
 	}
+	if call.Cancelled {
+		return nil, e.cancelStack(st)
+	}
 	n := 0
 	switch st.State() {
 	case asynclib.StackReady:
@@ -391,6 +409,27 @@ func (e *Engine) doStack(call *minitls.OpCall, kind minitls.OpKind, class Class,
 	// State idle or retry: submit.
 	res, err, _ := e.submitPath(e.newAttempt(call, kind, class, work, n), &stackStrategy{st: st})
 	return res, err
+}
+
+// cancelStack abandons a stack-async op in whatever state it is in: an
+// inflight op settles with cancel accounting, a delivered-but-unconsumed
+// result is discarded, and the state flag resets to idle so the StackOp
+// could be reused.
+func (e *Engine) cancelStack(st *asynclib.StackOp) error {
+	switch st.State() {
+	case asynclib.StackReady:
+		delete(e.stackOps, st)
+		st.Consume() // discard: the result has no consumer
+	case asynclib.StackInflight:
+		if a := e.stackOps[st]; a != nil && a.settled.CompareAndSwap(false, true) {
+			e.settleCancel(a.class, a.idx)
+		}
+		delete(e.stackOps, st)
+		st.Reset()
+	default:
+		st.Reset()
+	}
+	return ErrCancelled
 }
 
 // --- straight offload ------------------------------------------------------

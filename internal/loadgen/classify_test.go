@@ -1,0 +1,97 @@
+//go:build linux
+
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"qtls/internal/minitls"
+	"qtls/internal/offload"
+	"qtls/internal/server"
+)
+
+func classifyOne(err error) (shed, clean, errs int64) {
+	var s, c, e atomic.Int64
+	classifyFailure(err, nil, &s, &c, &e)
+	return s.Load(), c.Load(), e.Load()
+}
+
+// classifyFailure sorts TCP resets (admission shedding) away from plain
+// errors, including through wrapping.
+func TestClassifyFailure(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{syscall.ECONNRESET, "shed"},
+		{syscall.EPIPE, "shed"},
+		{fmt.Errorf("write: %w", syscall.ECONNRESET), "shed"},
+		{&net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNRESET)}, "shed"},
+		{io.EOF, "err"}, // EOF without a close-notify is an abnormal close
+		{errors.New("handshake failure"), "err"},
+		{syscall.ECONNREFUSED, "err"},
+	}
+	for _, tc := range cases {
+		shed, clean, errs := classifyOne(tc.err)
+		got := "err"
+		switch {
+		case shed == 1 && clean == 0 && errs == 0:
+			got = "shed"
+		case clean == 1 && shed == 0 && errs == 0:
+			got = "clean"
+		}
+		if got != tc.want {
+			t.Fatalf("classify(%v) = %s (shed=%d clean=%d err=%d), want %s",
+				tc.err, got, shed, clean, errs, tc.want)
+		}
+	}
+}
+
+// End to end: a server that refuses keepalive reuse closes every
+// connection after one response; the client counts those closes in the
+// shed/clean buckets, never as errors.
+func TestABCountsServerClosesSeparately(t *testing.T) {
+	run := server.ConfigSW
+	run.Overload = offload.OverloadPolicy{
+		MaxConns:              1,
+		ShedFraction:          -1,
+		KeepaliveShedFraction: -1,
+	}
+	srv, err := server.New(server.Options{
+		Addr:    "127.0.0.1:0",
+		Workers: 1,
+		Run:     run,
+		TLS:     &minitls.Config{Identity: identity(t)},
+		Handler: server.SizedBodyHandler(1 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+
+	res := AB(ABOptions{
+		Addr:        srv.Addr(),
+		Clients:     1,
+		Duration:    2 * time.Second,
+		Path:        "/64",
+		MaxRequests: 4,
+	})
+	if res.Requests < 2 {
+		t.Fatalf("too few requests through the shedding server: %s", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("server-initiated closes misclassified as errors: %s", res)
+	}
+	if res.Shed+res.CleanCloses == 0 {
+		t.Fatalf("no server-initiated close counted: %s", res)
+	}
+}

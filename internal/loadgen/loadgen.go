@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"qtls/internal/metrics"
@@ -32,8 +33,16 @@ type Result struct {
 	Requests int64
 	// BytesIn is the number of response body bytes received.
 	BytesIn int64
-	// Errors counts failed connections/requests.
+	// Errors counts failed connections/requests, excluding the two
+	// server-intended closes counted below.
 	Errors int64
+	// Shed counts connections rejected by the server's admission control:
+	// a TCP reset surfaced while dialing, handshaking or requesting.
+	Shed int64
+	// CleanCloses counts server-initiated orderly closes — the peer sent
+	// a TLS close-notify (graceful drain, keepalive deadline) before the
+	// failure, so the connection ended cleanly rather than erroring.
+	CleanCloses int64
 	// Elapsed is the measured wall-clock interval.
 	Elapsed time.Duration
 	// Latency summarizes per-operation latency (handshake latency for
@@ -100,7 +109,7 @@ func STime(opts STimeOptions) Result {
 		opts.TLS = &minitls.Config{}
 	}
 	var res Result
-	var conns, resumed, reqs, bytesIn, errCount atomic.Int64
+	var conns, resumed, reqs, bytesIn, errCount, shedCount, cleanCount atomic.Int64
 	lat := metrics.NewHistogram(1 << 14)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
@@ -125,7 +134,7 @@ func STime(opts STimeOptions) Result {
 				t0 := time.Now()
 				conn, didResume, body, err := oneConnection(opts.Addr, &cfg, opts.RequestPath)
 				if err != nil {
-					errCount.Add(1)
+					classifyFailure(err, conn, &shedCount, &cleanCount, &errCount)
 					continue
 				}
 				lat.ObserveDuration(time.Since(t0))
@@ -152,8 +161,25 @@ func STime(opts STimeOptions) Result {
 	res.Requests = reqs.Load()
 	res.BytesIn = bytesIn.Load()
 	res.Errors = errCount.Load()
+	res.Shed = shedCount.Load()
+	res.CleanCloses = cleanCount.Load()
 	res.Latency = lat.Snapshot()
 	return res
+}
+
+// classifyFailure sorts one failed connection or request into the shed /
+// clean-close / error buckets. A TCP reset is the signature of the
+// server's accept-time shedding (netpoll Conn.Abort); EOF after the peer's
+// close-notify is an orderly server-initiated close, not a failure.
+func classifyFailure(err error, tc *minitls.Conn, shed, clean, errs *atomic.Int64) {
+	switch {
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
+		shed.Add(1)
+	case errors.Is(err, io.EOF) && tc != nil && tc.CloseNotifyReceived():
+		clean.Add(1)
+	default:
+		errs.Add(1)
+	}
 }
 
 // oneConnection dials, handshakes, optionally issues one request, and
@@ -275,7 +301,7 @@ func AB(opts ABOptions) Result {
 	if opts.Path == "" {
 		opts.Path = "/1024"
 	}
-	var reqs, bytesIn, errCount, conns atomic.Int64
+	var reqs, bytesIn, errCount, conns, shedCount, cleanCount atomic.Int64
 	lat := metrics.NewHistogram(1 << 14)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
@@ -294,7 +320,7 @@ func AB(opts ABOptions) Result {
 				tc := minitls.ClientConn(raw, &cfg)
 				raw.SetDeadline(time.Now().Add(15 * time.Second))
 				if err := tc.Handshake(); err != nil {
-					errCount.Add(1)
+					classifyFailure(err, tc, &shedCount, &cleanCount, &errCount)
 					raw.Close()
 					continue
 				}
@@ -309,7 +335,7 @@ func AB(opts ABOptions) Result {
 					t0 := time.Now()
 					n, err := doRequest(tc, br, opts.Path)
 					if err != nil {
-						errCount.Add(1)
+						classifyFailure(err, tc, &shedCount, &cleanCount, &errCount)
 						break
 					}
 					lat.ObserveDuration(time.Since(t0))
@@ -329,6 +355,8 @@ func AB(opts ABOptions) Result {
 		Requests:    reqs.Load(),
 		BytesIn:     bytesIn.Load(),
 		Errors:      errCount.Load(),
+		Shed:        shedCount.Load(),
+		CleanCloses: cleanCount.Load(),
 		Elapsed:     time.Since(start),
 		Latency:     lat.Snapshot(),
 	}
@@ -336,6 +364,7 @@ func AB(opts ABOptions) Result {
 
 // String renders a result summary.
 func (r Result) String() string {
-	return fmt.Sprintf("conns=%d (%.0f cps, %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d lat{%s}",
-		r.Connections, r.CPS(), r.Resumed, r.Requests, r.RPS(), r.ThroughputGbps(), r.Errors, r.Latency)
+	return fmt.Sprintf("conns=%d (%.0f cps, %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d shed=%d clean=%d lat{%s}",
+		r.Connections, r.CPS(), r.Resumed, r.Requests, r.RPS(), r.ThroughputGbps(),
+		r.Errors, r.Shed, r.CleanCloses, r.Latency)
 }

@@ -286,6 +286,12 @@ type OpCall struct {
 	// submission failed (accelerator ring full) and the paused job must be
 	// rescheduled for a retry rather than waiting for a response (§3.2).
 	SubmitFailed bool
+	// Cancelled is set by the application (Conn.CancelAsync) when the
+	// connection is being torn down while an offload is in flight: the
+	// next provider re-entry must settle the operation as abandoned
+	// instead of re-parking, so device inflight accounting is released
+	// even when no response will ever arrive.
+	Cancelled bool
 
 	// result/err hand the crypto result across a fiber pause point.
 	result any

@@ -49,12 +49,13 @@ type Conn struct {
 	writeData []byte
 	writeOff  int
 
-	handshakeDone bool
-	didResume     bool
-	ticketSent    bool
-	pendingCCS    bool // client peeked a CCS record (resumption detection)
-	closed        bool
-	permErr       error // sticky fatal error
+	handshakeDone   bool
+	didResume       bool
+	ticketSent      bool
+	pendingCCS      bool // client peeked a CCS record (resumption detection)
+	closed          bool
+	closeNotifyRecv bool  // peer sent an orderly close-notify alert
+	permErr         error // sticky fatal error
 }
 
 // hsState enumerates handshake state-machine states. Server and client
@@ -272,6 +273,23 @@ func (c *Conn) Handshake() error {
 // HandshakeComplete reports whether the handshake has finished.
 func (c *Conn) HandshakeComplete() bool { return c.handshakeDone }
 
+// CancelAsync marks the connection's in-flight async operation as
+// abandoned. The event loop calls it when a lifecycle deadline expires
+// on an offload-paused connection: the next Handshake/Read/Write
+// re-entry hands the cancel flag to the provider, which settles the
+// operation (releasing its inflight slot and informing the breaker)
+// instead of re-parking to wait for a response that may never come.
+func (c *Conn) CancelAsync() {
+	c.opCall.Cancelled = true
+}
+
+// CloseNotifyReceived reports whether the peer ended the connection
+// with an orderly close-notify alert (as opposed to a bare transport
+// EOF or reset). Load generators use it to classify server-initiated
+// clean closes — keepalive timeout, graceful drain — separately from
+// failures.
+func (c *Conn) CloseNotifyReceived() bool { return c.closeNotifyRecv }
+
 // --- record I/O ---------------------------------------------------------
 
 // fill reads more transport bytes into rawInput. It translates
@@ -472,7 +490,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 	for len(c.appData) == 0 {
 		typ, payload, err := c.readRecord()
 		if err != nil {
-			if errors.Is(err, errCloseNotify) || errors.Is(err, io.EOF) {
+			if errors.Is(err, errCloseNotify) {
+				c.closeNotifyRecv = true
+				return 0, io.EOF
+			}
+			if errors.Is(err, io.EOF) {
 				return 0, io.EOF
 			}
 			return 0, err

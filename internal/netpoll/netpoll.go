@@ -353,6 +353,20 @@ func (c *Conn) Close() error {
 	return syscall.Close(c.fd)
 }
 
+// Abort closes the socket with an immediate TCP reset (SO_LINGER with a
+// zero timeout): unsent data is discarded and the peer sees RST instead
+// of FIN. Admission control sheds just-accepted connections this way —
+// the client learns immediately, and neither side spends TLS bytes.
+func (c *Conn) Abort() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	syscall.SetsockoptLinger(c.fd, syscall.SOL_SOCKET, syscall.SO_LINGER,
+		&syscall.Linger{Onoff: 1, Linger: 0})
+	return syscall.Close(c.fd)
+}
+
 // NotifyPipe is a non-blocking self-pipe used by the FD-based async event
 // notification scheme: the QAT response callback writes a byte to wake the
 // worker's epoll (incurring the user/kernel switches the kernel-bypass

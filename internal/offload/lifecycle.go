@@ -1,0 +1,204 @@
+package offload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Connection-lifecycle policy vocabulary: the per-connection deadline
+// classes the server's timer wheel enforces, and the admission-control
+// (load-shedding) policy that keeps a saturated or degraded accelerator
+// from collapsing the event loop. Like PollPolicy, these are defined once
+// here and consumed by both the live stack (internal/server) and the DES
+// performance model (internal/perf).
+
+// The lifecycle defaults, next to the paper's polling constants. They
+// mirror the Nginx directives the paper's deployment relies on
+// (client_header_timeout, keepalive_timeout, send_timeout) — the
+// machinery QTLS inherits from its host web server.
+const (
+	// DefaultHandshakeTimeout bounds the whole TLS handshake, from accept
+	// to Finished — including any time spent parked on a stalled offload.
+	DefaultHandshakeTimeout = 15 * time.Second
+	// DefaultHeaderTimeout bounds the gap between successive reads while
+	// request headers are arriving (client_header_timeout semantics).
+	DefaultHeaderTimeout = 10 * time.Second
+	// DefaultKeepaliveTimeout closes an idle keepalive connection that has
+	// not issued its next request (keepalive_timeout semantics).
+	DefaultKeepaliveTimeout = 60 * time.Second
+	// DefaultWriteStallTimeout bounds the wait for a client that stops
+	// reading while response bytes are queued (send_timeout semantics).
+	DefaultWriteStallTimeout = 10 * time.Second
+	// DefaultDeadlineTick is the timer wheel's slot granularity. Deadlines
+	// fire up to one tick late — coarse on purpose, so arming/disarming on
+	// every request costs a map-free append instead of a heap operation.
+	DefaultDeadlineTick = 25 * time.Millisecond
+)
+
+// Admission-control defaults.
+const (
+	// DefaultMaxConnsPerWorker caps live connections per worker (Nginx
+	// worker_connections semantics).
+	DefaultMaxConnsPerWorker = 4096
+	// DefaultShedFraction is the in-flight-vs-ring-capacity admission
+	// threshold: once a worker's outstanding offloads reach this fraction
+	// of its request-ring capacity, new connections are shed at accept
+	// time before any TLS bytes are spent on them.
+	DefaultShedFraction = 0.85
+	// DefaultKeepaliveShedFraction starts closing idle keepalive
+	// connections (after their in-flight response completes) at a lower
+	// pressure point than accept shedding, freeing capacity before the
+	// hard admission edge is reached.
+	DefaultKeepaliveShedFraction = 0.70
+)
+
+// DeadlineClass identifies which lifecycle deadline a connection is
+// currently under. Exactly one class is armed per connection at a time.
+type DeadlineClass int
+
+const (
+	// DeadlineHandshake runs from accept until the handshake completes.
+	DeadlineHandshake DeadlineClass = iota
+	// DeadlineHeader runs while request headers are being read.
+	DeadlineHeader
+	// DeadlineKeepalive runs while the connection idles between requests.
+	DeadlineKeepalive
+	// DeadlineWrite runs while response bytes wait on a slow reader.
+	DeadlineWrite
+
+	// NumDeadlineClasses is the number of defined classes.
+	NumDeadlineClasses
+)
+
+// String returns the short class name used in metric labels.
+func (c DeadlineClass) String() string {
+	switch c {
+	case DeadlineHandshake:
+		return "handshake"
+	case DeadlineHeader:
+		return "header"
+	case DeadlineKeepalive:
+		return "keepalive"
+	case DeadlineWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// DeadlinePolicy carries the per-class connection deadlines plus the
+// wheel tick. The zero value resolves to the defaults via WithDefaults;
+// a negative duration disables that class.
+type DeadlinePolicy struct {
+	// Handshake bounds accept → handshake-complete.
+	Handshake time.Duration
+	// Header bounds successive reads while request headers arrive.
+	Header time.Duration
+	// Keepalive bounds the idle gap between requests.
+	Keepalive time.Duration
+	// WriteStall bounds the wait for a stalled reader with output queued.
+	WriteStall time.Duration
+	// Tick is the timer-wheel slot granularity.
+	Tick time.Duration
+}
+
+// WithDefaults resolves unset (zero) parameters to the defaults.
+// Negative durations — "disabled" — are preserved.
+func (d DeadlinePolicy) WithDefaults() DeadlinePolicy {
+	if d.Handshake == 0 {
+		d.Handshake = DefaultHandshakeTimeout
+	}
+	if d.Header == 0 {
+		d.Header = DefaultHeaderTimeout
+	}
+	if d.Keepalive == 0 {
+		d.Keepalive = DefaultKeepaliveTimeout
+	}
+	if d.WriteStall == 0 {
+		d.WriteStall = DefaultWriteStallTimeout
+	}
+	if d.Tick <= 0 {
+		d.Tick = DefaultDeadlineTick
+	}
+	return d
+}
+
+// Timeout returns the duration for one class; <= 0 means the class is
+// disabled and must not be armed.
+func (d DeadlinePolicy) Timeout(c DeadlineClass) time.Duration {
+	switch c {
+	case DeadlineHandshake:
+		return d.Handshake
+	case DeadlineHeader:
+		return d.Header
+	case DeadlineKeepalive:
+		return d.Keepalive
+	case DeadlineWrite:
+		return d.WriteStall
+	default:
+		return 0
+	}
+}
+
+// OverloadPolicy is the admission-control policy, PollPolicy-shaped:
+// plain threshold fields, WithDefaults resolution, and pure decision
+// methods fed the live inputs (per-worker in-flight offloads, the
+// worker's summed request-ring capacity, and its live connection count).
+// Shedding happens at the two points where a connection costs the least
+// to refuse: accept time (TCP reset before any TLS bytes are spent) and
+// keepalive-reuse time (a polite Connection: close after the in-flight
+// response).
+type OverloadPolicy struct {
+	// MaxConns caps live connections per worker (default
+	// DefaultMaxConnsPerWorker; negative disables the cap).
+	MaxConns int
+	// ShedFraction is the inflight/ring-capacity admission threshold for
+	// new connections (default DefaultShedFraction; negative disables
+	// pressure-based shedding).
+	ShedFraction float64
+	// KeepaliveShedFraction is the lower pressure point at which idle
+	// keepalive connections stop being retained (default
+	// DefaultKeepaliveShedFraction; negative disables).
+	KeepaliveShedFraction float64
+}
+
+// WithDefaults resolves unset (zero) parameters to the defaults.
+// Negative values — "disabled" — are preserved.
+func (p OverloadPolicy) WithDefaults() OverloadPolicy {
+	if p.MaxConns == 0 {
+		p.MaxConns = DefaultMaxConnsPerWorker
+	}
+	if p.ShedFraction == 0 {
+		p.ShedFraction = DefaultShedFraction
+	}
+	if p.KeepaliveShedFraction == 0 {
+		p.KeepaliveShedFraction = DefaultKeepaliveShedFraction
+	}
+	return p
+}
+
+// pressured reports whether inflight has reached frac of ringCap.
+func pressured(frac float64, inflight, ringCap int) bool {
+	return frac > 0 && ringCap > 0 && float64(inflight) >= frac*float64(ringCap)
+}
+
+// ShedAccept decides admission for a brand-new connection: shed when the
+// worker is at its connection cap or its rings are saturated. A shed
+// accept costs the client one TCP reset and the server nothing.
+func (p OverloadPolicy) ShedAccept(inflight, ringCap, conns int) bool {
+	if p.MaxConns > 0 && conns >= p.MaxConns {
+		return true
+	}
+	return pressured(p.ShedFraction, inflight, ringCap)
+}
+
+// ShedKeepalive decides whether an idle-capable connection should be
+// closed after its current response instead of being kept alive: under
+// pressure, retained idle connections are capacity the admission edge
+// will soon refuse to newcomers.
+func (p OverloadPolicy) ShedKeepalive(inflight, ringCap, conns int) bool {
+	if p.MaxConns > 0 && 4*conns >= 3*p.MaxConns {
+		return true
+	}
+	return pressured(p.KeepaliveShedFraction, inflight, ringCap)
+}

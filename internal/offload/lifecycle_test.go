@@ -1,0 +1,140 @@
+package offload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeadlinePolicyWithDefaults(t *testing.T) {
+	d := DeadlinePolicy{}.WithDefaults()
+	if d.Handshake != DefaultHandshakeTimeout || d.Header != DefaultHeaderTimeout ||
+		d.Keepalive != DefaultKeepaliveTimeout || d.WriteStall != DefaultWriteStallTimeout ||
+		d.Tick != DefaultDeadlineTick {
+		t.Fatalf("zero value did not resolve to defaults: %+v", d)
+	}
+
+	// Explicit values survive, negative (disabled) values survive.
+	d = DeadlinePolicy{Handshake: time.Second, Keepalive: -1}.WithDefaults()
+	if d.Handshake != time.Second {
+		t.Fatalf("explicit handshake overridden: %v", d.Handshake)
+	}
+	if d.Keepalive != -1 {
+		t.Fatalf("disabled keepalive not preserved: %v", d.Keepalive)
+	}
+	if d.Header != DefaultHeaderTimeout {
+		t.Fatalf("unset header not defaulted: %v", d.Header)
+	}
+
+	// A non-positive tick is always resolved: the wheel needs a granularity.
+	if d := (DeadlinePolicy{Tick: -time.Second}).WithDefaults(); d.Tick != DefaultDeadlineTick {
+		t.Fatalf("negative tick not resolved: %v", d.Tick)
+	}
+}
+
+func TestDeadlinePolicyTimeout(t *testing.T) {
+	d := DeadlinePolicy{Handshake: 1, Header: 2, Keepalive: 3, WriteStall: 4}
+	want := map[DeadlineClass]time.Duration{
+		DeadlineHandshake: 1,
+		DeadlineHeader:    2,
+		DeadlineKeepalive: 3,
+		DeadlineWrite:     4,
+	}
+	for class, w := range want {
+		if got := d.Timeout(class); got != w {
+			t.Fatalf("Timeout(%s) = %v, want %v", class, got, w)
+		}
+	}
+	if d.Timeout(NumDeadlineClasses) != 0 {
+		t.Fatal("out-of-range class must read as disabled")
+	}
+}
+
+func TestDeadlineClassString(t *testing.T) {
+	want := map[DeadlineClass]string{
+		DeadlineHandshake: "handshake",
+		DeadlineHeader:    "header",
+		DeadlineKeepalive: "keepalive",
+		DeadlineWrite:     "write",
+	}
+	for class, w := range want {
+		if class.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", class, class.String(), w)
+		}
+	}
+	if DeadlineClass(99).String() == "" {
+		t.Fatal("unknown class must still render")
+	}
+}
+
+func TestOverloadPolicyWithDefaults(t *testing.T) {
+	p := OverloadPolicy{}.WithDefaults()
+	if p.MaxConns != DefaultMaxConnsPerWorker || p.ShedFraction != DefaultShedFraction ||
+		p.KeepaliveShedFraction != DefaultKeepaliveShedFraction {
+		t.Fatalf("zero value did not resolve to defaults: %+v", p)
+	}
+	p = OverloadPolicy{MaxConns: -1, ShedFraction: -1, KeepaliveShedFraction: -1}.WithDefaults()
+	if p.MaxConns != -1 || p.ShedFraction != -1 || p.KeepaliveShedFraction != -1 {
+		t.Fatalf("disabled values not preserved: %+v", p)
+	}
+}
+
+func TestShedAccept(t *testing.T) {
+	p := OverloadPolicy{MaxConns: 10, ShedFraction: 0.5}.WithDefaults()
+
+	// Connection cap: boundary is inclusive.
+	if p.ShedAccept(0, 100, 9) {
+		t.Fatal("shed below the connection cap")
+	}
+	if !p.ShedAccept(0, 100, 10) {
+		t.Fatal("no shed at the connection cap")
+	}
+
+	// Ring pressure: 0.5 × 100 = 50 in-flight is the admission edge.
+	if p.ShedAccept(49, 100, 0) {
+		t.Fatal("shed below the pressure threshold")
+	}
+	if !p.ShedAccept(50, 100, 0) {
+		t.Fatal("no shed at the pressure threshold")
+	}
+
+	// No ring (SW configuration): pressure shedding is inert, the
+	// connection cap still applies.
+	if p.ShedAccept(1000, 0, 0) {
+		t.Fatal("pressure shed without a ring")
+	}
+	if !p.ShedAccept(1000, 0, 10) {
+		t.Fatal("connection cap inert without a ring")
+	}
+
+	// Fully disabled policy never sheds.
+	off := OverloadPolicy{MaxConns: -1, ShedFraction: -1, KeepaliveShedFraction: -1}
+	if off.ShedAccept(1<<20, 1, 1<<20) {
+		t.Fatal("disabled policy shed an accept")
+	}
+}
+
+func TestShedKeepalive(t *testing.T) {
+	p := OverloadPolicy{MaxConns: 100, KeepaliveShedFraction: 0.5}.WithDefaults()
+
+	// Keepalive retention stops at 3/4 of the connection cap — before the
+	// accept edge, so idle conns free capacity first.
+	if p.ShedKeepalive(0, 0, 74) {
+		t.Fatal("keepalive shed below 3/4 of the cap")
+	}
+	if !p.ShedKeepalive(0, 0, 75) {
+		t.Fatal("no keepalive shed at 3/4 of the cap")
+	}
+
+	// Pressure threshold.
+	if p.ShedKeepalive(49, 100, 0) {
+		t.Fatal("keepalive shed below the pressure threshold")
+	}
+	if !p.ShedKeepalive(50, 100, 0) {
+		t.Fatal("no keepalive shed at the pressure threshold")
+	}
+
+	off := OverloadPolicy{MaxConns: -1, ShedFraction: -1, KeepaliveShedFraction: -1}
+	if off.ShedKeepalive(1<<20, 1, 1<<20) {
+		t.Fatal("disabled policy shed a keepalive")
+	}
+}

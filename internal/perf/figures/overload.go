@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"qtls/internal/offload"
+	"qtls/internal/perf"
+)
+
+// overloadQTLS returns QTLS with the first endpoint's asymmetric engines
+// stalled (so in-flight offloads pile up against the ring capacity) and,
+// optionally, admission control armed.
+func overloadQTLS(workers int, shed bool) perf.Config {
+	cfg := perf.QTLS(workers)
+	cfg.Fault = &perf.FaultScenario{
+		StalledEndpoints: 1,
+		OpTimeout:        2 * time.Millisecond,
+	}
+	if shed {
+		// The DES has no retrieval lag, so in-flight counts stay low even
+		// under congestion; the per-worker connection cap is the pressure
+		// signal that fires here. 24 ≈ the conns a healthy worker keeps
+		// live at this load; the sick workers pile up far past it.
+		cfg.Overload = &offload.OverloadPolicy{MaxConns: 24, ShedFraction: 0.4}
+	}
+	return cfg
+}
+
+// Overload is the admission-control experiment: ECDHE-RSA CPS and p99
+// connection latency for a partially stalled device under a saturating
+// client pool, with and without accept-time shedding. Shedding trades
+// rejected connections (counted per second in the last series) for a
+// bounded p99 on the connections it does admit: without it, every
+// arriving connection queues behind the sick workers' deadline stalls.
+func Overload(o Opts) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "overload",
+		Title:  "Admission control under overload: QTLS, 1 of 3 endpoints stalled (2 ms op deadline)",
+		XLabel: "Nginx workers (HT cores)",
+		YLabel: "CPS / p99 ms / sheds per second",
+		Notes: "shed = offload.OverloadPolicy{MaxConns: 24, ShedFraction: 0.4} (accept-time TCP " +
+			"reset past the per-worker conn cap or ring pressure); a shed client retries on the " +
+			"next worker at zero cost in the DES, so sheds/s is the retry storm the reset " +
+			"absorbs while the admitted connections' p99 stays bounded",
+	}
+	workerCounts := []int{3, 6, 9}
+	for _, w := range workerCounts {
+		t.Columns = append(t.Columns, fmt.Sprintf("%dHT", w))
+	}
+	type cell struct{ cps, p99ms, sheds float64 }
+	run := func(w int, shed bool) cell {
+		res := perf.Run(perf.RunOptions{
+			Config:  overloadQTLS(w, shed),
+			Warmup:  o.Warmup,
+			Measure: o.Measure,
+			Install: func(m *perf.Model) {
+				// Saturating pool: the sick endpoint's workers accumulate
+				// nearly every closed-loop conn, so their in-flight count
+				// climbs to the ring capacity and crosses the shed fraction.
+				spec := perf.ScriptSpec{Suite: perf.SuiteECDHERSA}
+				perf.STimeWorkload{Clients: 40 * w, Spec: spec}.Install(m)
+			},
+		})
+		return cell{
+			cps:   res.CPS,
+			p99ms: float64(res.P99Latency) / float64(time.Millisecond),
+			sheds: float64(res.Stats.Sheds) / o.Measure.Seconds(),
+		}
+	}
+	var plain, shed []cell
+	for _, w := range workerCounts {
+		plain = append(plain, run(w, false))
+		shed = append(shed, run(w, true))
+	}
+	pick := func(cells []cell, f func(cell) float64) []float64 {
+		out := make([]float64, len(cells))
+		for i, c := range cells {
+			out[i] = f(c)
+		}
+		return out
+	}
+	t.Series = []Series{
+		{Name: "CPS no-shed", Values: pick(plain, func(c cell) float64 { return c.cps })},
+		{Name: "CPS shed", Values: pick(shed, func(c cell) float64 { return c.cps })},
+		{Name: "p99ms no-shed", Values: pick(plain, func(c cell) float64 { return c.p99ms })},
+		{Name: "p99ms shed", Values: pick(shed, func(c cell) float64 { return c.p99ms })},
+		{Name: "sheds/s", Values: pick(shed, func(c cell) float64 { return c.sheds })},
+	}
+	return t
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// Fault, when non-nil, injects a device-degradation scenario — the
 	// discrete-event counterpart of the internal/fault subsystem.
 	Fault *FaultScenario
+	// Overload, when non-nil, arms admission control: new connections are
+	// shed (TCP reset at accept) while the target worker's in-flight
+	// offloads or connection count exceed the policy's pressure points —
+	// the discrete-event counterpart of the live stack's accept-time
+	// shedding. Zero fields take the offload defaults.
+	Overload *offload.OverloadPolicy
 }
 
 // FaultScenario degrades the modeled device and arms the engine-side
@@ -223,6 +229,10 @@ type Stats struct {
 	Timeouts    int64 // offload deadlines expired
 	SWFallbacks int64 // ops recomputed in software after a fault
 	Trips       int64 // workers whose circuit breaker is open at window end
+
+	// Sheds counts connections rejected at accept time by the admission
+	// policy (zero unless Config.Overload is set).
+	Sheds int64
 }
 
 func newStats() *Stats {
@@ -234,7 +244,9 @@ type Model struct {
 	sim     *sim.Simulation
 	p       Params
 	cfg     Config
-	poll    offload.PollPolicy // resolved retrieval policy (shared seam)
+	poll    offload.PollPolicy     // resolved retrieval policy (shared seam)
+	shed    offload.OverloadPolicy // resolved admission policy (shedOn)
+	shedOn  bool
 	workers []*worker
 	dev     *device
 	link    *link
@@ -258,6 +270,10 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 		poll:  poll,
 		stats: newStats(),
 		link:  &link{gbps: p.LinkGbps},
+	}
+	if cfg.Overload != nil {
+		m.shed = cfg.Overload.WithDefaults()
+		m.shedOn = true
 	}
 	if cfg.UseQAT {
 		m.dev = newDevice(m.sim, p.Endpoints, p.AsymEnginesPerEndpoint, p.SymEnginesPerEndpoint)
@@ -311,6 +327,18 @@ func (m *Model) worker() *worker {
 // dialed connection).
 func (m *Model) StartConn(script []step, resumed bool, onDone func(at sim.Time)) {
 	w := m.worker()
+	if m.shedOn && m.shed.ShedAccept(w.inflight, m.p.RingCapacity, w.alive) {
+		// Admission control: the accept is answered with a TCP reset
+		// before any TLS work is spent. The client learns immediately, so
+		// closed-loop drivers keep cycling instead of hanging.
+		if m.measuring {
+			m.stats.Sheds++
+		}
+		if onDone != nil {
+			onDone(m.sim.Now())
+		}
+		return
+	}
 	c := &conn{
 		w:       w,
 		script:  script,

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"qtls/internal/offload"
+)
+
+// runOverload measures the stalled-endpoint saturation scenario with and
+// without admission control.
+func runOverload(t *testing.T, policy *offload.OverloadPolicy) RunResult {
+	t.Helper()
+	cfg := QTLS(3)
+	cfg.Fault = &FaultScenario{StalledEndpoints: 1, OpTimeout: 2 * time.Millisecond}
+	cfg.Overload = policy
+	return Run(RunOptions{
+		Config:  cfg,
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Install: func(m *Model) {
+			STimeWorkload{Clients: 120, Spec: ScriptSpec{Suite: SuiteECDHERSA}}.Install(m)
+		},
+	})
+}
+
+// Admission control in the DES: with one endpoint stalled and a
+// saturating closed-loop pool, the armed policy sheds connections at
+// accept time; without it the shed counter stays zero. Shed clients
+// re-enter the closed loop immediately, so throughput does not collapse.
+func TestOverloadSheddingDES(t *testing.T) {
+	plain := runOverload(t, nil)
+	if plain.Stats.Sheds != 0 {
+		t.Fatalf("sheds counted with no policy armed: %+v", plain.Stats)
+	}
+	if plain.Stats.Handshakes == 0 {
+		t.Fatal("no handshakes in the no-shed overload run")
+	}
+
+	// The per-worker connection cap is the signal that fires in the DES
+	// (retrieval is lag-free, so in-flight counts stay low); the sick
+	// workers accumulate conns far past any healthy worker's count.
+	shed := runOverload(t, &offload.OverloadPolicy{MaxConns: 24, ShedFraction: 0.4})
+	if shed.Stats.Sheds == 0 {
+		t.Fatalf("armed policy shed nothing under saturation: %+v", shed.Stats)
+	}
+	if shed.Stats.Handshakes == 0 {
+		t.Fatal("shedding starved every handshake")
+	}
+	// Shedding redirects clients off the congested workers: both CPS and
+	// p99 must improve on the no-shed collapse.
+	if shed.CPS <= plain.CPS {
+		t.Fatalf("shedding did not recover throughput: %.0f vs %.0f CPS", shed.CPS, plain.CPS)
+	}
+	if shed.P99Latency >= plain.P99Latency {
+		t.Fatalf("shedding did not bound p99: %v vs %v", shed.P99Latency, plain.P99Latency)
+	}
+}
+
+// The overload figure has the expected shape: both shed and no-shed
+// series are populated and the shed run actually sheds.
+// (The figures package has its own shape test; this one pins the
+// Config.Overload plumbing through Run.)
+func TestOverloadPolicyDisabledByDefault(t *testing.T) {
+	cfg := QTLS(1)
+	if cfg.Overload != nil {
+		t.Fatal("admission control must be opt-in for the paper's five configurations")
+	}
+}

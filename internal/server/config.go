@@ -120,6 +120,17 @@ type RunConfig struct {
 	// breaker: instances whose recent offloads keep failing are taken
 	// out of the submission rotation until half-open probes succeed.
 	Breaker *fault.BreakerConfig
+
+	// Deadlines are the connection-lifecycle deadlines (handshake,
+	// request-header, keepalive-idle, write-stall) enforced by each
+	// worker's deadline wheel. Zero fields take the offload defaults; a
+	// negative timeout disables that class.
+	Deadlines offload.DeadlinePolicy
+	// Overload is the admission-control policy: connections are shed with
+	// a TCP reset at accept time, and denied keepalive reuse, when QAT
+	// inflight pressure or the connection count says the worker is beyond
+	// its capacity. Zero fields take the offload defaults.
+	Overload offload.OverloadPolicy
 }
 
 // pollPolicy resolves the RunConfig's retrieval knobs into the shared
@@ -140,6 +151,8 @@ func (rc RunConfig) withDefaults() RunConfig {
 	rc.AsymThreshold = p.AsymThreshold
 	rc.SymThreshold = p.SymThreshold
 	rc.FailoverInterval = p.FailoverInterval
+	rc.Deadlines = rc.Deadlines.WithDefaults()
+	rc.Overload = rc.Overload.WithDefaults()
 	return rc
 }
 

@@ -112,6 +112,18 @@ func (w *Worker) serveRequest(c *conn, req []byte) {
 		path, query = path[:i], path[i+1:]
 	}
 	c.closeAfterWrite = requestWantsClose(req)
+	if !c.closeAfterWrite {
+		if w.draining.Load() {
+			// Draining: serve the admitted request, then close cleanly
+			// instead of offering keepalive on a dying worker.
+			c.closeAfterWrite = true
+		} else if w.shedKeepalive(c) {
+			// Overloaded: the response still completes, but the client is
+			// told to reconnect — which the accept-time shed then rejects
+			// while pressure lasts.
+			c.closeAfterWrite = true
+		}
+	}
 	w.Stats.Requests.Add(1)
 	var body []byte
 	var ok bool
@@ -193,6 +205,12 @@ func (w *Worker) statusBody() []byte {
 	fmt.Fprintf(&b, "handshakes %d requests %d errors %d deadline_wakeups %d\n",
 		w.Stats.Handshakes.Load(), w.Stats.Requests.Load(),
 		w.Stats.Errors.Load(), w.Stats.DeadlineWakeups.Load())
+	drain := 0
+	if w.draining.Load() {
+		drain = 1
+	}
+	fmt.Fprintf(&b, "shed_accept %d shed_keepalive %d drain_active %d\n",
+		w.Stats.ShedAccepts.Load(), w.Stats.ShedKeepalive.Load(), drain)
 	snap := w.reg.Snapshot()
 	for _, name := range w.reg.Names() {
 		fmt.Fprintf(&b, "%s %d\n", name, snap[name])

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"qtls/internal/metrics"
+	"qtls/internal/offload"
 	"qtls/internal/trace"
 )
 
@@ -82,9 +83,21 @@ func (w *Worker) initSeries() {
 		{"qtls_deadline_wakeups", &st.DeadlineWakeups},
 		{"qtls_closed_conns", &st.ClosedConns},
 		{"qtls_errors", &st.Errors},
+		// Admission control: the total plus a per-site breakdown. Both
+		// shed stats feed qtls_shed_total — delta shipping makes multiple
+		// mirrors into one counter additive, not clobbering.
+		{"qtls_shed_total", &st.ShedAccepts},
+		{"qtls_shed_total", &st.ShedKeepalive},
+		{`qtls_sheds{site="accept"}`, &st.ShedAccepts},
+		{`qtls_sheds{site="keepalive"}`, &st.ShedKeepalive},
 	} {
 		w.mirrors = append(w.mirrors, mirroredCounter{src: m.src, ctr: w.reg.Counter(m.name)})
 	}
+	for i := range st.DeadlineExpired {
+		name := `qtls_deadline_expired{class="` + offload.DeadlineClass(i).String() + `"}`
+		w.mirrors = append(w.mirrors, mirroredCounter{src: &st.DeadlineExpired[i], ctr: w.reg.Counter(name)})
+	}
+	w.gDrain = w.reg.Gauge("qtls_drain_active")
 }
 
 // mirrorStats ships WorkerStats deltas into the shared registry. Only
@@ -115,4 +128,12 @@ func (w *Worker) updateGauges() {
 	w.gActive.Set(int64(w.activeConns))
 	w.gConns.Set(int64(len(w.conns)))
 	w.gWaiting.Set(int64(w.asyncWaiting))
+	if w.gDrain != nil {
+		// Unlabeled, server-wide: Shutdown drains every worker together.
+		if w.draining.Load() {
+			w.gDrain.Set(1)
+		} else {
+			w.gDrain.Set(0)
+		}
+	}
 }

@@ -3,11 +3,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
+	"qtls/internal/offload"
 	"qtls/internal/qat"
 	"qtls/internal/trace"
 )
@@ -16,6 +19,7 @@ import (
 var faultCounterNames = []string{
 	"qat_faults_injected",
 	"qat_op_timeouts",
+	"qat_op_cancels",
 	"qat_sw_fallbacks",
 	"qat_instance_trips",
 	"qat_retries",
@@ -56,6 +60,7 @@ type Server struct {
 	workers []*Worker
 	reg     *metrics.Registry
 	wg      sync.WaitGroup
+	started atomic.Bool
 }
 
 // New builds the workers (not yet running).
@@ -100,6 +105,7 @@ func New(opts Options) (*Server, error) {
 
 // Start launches every worker loop on its own goroutine.
 func (s *Server) Start() {
+	s.started.Store(true)
 	for _, w := range s.workers {
 		w := w
 		s.wg.Add(1)
@@ -125,6 +131,8 @@ type Stats struct {
 	AsyncEvents, RetryEvents, SubmitFlushes           int64
 	HeuristicPolls, TimerPolls, FailoverPolls         int64
 	DeadlineWakeups                                   int64
+	ShedAccepts, ShedKeepalive                        int64
+	DeadlineExpired                                   [offload.NumDeadlineClasses]int64
 	Errors                                            int64
 }
 
@@ -144,19 +152,70 @@ func (s *Server) Stats() Stats {
 		t.TimerPolls += w.Stats.TimerPolls.Load()
 		t.FailoverPolls += w.Stats.FailoverPolls.Load()
 		t.DeadlineWakeups += w.Stats.DeadlineWakeups.Load()
+		t.ShedAccepts += w.Stats.ShedAccepts.Load()
+		t.ShedKeepalive += w.Stats.ShedKeepalive.Load()
+		for i := range w.Stats.DeadlineExpired {
+			t.DeadlineExpired[i] += w.Stats.DeadlineExpired[i].Load()
+		}
 		t.Errors += w.Stats.Errors.Load()
 	}
 	return t
 }
 
-// Stop terminates all workers and waits for their loops to exit.
+// Stop terminates all workers and waits for their loops to exit. It is
+// the hard cutoff: in-flight requests are cancelled, not completed.
 func (s *Server) Stop() {
 	for _, w := range s.workers {
 		if w != nil {
 			w.Stop()
 		}
 	}
+	if !s.started.Load() {
+		// Built but never run (the New error path, or a caller that
+		// changed its mind): no loop will ever execute the deferred
+		// shutdown, so release the descriptors here.
+		for _, w := range s.workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+		return
+	}
 	s.wg.Wait()
+}
+
+// Shutdown drains the server gracefully: every worker stops accepting,
+// lets admitted requests and in-flight QAT responses complete, sends TLS
+// close-notify on idle keepalive connections, flushes coalesced
+// submissions, and only then tears down its poller and pipes. When ctx
+// expires first, Shutdown falls back to the hard Stop cutoff and returns
+// the context's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	for _, w := range s.workers {
+		if w != nil {
+			w.Drain()
+		}
+	}
+	if !s.started.Load() {
+		for _, w := range s.workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.Stop()
+		return ctx.Err()
+	}
 }
 
 // SizedBodyHandler serves "/<n>" paths with n bytes of deterministic

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,14 @@ type WorkerStats struct {
 	// DeadlineWakeups counts paused-offload resumes forced by the op
 	// deadline scan (graceful degradation of a sick device).
 	DeadlineWakeups atomic.Int64
+	// ShedAccepts / ShedKeepalive count admission-control rejections: a
+	// TCP reset before any TLS bytes are spent, and a Connection: close
+	// instead of keepalive reuse, respectively (offload.OverloadPolicy).
+	ShedAccepts   atomic.Int64
+	ShedKeepalive atomic.Int64
+	// DeadlineExpired counts lifecycle-deadline expiries by class
+	// (indexed by offload.DeadlineClass).
+	DeadlineExpired [offload.NumDeadlineClasses]atomic.Int64
 	ClosedConns     atomic.Int64
 	Errors          atomic.Int64
 }
@@ -49,13 +58,15 @@ type WorkerStats struct {
 // QAT crypto instance, many concurrent TLS connections — the unit the
 // paper scales from 2 to 32 of (Fig. 7).
 type Worker struct {
-	id      int
-	cfg     RunConfig
-	poll    offload.PollPolicy // resolved retrieval policy (shared seam)
-	tlsTmpl *minitls.Config
-	eng     *engine.Engine
-	handler Handler
-	reg     *metrics.Registry
+	id        int
+	cfg       RunConfig
+	poll      offload.PollPolicy     // resolved retrieval policy (shared seam)
+	deadlines offload.DeadlinePolicy // resolved lifecycle deadlines
+	shed      offload.OverloadPolicy // resolved admission-control policy
+	tlsTmpl   *minitls.Config
+	eng       *engine.Engine
+	handler   Handler
+	reg       *metrics.Registry
 
 	poller     *netpoll.Poller
 	listener   *netpoll.Listener
@@ -71,8 +82,22 @@ type Worker struct {
 
 	lastPoll time.Time // last response-retrieval poll (failover timer)
 
-	stopped atomic.Bool
-	Stats   WorkerStats
+	wheel   *deadlineWheel // lifecycle deadlines (see wheel.go)
+	ringCap int            // engine request-ring capacity (0 for SW)
+
+	stopped  atomic.Bool
+	draining atomic.Bool // graceful drain requested (Drain)
+	// listenerOff marks the listener already closed by the drain sweep so
+	// cleanup doesn't close it twice. Worker goroutine only.
+	listenerOff bool
+	// closeMu orders FD teardown against cross-goroutine wakes: cleanup
+	// tears the pipes down exactly once under it, and wake() checks
+	// fdsClosed before writing to the stop pipe, so Stop or Drain racing
+	// a dying worker never touches a closed descriptor.
+	closeMu   sync.Mutex
+	fdsClosed bool
+
+	Stats WorkerStats
 
 	// Observability surface (see internal/trace). tracer/tr are nil-safe:
 	// with tracing off the per-iteration cost is one atomic load.
@@ -93,6 +118,7 @@ type Worker struct {
 	gConns       *metrics.Gauge        // live connections
 	gWaiting     *metrics.Gauge        // conns with a paused offload
 	gLag         *metrics.Gauge        // busy ns of the latest iteration
+	gDrain       *metrics.Gauge        // 1 while a graceful drain runs
 	mirrors      []mirroredCounter     // WorkerStats → registry counters
 }
 
@@ -124,6 +150,14 @@ type conn struct {
 	closeAfterWrite bool
 	draining        bool // close once buffered output drains
 	closed          bool
+
+	// Deadline-wheel state (see wheel.go): whether a lifecycle deadline is
+	// armed, its class, its absolute time, and the generation counter that
+	// lazily stales old wheel entries on re-arm or close.
+	dlArmed bool
+	dlClass offload.DeadlineClass
+	dlGen   uint64
+	dlAt    time.Time
 }
 
 // NewWorker builds a worker. dev may be nil for the SW configuration;
@@ -132,15 +166,18 @@ type conn struct {
 func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry, tracer *trace.Recorder) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
-		id:      id,
-		cfg:     cfg,
-		poll:    cfg.pollPolicy(),
-		handler: handler,
-		reg:     reg,
-		conns:   make(map[int]*conn),
-		tracer:  tracer,
-		tr:      tracer.Buffer(id), // nil recorder → nil (inert) buffer
+		id:        id,
+		cfg:       cfg,
+		poll:      cfg.pollPolicy(),
+		deadlines: cfg.Deadlines,
+		shed:      cfg.Overload,
+		handler:   handler,
+		reg:       reg,
+		conns:     make(map[int]*conn),
+		tracer:    tracer,
+		tr:        tracer.Buffer(id), // nil recorder → nil (inert) buffer
 	}
+	w.wheel = newDeadlineWheel(w.deadlines.Tick, time.Now())
 	w.initSeries()
 	var err error
 	if w.poller, err = netpoll.NewPoller(); err != nil {
@@ -196,6 +233,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			w.cleanup()
 			return nil, err
 		}
+		w.ringCap = w.eng.RingCapacity()
 	}
 	if cfg.Notify == NotifyFD && cfg.AsyncMode != minitls.AsyncModeOff {
 		if w.notifyPipe, err = netpoll.NewNotifyPipe(); err != nil {
@@ -220,10 +258,16 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 }
 
 func (w *Worker) cleanup() {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	if w.fdsClosed {
+		return
+	}
+	w.fdsClosed = true
 	if w.poller != nil {
 		w.poller.Close()
 	}
-	if w.listener != nil {
+	if w.listener != nil && !w.listenerOff {
 		w.listener.Close()
 	}
 	if w.stopPipe != nil {
@@ -243,9 +287,27 @@ func (w *Worker) Engine() *engine.Engine { return w.eng }
 // Stop asks the loop to exit and wakes it.
 func (w *Worker) Stop() {
 	if w.stopped.CompareAndSwap(false, true) {
-		w.stopPipe.Notify()
+		w.wake()
 	}
 }
+
+// wake nudges the event loop out of epoll_wait. It tolerates a worker
+// whose descriptors are already torn down (Stop or Drain racing the
+// loop's own shutdown) by checking fdsClosed under closeMu.
+func (w *Worker) wake() {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	if w.fdsClosed || w.stopPipe == nil {
+		return
+	}
+	w.stopPipe.Notify()
+}
+
+// Close releases the worker's descriptors without running its loop — the
+// teardown path for workers that were built but never started (e.g. a
+// later worker's construction failed). Idempotent, and safe after Run
+// has exited.
+func (w *Worker) Close() { w.cleanup() }
 
 // Run drives the event loop until Stop. It must run on a single goroutine.
 func (w *Worker) Run() {
@@ -294,11 +356,15 @@ func (w *Worker) Run() {
 		}
 		w.failoverCheck()
 		w.deadlineCheck()
+		w.advanceWheel()
 		w.processAsyncQueue()
 		w.processRetryQueue()
 		// Retried submissions and ops paused by resumed handlers after the
 		// last drain round must not wait out the epoll sleep.
 		w.flushSubmits()
+		if w.draining.Load() && w.drainStep() {
+			return // fully drained: deferred shutdown tears down cleanly
+		}
 		if w.reg != nil {
 			w.updateGauges()
 			w.mirrorStats()
@@ -324,8 +390,11 @@ func (w *Worker) Run() {
 }
 
 func (w *Worker) shutdown() {
+	// closeConn (not a bare nc.Close) so connections parked on an offload
+	// cancel through the engine: the paused job settles, inflight counters
+	// drop, and the fiber goroutine exits instead of leaking.
 	for _, c := range w.conns {
-		c.nc.Close()
+		w.closeConn(c)
 	}
 	w.cleanup()
 }
@@ -358,6 +427,18 @@ func (w *Worker) waitTimeout() int {
 		// checks under either notification scheme.
 		return 0
 	default:
+		if w.wheel.live > 0 {
+			// Armed lifecycle deadlines: wake at the wheel tick so expiry
+			// lags by at most one tick even on an otherwise idle loop.
+			ms := int(w.wheel.tick / time.Millisecond)
+			if ms < 1 {
+				ms = 1
+			}
+			if ms > 50 {
+				ms = 50
+			}
+			return ms
+		}
 		return 50 // idle: block briefly, then re-check stop flag
 	}
 }
@@ -404,6 +485,9 @@ func (w *Worker) acceptAll() {
 		if err != nil {
 			return // would-block or transient
 		}
+		if w.shedAccept(nc) {
+			continue
+		}
 		w.Stats.Accepted.Add(1)
 		c := &conn{fd: nc.FD(), nc: nc, active: true}
 		c.tls = minitls.Server(nc, w.tlsTmpl)
@@ -434,6 +518,7 @@ func (w *Worker) invoke(c *conn) {
 	c.handler(c)
 	if !c.closed {
 		w.updateWriteInterest(c)
+		w.rearmDeadline(c)
 	}
 	w.heuristicCheck()
 }
@@ -481,7 +566,19 @@ func (w *Worker) closeConn(c *conn) {
 		return
 	}
 	c.closed = true
+	if c.asyncPending {
+		// The connection is parked on an in-flight offload. Mark the op
+		// cancelled and re-enter the saved handler: the paused job resumes,
+		// the engine settles it as abandoned (inflight accounting and
+		// breaker bookkeeping stay consistent), and the handler's own
+		// closeConn call on the resulting error is a no-op via the closed
+		// flag above.
+		w.setAsyncPending(c, false)
+		c.tls.CancelAsync()
+		c.handler(c)
+	}
 	w.setAsyncPending(c, false)
+	w.disarmDeadline(c)
 	if c.active {
 		c.active = false
 		w.activeConns--

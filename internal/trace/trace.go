@@ -60,6 +60,11 @@ const (
 	// batches (the submit-side dual of PhasePoll; Arg carries the number
 	// of ops flushed).
 	PhaseFlush
+	// PhaseShed is one admission-control rejection: the worker refused a
+	// connection under overload, at accept time (TCP reset before TLS
+	// bytes were spent) or at keepalive-reuse time (Connection: close
+	// after the in-flight response). Arg carries the connection fd.
+	PhaseShed
 
 	// NumPhases is the number of defined phases.
 	NumPhases
@@ -80,6 +85,8 @@ func (p Phase) String() string {
 		return "poll"
 	case PhaseFlush:
 		return "flush"
+	case PhaseShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -147,6 +154,11 @@ const (
 	// gathered by the engine's submit coalescer and deferred to the
 	// iteration-end batch flush instead of ringing the doorbell alone.
 	TagCoalesce
+	// TagDrain marks a span recorded while the worker was draining:
+	// shutdown-initiated close-notify writes, the final submit flushes,
+	// and PhaseShed spans for connections refused because the listener
+	// was already closed.
+	TagDrain
 )
 
 // String returns the tag name.
@@ -170,6 +182,8 @@ func (t Tag) String() string {
 		return "fd"
 	case TagCoalesce:
 		return "coalesce"
+	case TagDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("tag(%d)", int(t))
 	}
