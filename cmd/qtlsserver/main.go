@@ -58,6 +58,8 @@ func main() {
 		symThr   = flag.Int("sym-threshold", offload.DefaultSymThreshold, "heuristic polling sym threshold")
 		interval = flag.Duration("poll-interval", offload.DefaultPollInterval, "timer polling interval")
 		coalesce = flag.Bool("coalesce", false, "batch async submissions per event-loop iteration (one doorbell per batch)")
+		recMode  = flag.String("record-mode", "software", "post-handshake record path: software, offload, or adaptive")
+		recThr   = flag.Int("record-threshold", offload.DefaultRecordThreshold, "adaptive record-offload size threshold in bytes")
 		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
 		engines  = flag.Int("engines", 4, "engines per endpoint")
 		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
@@ -147,6 +149,20 @@ func main() {
 	// straight-offload path waits for its own response inline).
 	run.CoalesceSubmits = *coalesce
 
+	// Record-path offload: after the handshake, application-data records
+	// are sealed by the record engine per this policy (internal/record).
+	switch *recMode {
+	case "software":
+		run.RecordMode = offload.RecordSoftware
+	case "offload":
+		run.RecordMode = offload.RecordOffload
+	case "adaptive":
+		run.RecordMode = offload.RecordAdaptive
+		run.RecordThreshold = *recThr
+	default:
+		log.Fatalf("unknown -record-mode %q (want software, offload or adaptive)", *recMode)
+	}
+
 	// Degradation knobs: the deadline/retry ladder and breakers apply to
 	// any configuration; the injector needs the simulated device.
 	run.OpTimeout = *opTimeout
@@ -183,6 +199,8 @@ func main() {
 		dev = qat.NewDevice(qat.DeviceSpec{
 			Endpoints:          *endpnts,
 			EnginesPerEndpoint: *engines,
+			SymBaseTime:        4 * time.Microsecond,
+			SymPerKB:           time.Microsecond,
 			Injector:           inj,
 		})
 		defer dev.Close()
@@ -231,6 +249,10 @@ func main() {
 					line += fmt.Sprintf(" fw_counters=%d", reqs)
 				}
 				snap := srv.Metrics().Snapshot()
+				if rb := snap["qtls_record_bytes"]; rb > 0 {
+					line += fmt.Sprintf(" recordBytes=%d recordOps=%d/%d(off/sw)",
+						rb, snap["qtls_record_offload_ops"], snap["qtls_record_sw_ops"])
+				}
 				if snap["qat_faults_injected"] > 0 || snap["qat_sw_fallbacks"] > 0 {
 					line += fmt.Sprintf(" faults=%d timeouts=%d swFallbacks=%d trips=%d",
 						snap["qat_faults_injected"], snap["qat_op_timeouts"],

@@ -18,14 +18,15 @@ import (
 	"qtls/internal/server"
 )
 
-func classifyOne(err error) (shed, clean, errs int64) {
-	var s, c, e atomic.Int64
-	classifyFailure(err, nil, &s, &c, &e)
-	return s.Load(), c.Load(), e.Load()
+func classifyOne(err error) (shed, clean, short, errs int64) {
+	var s, c, sh, e atomic.Int64
+	classifyFailure(err, nil, &s, &c, &sh, &e)
+	return s.Load(), c.Load(), sh.Load(), e.Load()
 }
 
-// classifyFailure sorts TCP resets (admission shedding) away from plain
-// errors, including through wrapping.
+// classifyFailure sorts TCP resets (admission shedding) and mid-body
+// truncations (short IO) away from plain errors, including through
+// wrapping.
 func TestClassifyFailure(t *testing.T) {
 	cases := []struct {
 		err  error
@@ -36,22 +37,42 @@ func TestClassifyFailure(t *testing.T) {
 		{fmt.Errorf("write: %w", syscall.ECONNRESET), "shed"},
 		{&net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNRESET)}, "shed"},
 		{io.EOF, "err"}, // EOF without a close-notify is an abnormal close
+		{io.ErrUnexpectedEOF, "short"},
+		{io.ErrShortWrite, "short"},
+		{fmt.Errorf("body: %w", io.ErrUnexpectedEOF), "short"},
 		{errors.New("handshake failure"), "err"},
 		{syscall.ECONNREFUSED, "err"},
 	}
 	for _, tc := range cases {
-		shed, clean, errs := classifyOne(tc.err)
+		shed, clean, short, errs := classifyOne(tc.err)
 		got := "err"
 		switch {
-		case shed == 1 && clean == 0 && errs == 0:
+		case shed == 1 && clean == 0 && short == 0 && errs == 0:
 			got = "shed"
-		case clean == 1 && shed == 0 && errs == 0:
+		case clean == 1 && shed == 0 && short == 0 && errs == 0:
 			got = "clean"
+		case short == 1 && shed == 0 && clean == 0 && errs == 0:
+			got = "short"
 		}
 		if got != tc.want {
-			t.Fatalf("classify(%v) = %s (shed=%d clean=%d err=%d), want %s",
-				tc.err, got, shed, clean, errs, tc.want)
+			t.Fatalf("classify(%v) = %s (shed=%d clean=%d short=%d err=%d), want %s",
+				tc.err, got, shed, clean, short, errs, tc.want)
 		}
+	}
+}
+
+// A short body read surfaces as ShortIO, separately from handshake
+// errors: doRequest converts a mid-body EOF into io.ErrUnexpectedEOF.
+func TestShortReadClassifiedSeparately(t *testing.T) {
+	shed, clean, short, errs := classifyOne(fmt.Errorf("request: %w", io.ErrUnexpectedEOF))
+	if short != 1 || shed != 0 || clean != 0 || errs != 0 {
+		t.Fatalf("short read: shed=%d clean=%d short=%d err=%d, want only short",
+			shed, clean, short, errs)
+	}
+	// A handshake error stays in the error bucket.
+	_, _, short, errs = classifyOne(errors.New("minitls: handshake failure"))
+	if short != 0 || errs != 1 {
+		t.Fatalf("handshake error leaked into ShortIO: short=%d err=%d", short, errs)
 	}
 }
 

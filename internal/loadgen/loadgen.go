@@ -34,8 +34,16 @@ type Result struct {
 	// BytesIn is the number of response body bytes received.
 	BytesIn int64
 	// Errors counts failed connections/requests, excluding the two
-	// server-intended closes counted below.
+	// server-intended closes counted below and the mid-transfer
+	// truncations counted as ShortIO.
 	Errors int64
+	// ShortIO counts responses truncated mid-body — a short read (the
+	// connection died after the handshake, while the body was still
+	// streaming) or a short write. These are transfer failures, not
+	// handshake failures, and the bulk workload reports them separately
+	// so a record-path defect can't hide inside the handshake error
+	// count.
+	ShortIO int64
 	// Shed counts connections rejected by the server's admission control:
 	// a TCP reset surfaced while dialing, handshaking or requesting.
 	Shed int64
@@ -109,7 +117,7 @@ func STime(opts STimeOptions) Result {
 		opts.TLS = &minitls.Config{}
 	}
 	var res Result
-	var conns, resumed, reqs, bytesIn, errCount, shedCount, cleanCount atomic.Int64
+	var conns, resumed, reqs, bytesIn, errCount, shedCount, cleanCount, shortCount atomic.Int64
 	lat := metrics.NewHistogram(1 << 14)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
@@ -134,7 +142,7 @@ func STime(opts STimeOptions) Result {
 				t0 := time.Now()
 				conn, didResume, body, err := oneConnection(opts.Addr, &cfg, opts.RequestPath)
 				if err != nil {
-					classifyFailure(err, conn, &shedCount, &cleanCount, &errCount)
+					classifyFailure(err, conn, &shedCount, &cleanCount, &shortCount, &errCount)
 					continue
 				}
 				lat.ObserveDuration(time.Since(t0))
@@ -161,6 +169,7 @@ func STime(opts STimeOptions) Result {
 	res.Requests = reqs.Load()
 	res.BytesIn = bytesIn.Load()
 	res.Errors = errCount.Load()
+	res.ShortIO = shortCount.Load()
 	res.Shed = shedCount.Load()
 	res.CleanCloses = cleanCount.Load()
 	res.Latency = lat.Snapshot()
@@ -168,15 +177,24 @@ func STime(opts STimeOptions) Result {
 }
 
 // classifyFailure sorts one failed connection or request into the shed /
-// clean-close / error buckets. A TCP reset is the signature of the
-// server's accept-time shedding (netpoll Conn.Abort); EOF after the peer's
-// close-notify is an orderly server-initiated close, not a failure.
-func classifyFailure(err error, tc *minitls.Conn, shed, clean, errs *atomic.Int64) {
+// clean-close / short-IO / error buckets. A TCP reset is the signature
+// of the server's accept-time shedding (netpoll Conn.Abort); EOF after
+// the peer's close-notify is an orderly server-initiated close, not a
+// failure; a short body read or write (io.ErrUnexpectedEOF /
+// io.ErrShortWrite, surfaced by doRequest) is a transfer truncation,
+// distinct from handshake errors.
+func classifyFailure(err error, tc *minitls.Conn, shed, clean, short, errs *atomic.Int64) {
 	switch {
 	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
 		shed.Add(1)
 	case errors.Is(err, io.EOF) && tc != nil && tc.CloseNotifyReceived():
 		clean.Add(1)
+	case errors.Is(err, io.ErrUnexpectedEOF) && tc != nil && tc.CloseNotifyReceived():
+		// Truncated by an orderly close (a drain cut the response): the
+		// close was clean at the TLS layer, but the transfer was short.
+		short.Add(1)
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.ErrShortWrite):
+		short.Add(1)
 	default:
 		errs.Add(1)
 	}
@@ -235,8 +253,13 @@ func doRequest(tc *minitls.Conn, br *bufio.Reader, path string) (int, error) {
 	if contentLength < 0 {
 		return 0, errors.New("loadgen: response without Content-Length")
 	}
-	if _, err := io.CopyN(io.Discard, br, int64(contentLength)); err != nil {
-		return 0, err
+	if n, err := io.CopyN(io.Discard, br, int64(contentLength)); err != nil {
+		if errors.Is(err, io.EOF) {
+			// The body ended early: a short read, not a boundary EOF —
+			// classified apart from handshake errors (Result.ShortIO).
+			err = io.ErrUnexpectedEOF
+		}
+		return int(n), err
 	}
 	return contentLength, nil
 }
@@ -301,7 +324,7 @@ func AB(opts ABOptions) Result {
 	if opts.Path == "" {
 		opts.Path = "/1024"
 	}
-	var reqs, bytesIn, errCount, conns, shedCount, cleanCount atomic.Int64
+	var reqs, bytesIn, errCount, conns, shedCount, cleanCount, shortCount atomic.Int64
 	lat := metrics.NewHistogram(1 << 14)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
@@ -320,7 +343,7 @@ func AB(opts ABOptions) Result {
 				tc := minitls.ClientConn(raw, &cfg)
 				raw.SetDeadline(time.Now().Add(15 * time.Second))
 				if err := tc.Handshake(); err != nil {
-					classifyFailure(err, tc, &shedCount, &cleanCount, &errCount)
+					classifyFailure(err, tc, &shedCount, &cleanCount, &shortCount, &errCount)
 					raw.Close()
 					continue
 				}
@@ -335,7 +358,7 @@ func AB(opts ABOptions) Result {
 					t0 := time.Now()
 					n, err := doRequest(tc, br, opts.Path)
 					if err != nil {
-						classifyFailure(err, tc, &shedCount, &cleanCount, &errCount)
+						classifyFailure(err, tc, &shedCount, &cleanCount, &shortCount, &errCount)
 						break
 					}
 					lat.ObserveDuration(time.Since(t0))
@@ -355,6 +378,7 @@ func AB(opts ABOptions) Result {
 		Requests:    reqs.Load(),
 		BytesIn:     bytesIn.Load(),
 		Errors:      errCount.Load(),
+		ShortIO:     shortCount.Load(),
 		Shed:        shedCount.Load(),
 		CleanCloses: cleanCount.Load(),
 		Elapsed:     time.Since(start),
@@ -364,7 +388,7 @@ func AB(opts ABOptions) Result {
 
 // String renders a result summary.
 func (r Result) String() string {
-	return fmt.Sprintf("conns=%d (%.0f cps, %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d shed=%d clean=%d lat{%s}",
+	return fmt.Sprintf("conns=%d (%.0f cps, %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d short=%d shed=%d clean=%d lat{%s}",
 		r.Connections, r.CPS(), r.Resumed, r.Requests, r.RPS(), r.ThroughputGbps(),
-		r.Errors, r.Shed, r.CleanCloses, r.Latency)
+		r.Errors, r.ShortIO, r.Shed, r.CleanCloses, r.Latency)
 }

@@ -1,0 +1,23 @@
+//go:build linux
+
+package loadgen
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPU returns the process's cumulative user+system CPU time via
+// getrusage(RUSAGE_SELF). The second return is false when the sample
+// could not be taken.
+func ProcessCPU() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return tvDuration(ru.Utime) + tvDuration(ru.Stime), true
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package loadgen
+
+import "time"
+
+// ProcessCPU is unavailable off Linux; callers fall back to wall-clock
+// comparisons (BulkResult.CPUValid stays false).
+func ProcessCPU() (time.Duration, bool) { return 0, false }

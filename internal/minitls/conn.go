@@ -49,7 +49,12 @@ type Conn struct {
 	writeData []byte
 	writeOff  int
 
-	handshakeDone   bool
+	handshakeDone bool
+	// outDetached marks the write direction handed to an external record
+	// engine (DetachWriter): Write refuses, and Close leaves the
+	// close-notify alert to the engine so the out-direction sequence
+	// numbers stay consistent.
+	outDetached     bool
 	didResume       bool
 	ticketSent      bool
 	pendingCCS      bool // client peeked a CCS record (resumption detection)
@@ -391,8 +396,8 @@ func (c *Conn) writeHandshake(msg []byte) error {
 	c.transcript.Write(msg)
 	for len(msg) > 0 {
 		n := len(msg)
-		if n > maxPlaintext {
-			n = maxPlaintext
+		if n > MaxPlaintext {
+			n = MaxPlaintext
 		}
 		if err := c.writeRecord(recordHandshake, msg[:n]); err != nil {
 			return err
@@ -555,6 +560,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.closed {
 		return 0, ErrClosed
 	}
+	if c.outDetached {
+		return 0, errWriterDetached
+	}
 	if !c.handshakeDone {
 		if err := c.Handshake(); err != nil {
 			return 0, err
@@ -571,8 +579,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 	err := c.drive(func() error {
 		for c.writeOff < len(c.writeData) {
 			n := len(c.writeData) - c.writeOff
-			if n > maxPlaintext {
-				n = maxPlaintext
+			if n > MaxPlaintext {
+				n = MaxPlaintext
 			}
 			frag := c.writeData[c.writeOff : c.writeOff+n]
 			seq := c.out.seq
@@ -623,7 +631,7 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
-	if c.handshakeDone && c.permErr == nil {
+	if c.handshakeDone && c.permErr == nil && !c.outDetached {
 		return c.writeRecord(recordAlert, []byte{1, 0})
 	}
 	return nil

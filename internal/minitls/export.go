@@ -1,0 +1,177 @@
+package minitls
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// kTLS-style key-export seam. After a handshake completes, the negotiated
+// record-protection keys of either direction can be exported and handed
+// to an external record engine (internal/record) — the userspace analogue
+// of installing keys into kernel TLS with setsockopt(SOL_TLS): the
+// handshake stays in this package, the data path moves out.
+
+// Exported wire record-type values, for engines that frame records
+// themselves after taking over a direction.
+const (
+	// RecordTypeAlert frames alert records (close-notify).
+	RecordTypeAlert uint8 = recordAlert
+	// RecordTypeApplicationData frames application-data records.
+	RecordTypeApplicationData uint8 = recordApplicationData
+)
+
+// AlertCloseNotify is the close-notify alert payload (warning level,
+// description 0), sealed as a RecordTypeAlert record by an engine that
+// owns a detached write direction.
+func AlertCloseNotify() []byte { return []byte{1, 0} }
+
+// AppendRecordHeader appends the 5-byte TLS record header for a body of
+// n bytes and returns the extended slice.
+func AppendRecordHeader(dst []byte, wireTyp uint8, n int) []byte {
+	var hdr [RecordHeaderLen]byte
+	hdr[0] = wireTyp
+	hdr[1], hdr[2] = 0x03, 0x03
+	binary.BigEndian.PutUint16(hdr[3:5], uint16(n))
+	return append(dst, hdr[:]...)
+}
+
+var (
+	errNotExportable  = errors.New("minitls: record protection is not exportable")
+	errNotDone        = errors.New("minitls: handshake not complete")
+	errWriterDetached = errors.New("minitls: write direction detached to an external record engine")
+)
+
+// KeyMaterial is one direction's record-protection state, exported after
+// handshake completion. Exactly one of MACKey (TLS 1.2 CBC+HMAC) or IV
+// (TLS 1.3 AES-GCM) is set; Seq is the sequence number the next record
+// in that direction must use — continuity is what keeps a software peer
+// able to read the stream after the hand-off.
+type KeyMaterial struct {
+	Version uint16
+	Suite   uint16
+	// Key is the AES-128 cipher key (both suite families).
+	Key []byte
+	// MACKey is the HMAC-SHA1 key (TLS 1.2 CBC suites).
+	MACKey []byte
+	// IV is the implicit per-connection nonce (TLS 1.3 GCM suites).
+	IV []byte
+	// Seq is the next record sequence number for this direction.
+	Seq uint64
+}
+
+// RecordCodec seals and opens TLS records outside a Conn, built from
+// exported KeyMaterial. Seal and Open are pure with respect to codec
+// state (the caller owns sequence numbers), so one codec may protect
+// records concurrently — the property the offloaded record engine's
+// pipelining relies on.
+type RecordCodec interface {
+	// Seal protects payload as a record of the given type under seq,
+	// returning the wire record type and encrypted body.
+	Seal(seq uint64, typ uint8, payload []byte, rnd io.Reader) (wireTyp uint8, body []byte, err error)
+	// Open decrypts a wire body under seq, returning the inner record
+	// type and plaintext.
+	Open(seq uint64, wireTyp uint8, body []byte) (typ uint8, payload []byte, err error)
+	// Overhead is the per-record ciphertext expansion upper bound.
+	Overhead() int
+}
+
+// codec adapts the internal recordProtection to the exported interface.
+type codec struct{ prot recordProtection }
+
+func (c codec) Seal(seq uint64, typ uint8, payload []byte, rnd io.Reader) (uint8, []byte, error) {
+	return c.prot.seal(seq, typ, payload, rnd)
+}
+
+func (c codec) Open(seq uint64, wireTyp uint8, body []byte) (uint8, []byte, error) {
+	return c.prot.open(seq, wireTyp, body)
+}
+
+func (c codec) Overhead() int { return c.prot.overhead() }
+
+// NewRecordCodec builds a RecordCodec from exported key material. The
+// suite family is inferred from which key fields are present.
+func NewRecordCodec(km KeyMaterial) (RecordCodec, error) {
+	switch {
+	case len(km.MACKey) > 0:
+		p, err := newCBCProtection(cbcKeys{cipherKey: km.Key, macKey: km.MACKey})
+		if err != nil {
+			return nil, err
+		}
+		return codec{prot: p}, nil
+	case len(km.IV) > 0:
+		p, err := newGCMProtection(gcmKeys{key: km.Key, iv: km.IV})
+		if err != nil {
+			return nil, err
+		}
+		return codec{prot: p}, nil
+	default:
+		return nil, errors.New("minitls: key material carries neither MAC key nor IV")
+	}
+}
+
+// keyExporter is implemented by protections whose raw keys can be
+// exported (nullProtection cannot — exporting before the handshake
+// installed keys is always an error).
+type keyExporter interface {
+	exportKeys() KeyMaterial
+}
+
+func (p *cbcProtection) exportKeys() KeyMaterial {
+	return KeyMaterial{
+		Key:    append([]byte(nil), p.keys.cipherKey...),
+		MACKey: append([]byte(nil), p.keys.macKey...),
+	}
+}
+
+func (p *gcmProtection) exportKeys() KeyMaterial {
+	return KeyMaterial{
+		Key: append([]byte(nil), p.key...),
+		IV:  append([]byte(nil), p.iv...),
+	}
+}
+
+// ExportWriteKeys exports the out-direction record keys and the next
+// sequence number. Valid only after the handshake has completed.
+func (c *Conn) ExportWriteKeys() (KeyMaterial, error) {
+	return c.exportKeys(&c.out)
+}
+
+// ExportReadKeys exports the in-direction record keys and the next
+// sequence number (the decrypt-side counterpart of ExportWriteKeys).
+func (c *Conn) ExportReadKeys() (KeyMaterial, error) {
+	return c.exportKeys(&c.in)
+}
+
+func (c *Conn) exportKeys(h *halfConn) (KeyMaterial, error) {
+	if !c.handshakeDone {
+		return KeyMaterial{}, errNotDone
+	}
+	if c.permErr != nil {
+		return KeyMaterial{}, c.permErr
+	}
+	ex, ok := h.protection().(keyExporter)
+	if !ok {
+		return KeyMaterial{}, errNotExportable
+	}
+	km := ex.exportKeys()
+	km.Version = c.version
+	km.Suite = c.suite
+	km.Seq = h.seq
+	return km, nil
+}
+
+// DetachWriter hands ownership of the write direction to an external
+// record engine: Write refuses from now on, and Close no longer emits
+// the close-notify alert (the engine must, through its own sealed
+// stream, so sequence numbers stay continuous). Reads are unaffected.
+func (c *Conn) DetachWriter() error {
+	if !c.handshakeDone {
+		return errNotDone
+	}
+	c.outDetached = true
+	return nil
+}
+
+// WriterDetached reports whether the write direction has been detached.
+func (c *Conn) WriterDetached() bool { return c.outDetached }

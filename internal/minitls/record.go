@@ -20,17 +20,25 @@ const (
 	recordApplicationData  uint8 = 23
 )
 
-// maxPlaintext is the maximum TLS plaintext fragment: data objects larger
-// than 16 KB are fragmented (§2.1), which is what makes the cipher-op
-// count grow with file size in Fig. 10 (one 128 KB response = 8 cipher
-// operations).
-const maxPlaintext = 16384
+// MaxPlaintext is the maximum TLS plaintext fragment (RFC 5246/8446
+// §6.2.1): data objects larger than 16 KB are fragmented (§2.1), which is
+// what makes the cipher-op count grow with file size in Fig. 10 (one
+// 128 KB response = 8 cipher operations). Write fragments at exactly this
+// boundary; the record-engine data plane (internal/record) sizes its
+// pooled buffers from it.
+const MaxPlaintext = 16384
 
-const recordHeaderLen = 5
+// RecordHeaderLen is the TLS record header size on the wire
+// (type + legacy version + length).
+const RecordHeaderLen = 5
 
-// maxCiphertext bounds an encrypted record body (plaintext + IV + MAC +
+const recordHeaderLen = RecordHeaderLen
+
+// MaxCiphertext bounds an encrypted record body (plaintext + IV + MAC +
 // padding + AEAD overhead, with slack).
-const maxCiphertext = maxPlaintext + 512
+const MaxCiphertext = MaxPlaintext + 512
+
+const maxCiphertext = MaxCiphertext
 
 var errRecordOverflow = errors.New("minitls: oversized record")
 
@@ -172,9 +180,12 @@ type gcmKeys struct {
 }
 
 // gcmProtection implements TLS 1.3 AES-128-GCM record protection with the
-// inner-content-type construction of RFC 8446 §5.2.
+// inner-content-type construction of RFC 8446 §5.2. The raw key is
+// retained for the kTLS-style key-export seam (Conn.ExportWriteKeys),
+// which hands it to an external record engine after the handshake.
 type gcmProtection struct {
 	aead cipher.AEAD
+	key  []byte
 	iv   []byte
 }
 
@@ -190,7 +201,7 @@ func newGCMProtection(k gcmKeys) (*gcmProtection, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &gcmProtection{aead: aead, iv: k.iv}, nil
+	return &gcmProtection{aead: aead, key: k.key, iv: k.iv}, nil
 }
 
 func (p *gcmProtection) overhead() int { return 1 + p.aead.Overhead() }

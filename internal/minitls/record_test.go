@@ -19,7 +19,7 @@ func TestCBCSealOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []int{0, 1, 15, 16, 17, 100, maxPlaintext} {
+	for _, n := range []int{0, 1, 15, 16, 17, 100, MaxPlaintext} {
 		payload := make([]byte, n)
 		rand.Read(payload)
 		wireTyp, body, err := p.seal(7, recordApplicationData, payload, rand.Reader)
@@ -88,7 +88,7 @@ func TestGCMSealOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []int{0, 1, 100, maxPlaintext} {
+	for _, n := range []int{0, 1, 100, MaxPlaintext} {
 		payload := make([]byte, n)
 		rand.Read(payload)
 		wireTyp, body, err := p.seal(3, recordHandshake, payload, nil)
@@ -139,8 +139,8 @@ func TestProtectionRoundTripProperty(t *testing.T) {
 	cbc, _ := newCBCProtection(testCBCKeys())
 	gcm, _ := newGCMProtection(testGCMKeys())
 	f := func(payload []byte, seq uint64, typRaw uint8) bool {
-		if len(payload) > maxPlaintext {
-			payload = payload[:maxPlaintext]
+		if len(payload) > MaxPlaintext {
+			payload = payload[:MaxPlaintext]
 		}
 		typ := recordApplicationData
 		if typRaw%2 == 0 {

@@ -209,11 +209,15 @@ type Policy struct {
 	Notify Notifier
 	// Submit is the submission strategy.
 	Submit SubmitMode
+	// Record is the post-handshake record-path policy (zero: software
+	// record protection, as in the paper's five configurations).
+	Record RecordPolicy
 }
 
 // WithDefaults resolves the poll policy's unset parameters.
 func (p Policy) WithDefaults() Policy {
 	p.Poll = p.Poll.WithDefaults()
+	p.Record = p.Record.WithDefaults()
 	return p
 }
 

@@ -447,7 +447,7 @@ func All(o Opts) []Table {
 	out := []Table{
 		Table1(), Fig7a(o), Fig7b(o), Fig7c(o), Fig8(o),
 		Fig9a(o), Fig9b(o), Fig10(o), Fig11(o),
-		Fig12a(o), Fig12b(o), Fig12c(o), Degraded(o), Overload(o),
+		Fig12a(o), Fig12b(o), Fig12c(o), Degraded(o), Overload(o), KTLS(o),
 	}
 	for _, id := range extraIDs {
 		out = append(out, extraGens[id](o))
@@ -463,7 +463,7 @@ func ByID(id string) (func(Opts) Table, bool) {
 		"fig8": Fig8, "fig9a": Fig9a, "fig9b": Fig9b,
 		"fig10": Fig10, "fig11": Fig11,
 		"fig12a": Fig12a, "fig12b": Fig12b, "fig12c": Fig12c,
-		"degraded": Degraded, "overload": Overload,
+		"degraded": Degraded, "overload": Overload, "ktls": KTLS,
 	}
 	if g, ok := gens[id]; ok {
 		return g, true
@@ -476,6 +476,6 @@ func ByID(id string) (func(Opts) Table, bool) {
 func IDs() []string {
 	ids := []string{"table1", "fig7a", "fig7b", "fig7c", "fig8",
 		"fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b", "fig12c",
-		"degraded", "overload"}
+		"degraded", "overload", "ktls"}
 	return append(ids, extraIDs...)
 }

@@ -1,0 +1,110 @@
+//go:build linux
+
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"qtls/internal/loadgen"
+	"qtls/internal/minitls"
+	"qtls/internal/offload"
+	"qtls/internal/qat"
+	"qtls/internal/server"
+)
+
+func init() { registerExtra("ktls-live", KTLSLive) }
+
+// ktlsLiveRun drives bulk keepalive transfers of one response size
+// through a live server whose record path runs in the given mode, and
+// returns goodput, process CPU per KB, and the record engine's op split.
+func ktlsLiveRun(o Opts, mode offload.RecordMode, sizeBytes int) (loadgen.BulkResult, server.RecordStats) {
+	dev := qat.NewDevice(qat.DeviceSpec{
+		Endpoints:          3,
+		EnginesPerEndpoint: 4,
+		RingCapacity:       128,
+		SymBaseTime:        4 * time.Microsecond,
+		SymPerKB:           time.Microsecond,
+	})
+	defer dev.Close()
+	run := server.ConfigQTLS
+	run.RecordMode = mode
+	rsaID, _ := table1Identities()
+	srv, err := server.New(server.Options{
+		Addr:    "127.0.0.1:0",
+		Workers: 2,
+		Run:     run,
+		TLS: &minitls.Config{
+			Identity:     rsaID,
+			CipherSuites: []uint16{minitls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+		},
+		Device:  dev,
+		Handler: server.SizedBodyHandler(4 << 20),
+	})
+	if err != nil {
+		panic("ktls-live: " + err.Error())
+	}
+	srv.Start()
+	res := loadgen.Bulk(loadgen.BulkOptions{
+		Addr:     srv.Addr(),
+		Clients:  8,
+		Sizes:    []int{sizeBytes},
+		Duration: o.Warmup + o.Measure,
+	})
+	srv.Stop()
+	return res, srv.RecordStats()
+}
+
+// KTLSLive is the live-stack half of the ktls experiment: the same
+// record-mode contrast measured end-to-end through real sockets, real
+// minitls framing and the simulated symmetric instances. Because the
+// accelerator's engines are in-process goroutines, process CPU includes
+// their seal work — the worker-core separation is the DES ktls figure's
+// story; this one proves the data plane functions under load and shows
+// the adaptive policy splitting ops across the size threshold.
+func KTLSLive(o Opts) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "ktls-live",
+		Title:  "Record-path offload, live stack: goodput and offload share by response size",
+		XLabel: "response size / metric",
+		YLabel: "Gbps, CPU ns per KB, offloaded share of record ops",
+		Notes: fmt.Sprintf("offload share = offloaded ops / (offloaded + software) from the record engines;\n"+
+			"  adaptive offloads records ≥ %d B. Process CPU includes the in-process engine goroutines.",
+			offload.DefaultRecordThreshold),
+	}
+	sizes := []int{1 << 10, 16 << 10, 256 << 10}
+	for _, sz := range sizes {
+		kb := sz >> 10
+		t.Columns = append(t.Columns,
+			fmt.Sprintf("%dKB Gbps", kb),
+			fmt.Sprintf("%dKB ns/KB", kb),
+			fmt.Sprintf("%dKB off%%", kb),
+		)
+	}
+	modes := []struct {
+		name string
+		mode offload.RecordMode
+	}{
+		{"record=sw", offload.RecordSoftware},
+		{"record=offload", offload.RecordOffload},
+		{"record=adaptive", offload.RecordAdaptive},
+	}
+	for _, m := range modes {
+		s := Series{Name: m.name}
+		for _, sz := range sizes {
+			res, st := ktlsLiveRun(o, m.mode, sz)
+			gbps := 0.0
+			if res.Elapsed > 0 {
+				gbps = float64(res.BytesIn) * 8 / res.Elapsed.Seconds() / 1e9
+			}
+			share := 0.0
+			if tot := st.OffloadOps + st.SoftwareOps; tot > 0 {
+				share = 100 * float64(st.OffloadOps) / float64(tot)
+			}
+			s.Values = append(s.Values, gbps, res.CPUPerKB(), share)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}

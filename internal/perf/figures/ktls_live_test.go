@@ -1,0 +1,47 @@
+//go:build linux
+
+package figures
+
+import "testing"
+
+// TestKTLSLiveFigure smoke-runs the live-stack record-path contrast:
+// every mode moves real bytes, and the offload share splits with the
+// size threshold — zero in software mode, full for always-offload, and
+// size-dependent for adaptive.
+func TestKTLSLiveFigure(t *testing.T) {
+	tab := KTLSLive(Quick())
+	if tab.ID != "ktls-live" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	checkShape(t, tab, 3)
+	sw := seriesByName(t, tab, "record=sw")
+	off := seriesByName(t, tab, "record=offload")
+	adaptive := seriesByName(t, tab, "record=adaptive")
+	// Columns come in (Gbps, ns/KB, off%) triples per size.
+	for i := 0; i < len(tab.Columns); i += 3 {
+		for _, s := range tab.Series {
+			if s.Values[i] <= 0 {
+				t.Errorf("%s %s: no goodput", s.Name, tab.Columns[i])
+			}
+		}
+		if v := sw.Values[i+2]; v != 0 {
+			t.Errorf("sw %s: offload share %.0f%%, want 0", tab.Columns[i+2], v)
+		}
+		if v := off.Values[i+2]; v < 90 {
+			t.Errorf("offload %s: offload share %.0f%%, want ~100", tab.Columns[i+2], v)
+		}
+	}
+	// Adaptive: 1 KB records stay below the threshold (share 0). At
+	// 16 KB each request is one software-sealed response header plus one
+	// offloaded body record (~50%); at 256 KB the sixteen body records
+	// dominate the header.
+	if v := adaptive.Values[2]; v != 0 {
+		t.Errorf("adaptive 1KB: offload share %.0f%%, want 0", v)
+	}
+	if v := adaptive.Values[5]; v < 25 {
+		t.Errorf("adaptive 16KB: offload share %.0f%%, want ~50", v)
+	}
+	if v := adaptive.Values[8]; v < 80 {
+		t.Errorf("adaptive 256KB: offload share %.0f%%, want ~94", v)
+	}
+}

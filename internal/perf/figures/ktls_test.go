@@ -1,0 +1,35 @@
+package figures
+
+import "testing"
+
+// TestKTLSShape smoke-runs the DES record-path figure and pins its
+// headline shape: the offloaded record path is cheaper per byte than
+// software for large responses, while below the adaptive threshold the
+// submit overhead makes software the better deal — which the adaptive
+// series exploits by matching software there.
+func TestKTLSShape(t *testing.T) {
+	tab := KTLS(Quick())
+	checkShape(t, tab, 3)
+	sw := seriesByName(t, tab, "record=sw")
+	off := seriesByName(t, tab, "record=offload")
+	adaptive := seriesByName(t, tab, "record=adaptive")
+	last := len(tab.Columns) - 1
+	if off.Values[last] >= sw.Values[last] {
+		t.Errorf("%s: offload %.0f ns/KB not below sw %.0f ns/KB",
+			tab.Columns[last], off.Values[last], sw.Values[last])
+	}
+	if adaptive.Values[last] >= sw.Values[last] {
+		t.Errorf("%s: adaptive %.0f ns/KB not below sw %.0f ns/KB",
+			tab.Columns[last], adaptive.Values[last], sw.Values[last])
+	}
+	// 1 KB responses: always-offload pays for its submissions; adaptive
+	// falls back to software and dodges that overhead.
+	if off.Values[0] <= sw.Values[0] {
+		t.Errorf("%s: offload %.0f ns/KB should exceed sw %.0f ns/KB (submit overhead)",
+			tab.Columns[0], off.Values[0], sw.Values[0])
+	}
+	if adaptive.Values[0] >= off.Values[0] {
+		t.Errorf("%s: adaptive %.0f ns/KB should undercut always-offload %.0f ns/KB",
+			tab.Columns[0], adaptive.Values[0], off.Values[0])
+	}
+}

@@ -79,6 +79,12 @@ type Config struct {
 	// the discrete-event counterpart of the live stack's accept-time
 	// shedding. Zero fields take the offload defaults.
 	Overload *offload.OverloadPolicy
+	// Record, when non-nil, routes post-handshake record seals per the
+	// shared record policy (software / offload / adaptive-above-threshold)
+	// — the discrete-event counterpart of internal/record. Nil keeps the
+	// paper's behavior: the QAT Engine offloads every cipher operation
+	// whenever the accelerator is in use.
+	Record *offload.RecordPolicy
 }
 
 // FaultScenario degrades the modeled device and arms the engine-side
@@ -133,13 +139,17 @@ func (cfg Config) pollPolicy(p Params) offload.PollPolicy {
 // stack's RunConfig.OffloadPolicy yields for each named configuration
 // (see the parity test in internal/offload).
 func (cfg Config) OffloadPolicy(p Params) offload.Policy {
-	return offload.Policy{
+	pol := offload.Policy{
 		Name:   cfg.Name,
 		UseQAT: cfg.UseQAT,
 		Async:  cfg.Async,
 		Poll:   cfg.pollPolicy(p),
 		Notify: cfg.Notify,
 	}
+	if cfg.Record != nil {
+		pol.Record = cfg.Record.WithDefaults()
+	}
+	return pol
 }
 
 // The paper's five configurations (§5.1) at a given worker count,
@@ -233,6 +243,23 @@ type Stats struct {
 	// Sheds counts connections rejected at accept time by the admission
 	// policy (zero unless Config.Overload is set).
 	Sheds int64
+
+	// Record-path counters: cipher (record seal) operations routed to the
+	// accelerator vs computed on the worker core. With Config.Record nil
+	// every cipher op under a QAT configuration counts as offloaded (the
+	// paper's engine-level cipher offload).
+	RecordOffloadOps int64
+	RecordSWOps      int64
+}
+
+// CPUPerKB returns worker-CPU nanoseconds per kilobyte of served
+// response body — the figure of merit for record-path offload (0 when
+// nothing was served).
+func (s *Stats) CPUPerKB() float64 {
+	if s.BytesServed <= 0 {
+		return 0
+	}
+	return float64(s.CPUBusy) / (float64(s.BytesServed) / 1024)
 }
 
 func newStats() *Stats {
@@ -247,6 +274,8 @@ type Model struct {
 	poll    offload.PollPolicy     // resolved retrieval policy (shared seam)
 	shed    offload.OverloadPolicy // resolved admission policy (shedOn)
 	shedOn  bool
+	rec     offload.RecordPolicy // resolved record policy (recOn)
+	recOn   bool
 	workers []*worker
 	dev     *device
 	link    *link
@@ -274,6 +303,10 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 	if cfg.Overload != nil {
 		m.shed = cfg.Overload.WithDefaults()
 		m.shedOn = true
+	}
+	if cfg.Record != nil {
+		m.rec = cfg.Record.WithDefaults()
+		m.recOn = true
 	}
 	if cfg.UseQAT {
 		m.dev = newDevice(m.sim, p.Endpoints, p.AsymEnginesPerEndpoint, p.SymEnginesPerEndpoint)
@@ -313,6 +346,19 @@ func (m *Model) Sim() *sim.Simulation { return m.sim }
 
 // Stats returns the current measurement window's statistics.
 func (m *Model) Stats() *Stats { return m.stats }
+
+// recordOffload reports whether a record seal of n plaintext bytes takes
+// the accelerator path: the explicit record policy when one is set, else
+// the legacy engine-level cipher offload of the paper's configurations.
+func (m *Model) recordOffload(n int) bool {
+	if !m.cfg.UseQAT {
+		return false
+	}
+	if !m.recOn {
+		return true
+	}
+	return m.rec.Offload(n)
+}
 
 // worker picks the worker for a new connection (round robin, like
 // SO_REUSEPORT balancing).

@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"qtls/internal/offload"
+)
+
+func runBulk(t *testing.T, rec *offload.RecordPolicy, fileBytes int) RunResult {
+	t.Helper()
+	cfg := QTLS(4)
+	cfg.Record = rec
+	return Run(RunOptions{
+		Config:  cfg,
+		Warmup:  100 * time.Millisecond,
+		Measure: 200 * time.Millisecond,
+		Install: func(m *Model) {
+			ABWorkload{Clients: 100, FileBytes: fileBytes}.Install(m)
+		},
+	})
+}
+
+// The record policy routes each seal: software mode never touches the
+// accelerator, offload mode never seals on the worker, and the legacy
+// nil policy keeps the paper's engine-level cipher offload.
+func TestRecordPolicyRouting(t *testing.T) {
+	sw := runBulk(t, &offload.RecordPolicy{Mode: offload.RecordSoftware}, 64<<10)
+	if sw.Stats.RecordOffloadOps != 0 || sw.Stats.RecordSWOps == 0 {
+		t.Fatalf("software mode: offload=%d sw=%d", sw.Stats.RecordOffloadOps, sw.Stats.RecordSWOps)
+	}
+	off := runBulk(t, &offload.RecordPolicy{Mode: offload.RecordOffload}, 64<<10)
+	if off.Stats.RecordOffloadOps == 0 || off.Stats.RecordSWOps != 0 {
+		t.Fatalf("offload mode: offload=%d sw=%d", off.Stats.RecordOffloadOps, off.Stats.RecordSWOps)
+	}
+	legacy := runBulk(t, nil, 64<<10)
+	if legacy.Stats.RecordOffloadOps == 0 || legacy.Stats.RecordSWOps != 0 {
+		t.Fatalf("nil policy lost the engine-level cipher offload: offload=%d sw=%d",
+			legacy.Stats.RecordOffloadOps, legacy.Stats.RecordSWOps)
+	}
+}
+
+// Adaptive mode splits per record: 1 KB responses stay below the
+// threshold (all software), large responses fragment into 16 KB records
+// that all offload.
+func TestRecordPolicyAdaptiveThreshold(t *testing.T) {
+	adaptive := &offload.RecordPolicy{Mode: offload.RecordAdaptive}
+	small := runBulk(t, adaptive, 1<<10)
+	if small.Stats.RecordOffloadOps != 0 || small.Stats.RecordSWOps == 0 {
+		t.Fatalf("1KB records should fall back to software: offload=%d sw=%d",
+			small.Stats.RecordOffloadOps, small.Stats.RecordSWOps)
+	}
+	large := runBulk(t, adaptive, 256<<10)
+	if large.Stats.RecordOffloadOps == 0 || large.Stats.RecordSWOps != 0 {
+		t.Fatalf("16KB records should offload: offload=%d sw=%d",
+			large.Stats.RecordOffloadOps, large.Stats.RecordSWOps)
+	}
+}
+
+// The headline claim of the record-path experiment: offloading large
+// records costs less worker CPU per served byte than sealing in
+// software, while for small records the submit overhead makes software
+// the cheaper path.
+func TestRecordOffloadCPUPerByte(t *testing.T) {
+	swLarge := runBulk(t, &offload.RecordPolicy{Mode: offload.RecordSoftware}, 256<<10)
+	offLarge := runBulk(t, &offload.RecordPolicy{Mode: offload.RecordOffload}, 256<<10)
+	if offLarge.Stats.CPUPerKB() >= swLarge.Stats.CPUPerKB() {
+		t.Fatalf("256KB: offloaded record path not cheaper: offload %.0f ns/KB, sw %.0f ns/KB",
+			offLarge.Stats.CPUPerKB(), swLarge.Stats.CPUPerKB())
+	}
+	swSmall := runBulk(t, &offload.RecordPolicy{Mode: offload.RecordSoftware}, 1<<10)
+	offSmall := runBulk(t, &offload.RecordPolicy{Mode: offload.RecordOffload}, 1<<10)
+	if offSmall.Stats.CPUPerKB() <= swSmall.Stats.CPUPerKB() {
+		t.Fatalf("1KB: submit overhead should beat software sealing: offload %.0f ns/KB, sw %.0f ns/KB",
+			offSmall.Stats.CPUPerKB(), swSmall.Stats.CPUPerKB())
+	}
+}

@@ -174,8 +174,10 @@ func BuildScript(p *Params, spec ScriptSpec) []step {
 				kb := float64(rec) / 1024
 				swc := time.Duration(float64(p.SwCipherPerKB) * kb)
 				hwc := p.QatCipherBase + time.Duration(float64(p.QatCipherPerKB)*kb)
+				// Cipher steps carry their record size so the record policy
+				// can route each seal (adaptive offload is per record).
 				s = append(s,
-					cryptoStep(opCipher, swc, hwc),
+					step{kind: stepCrypto, op: opCipher, sw: swc, hw: hwc, bytes: rec},
 					cpuStep(p.RecordIOCost),
 				)
 			}

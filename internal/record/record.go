@@ -1,0 +1,593 @@
+// Package record is the post-handshake record-path data plane: a
+// kTLS-style symmetric-crypto offload engine that takes over a TLS
+// connection's write direction once the handshake (and its asymmetric
+// offload story, the paper's subject) has finished.
+//
+// The hand-off mirrors kernel TLS: the handshake stays in
+// internal/minitls; the negotiated keys are exported
+// (minitls.Conn.ExportWriteKeys), the conn's writer is detached, and a
+// Stream owns the direction from then on — sequence numbers continue
+// exactly where the handshake left them, so a plain software peer keeps
+// reading the stream and the close-notify alert arrives through the
+// same sealed channel.
+//
+// Records are sealed either on the worker core (software) or on a QAT
+// symmetric instance (qat.OpSym, byte-calibrated service times), chosen
+// per record by the shared offload.RecordPolicy. Offloaded seals
+// complete out of order across records of one burst; the Stream's FIFO
+// holds completed wire records until every earlier record is done, so
+// the sink always observes them in sequence order. Sealed output lands
+// in pooled wire buffers; plaintext is never copied — the Work closure
+// reads the caller's payload in place (the sendfile-style zero-copy
+// contract: callers keep payloads stable until the stream drains).
+//
+// Degradation reuses the familiar ladder: ring-full and breaker-open
+// submissions fall back to software immediately; an offload that fails
+// in flight (endpoint reset) is re-sealed in software at flush time
+// under its original sequence number, so faults cost latency, never
+// correctness.
+//
+// Like the handshake engine, a record Engine is owned by one event-loop
+// goroutine: Submit happens on it and completions are drained by Poll
+// on it. The only cross-goroutine work is the seal itself, on the
+// device's engine goroutines.
+package record
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"qtls/internal/fault"
+	"qtls/internal/metrics"
+	"qtls/internal/minitls"
+	"qtls/internal/offload"
+	"qtls/internal/qat"
+	"qtls/internal/trace"
+)
+
+// MaxRecordWire bounds one wire record (header + protected body); the
+// buffer pool's buffers hold this much.
+const MaxRecordWire = minitls.RecordHeaderLen + minitls.MaxCiphertext
+
+// ErrStreamClosed is returned by writes after CloseNotify or Cancel.
+var ErrStreamClosed = errors.New("record: stream closed")
+
+// Sink receives completed wire records, in sequence order. The slice is
+// only valid during the call: it returns to the engine's buffer pool.
+// Implementations append to a socket buffer (the server's netpoll conn).
+type Sink interface {
+	WriteRecord(rec []byte) error
+}
+
+// Config configures a record Engine.
+type Config struct {
+	// Instance is the QAT crypto instance symmetric ops are submitted
+	// to. nil builds a software-only engine (RecordSoftware behavior
+	// regardless of Policy).
+	Instance *qat.Instance
+	// Policy is the per-record offload decision (software / offload /
+	// offload-above-size-threshold).
+	Policy offload.RecordPolicy
+	// Breaker, when set, tracks the instance's record-op health:
+	// while open, records are sealed in software instead of submitted.
+	Breaker *fault.BreakerConfig
+	// Rand supplies record IVs (default crypto/rand; it must be safe
+	// for concurrent use — offloaded seals run on engine goroutines).
+	Rand io.Reader
+	// Metrics, when set, feeds qtls_record_bytes and the per-path op
+	// counters.
+	Metrics *metrics.Registry
+	// Trace, when set, records PhaseRecord flush spans.
+	Trace *trace.Buffer
+}
+
+// Stats are the engine's cumulative counters. Read them on the owner
+// goroutine (or through the metrics registry from anywhere).
+type Stats struct {
+	// Records counts wire records delivered to sinks.
+	Records int64
+	// OffloadOps counts records sealed on the accelerator.
+	OffloadOps int64
+	// SoftwareOps counts records sealed on the worker core: policy
+	// decisions, sub-threshold records, alerts, and fallback re-seals
+	// (which also count as Fallbacks).
+	SoftwareOps int64
+	// Fallbacks counts offloads that degraded to software: ring-full,
+	// breaker-open, or a failed in-flight op re-sealed at flush time.
+	Fallbacks int64
+	// RingFull counts submissions rejected by a full request ring (a
+	// subset of Fallbacks).
+	RingFull int64
+	// Bytes counts plaintext payload bytes sealed.
+	Bytes int64
+}
+
+// Engine drives the offloaded record data plane over one QAT instance.
+// One event-loop goroutine owns it: NewStream, Stream writes and Poll
+// must all run there.
+type Engine struct {
+	inst *qat.Instance
+	pol  offload.RecordPolicy
+	brk  *fault.Breaker
+	rnd  io.Reader
+	tr   *trace.Buffer
+
+	pool sync.Pool // *buffer; Work closures fill them on engine goroutines
+
+	inflight int
+	ready    []*Stream // streams with newly completed jobs since last flush
+	stats    Stats
+
+	ctrBytes    *metrics.Counter // qtls_record_bytes
+	ctrOffload  *metrics.Counter // qtls_record_offload_ops
+	ctrSoftware *metrics.Counter // qtls_record_sw_ops
+}
+
+type buffer struct{ b []byte }
+
+// New builds a record engine.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		inst: cfg.Instance,
+		pol:  cfg.Policy.WithDefaults(),
+		rnd:  cfg.Rand,
+		tr:   cfg.Trace,
+	}
+	if e.rnd == nil {
+		e.rnd = rand.Reader
+	}
+	if cfg.Breaker != nil {
+		e.brk = fault.NewBreaker(*cfg.Breaker)
+	}
+	if cfg.Metrics != nil {
+		e.ctrBytes = cfg.Metrics.Counter("qtls_record_bytes")
+		e.ctrOffload = cfg.Metrics.Counter("qtls_record_offload_ops")
+		e.ctrSoftware = cfg.Metrics.Counter("qtls_record_sw_ops")
+	}
+	e.pool.New = func() any { return &buffer{b: make([]byte, 0, MaxRecordWire)} }
+	return e
+}
+
+// Inflight returns the number of offloaded seals awaiting completion.
+func (e *Engine) Inflight() int { return e.inflight }
+
+// Stats returns the engine's counters (owner goroutine only).
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Policy returns the engine's resolved record policy.
+func (e *Engine) Policy() offload.RecordPolicy { return e.pol }
+
+// job is one record moving through a stream: sealed into buf either
+// inline (software) or by an engine goroutine (offload).
+type job struct {
+	s       *Stream
+	seq     uint64
+	typ     uint8
+	payload []byte
+	buf     *buffer // complete wire record once done
+	done    bool
+	failed  bool // offload failed in flight; re-seal in software at flush
+}
+
+// Stream is the offloaded write path of one connection, created from
+// keys exported by a completed handshake. Writes enqueue sealed records;
+// the sink receives them in order as seals complete (immediately for
+// software seals, after Poll for offloaded ones).
+type Stream struct {
+	e     *Engine
+	codec minitls.RecordCodec
+	sink  Sink
+	seq   uint64
+	q     []*job // submission order; head flushes when done
+	err   error  // sticky seal/sink error
+	// closed: CloseNotify queued; canceled: owner gave up, completions
+	// are dropped without sink writes.
+	closed   bool
+	canceled bool
+	queued   bool // in e.ready
+}
+
+// NewStream builds a stream from exported key material. The sequence
+// numbers continue from km.Seq — the continuity that keeps the peer's
+// software record layer in sync across the hand-off.
+func (e *Engine) NewStream(km minitls.KeyMaterial, sink Sink) (*Stream, error) {
+	codec, err := minitls.NewRecordCodec(km)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{e: e, codec: codec, sink: sink, seq: km.Seq}, nil
+}
+
+// Pending returns the number of records not yet delivered to the sink.
+func (s *Stream) Pending() int { return len(s.q) }
+
+// Err returns the stream's sticky error (a failed software seal or sink
+// write), if any.
+func (s *Stream) Err() error { return s.err }
+
+// Closed reports whether CloseNotify has been queued.
+func (s *Stream) Closed() bool { return s.closed }
+
+// Write seals p as application-data records, fragmenting at
+// minitls.MaxPlaintext. The caller must keep p stable until Pending
+// returns 0 — record protection reads it in place (zero-copy). Offload
+// eligibility is decided per fragment; a multi-fragment burst submits
+// with one doorbell (qat.SubmitBatch).
+func (s *Stream) Write(p []byte) error {
+	if s.closed || s.canceled {
+		return ErrStreamClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	// Fragment and classify.
+	var jobs []*job
+	var reqs []qat.Request
+	var offloadable []*job
+	for off := 0; off < len(p); off += minitls.MaxPlaintext {
+		end := off + minitls.MaxPlaintext
+		if end > len(p) {
+			end = len(p)
+		}
+		j := &job{s: s, seq: s.seq, typ: minitls.RecordTypeApplicationData, payload: p[off:end]}
+		s.seq++
+		jobs = append(jobs, j)
+		if s.e.shouldOffload(len(j.payload)) {
+			reqs = append(reqs, s.e.requestFor(j))
+			offloadable = append(offloadable, j)
+		}
+	}
+	// One doorbell for the burst; the unaccepted tail (ring full) and
+	// the never-offloadable fragments seal in software below.
+	accepted := 0
+	if len(reqs) > 0 {
+		n, err := s.e.inst.SubmitBatch(reqs)
+		accepted = n
+		if err != nil && errors.Is(err, qat.ErrRingFull) {
+			s.e.stats.RingFull++
+		}
+		s.e.inflight += accepted
+		s.e.stats.OffloadOps += int64(accepted)
+		if s.e.ctrOffload != nil {
+			s.e.ctrOffload.Add(int64(accepted))
+		}
+		s.e.stats.Fallbacks += int64(len(offloadable) - accepted)
+	}
+	for _, j := range offloadable[accepted:] {
+		s.e.sealSoftware(j)
+	}
+	for _, j := range jobs {
+		if !j.done && !jobOffloaded(j, offloadable[:accepted]) {
+			s.e.sealSoftware(j)
+		}
+		s.q = append(s.q, j)
+	}
+	return s.flush()
+}
+
+// jobOffloaded reports whether j is among the accepted offloads. Bursts
+// are at most a few records (64 KB response = 4), so linear scan is fine.
+func jobOffloaded(j *job, accepted []*job) bool {
+	for _, a := range accepted {
+		if a == j {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteRecord seals one record of the given type (single-record writes
+// and tests; payload must fit one fragment).
+func (s *Stream) WriteRecord(typ uint8, payload []byte) error {
+	if s.closed || s.canceled {
+		return ErrStreamClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if len(payload) > minitls.MaxPlaintext {
+		return errors.New("record: WriteRecord payload exceeds one fragment")
+	}
+	j := &job{s: s, seq: s.seq, typ: typ, payload: payload}
+	s.seq++
+	if s.e.shouldOffload(len(payload)) && typ == minitls.RecordTypeApplicationData {
+		if err := s.e.inst.Submit(s.e.requestFor(j)); err == nil {
+			s.e.inflight++
+			s.e.stats.OffloadOps++
+			if s.e.ctrOffload != nil {
+				s.e.ctrOffload.Inc()
+			}
+			s.q = append(s.q, j)
+			return s.flush()
+		} else if errors.Is(err, qat.ErrRingFull) {
+			s.e.stats.RingFull++
+			s.e.stats.Fallbacks++
+		}
+	}
+	s.e.sealSoftware(j)
+	s.q = append(s.q, j)
+	return s.flush()
+}
+
+// CloseNotify queues the close-notify alert through the stream — the
+// sealed goodbye a detached minitls.Conn can no longer send itself. The
+// alert is tiny and ordering-critical, so it always seals in software.
+func (s *Stream) CloseNotify() error {
+	if s.closed || s.canceled {
+		return nil
+	}
+	j := &job{s: s, seq: s.seq, typ: minitls.RecordTypeAlert, payload: minitls.AlertCloseNotify()}
+	s.seq++
+	s.e.sealSoftware(j)
+	s.q = append(s.q, j)
+	s.closed = true
+	return s.flush()
+}
+
+// Cancel abandons the stream: queued records are released and in-flight
+// completions will be dropped without sink writes. For teardown paths
+// (closeConn); inflight accounting stays consistent.
+func (s *Stream) Cancel() {
+	if s.canceled {
+		return
+	}
+	s.canceled = true
+	for _, j := range s.q {
+		if j.done && j.buf != nil {
+			s.e.putBuf(j.buf)
+			j.buf = nil
+		}
+	}
+	s.q = nil
+}
+
+// shouldOffload is the per-record submission decision: an instance is
+// wired, the policy says offload at this size, and the breaker admits.
+func (e *Engine) shouldOffload(bytes int) bool {
+	if e.inst == nil || !e.pol.Offload(bytes) {
+		return false
+	}
+	if e.brk != nil && !e.brk.Allow(time.Now()) {
+		return false
+	}
+	return true
+}
+
+// requestFor builds the OpSym request sealing j into a pooled wire
+// buffer on an engine goroutine. The callback (run inside Poll, on the
+// owner goroutine) lands the result on the job.
+func (e *Engine) requestFor(j *job) qat.Request {
+	return qat.Request{
+		Op:    qat.OpSym,
+		Bytes: len(j.payload),
+		Work: func() (any, error) {
+			buf := e.getBuf()
+			var err error
+			buf.b, err = e.sealInto(buf.b, j.seq, j.typ, j.s.codec, j.payload)
+			if err != nil {
+				e.putBuf(buf)
+				return nil, err
+			}
+			return buf, nil
+		},
+		Callback: func(r qat.Response) {
+			e.inflight--
+			if e.brk != nil {
+				if r.Err != nil {
+					e.brk.RecordFailure(time.Now())
+				} else {
+					e.brk.RecordSuccess(time.Now())
+				}
+			}
+			buf, ok := r.Result.(*buffer)
+			if r.Err != nil || !ok {
+				// Failed in flight (endpoint reset, drop-timeout path):
+				// re-seal in software at flush time, same sequence number.
+				j.failed = true
+				e.stats.Fallbacks++
+			} else {
+				j.buf = buf
+			}
+			j.done = true
+			if j.s.canceled {
+				if j.buf != nil {
+					e.putBuf(j.buf)
+					j.buf = nil
+				}
+				return
+			}
+			if !j.s.queued {
+				j.s.queued = true
+				e.ready = append(e.ready, j.s)
+			}
+		},
+	}
+}
+
+// OpenAsync submits the open (decrypt + verify) of one wire record —
+// header included — to the accelerator, invoking cb from a later Poll
+// with the inner type and payload. When no instance is wired, the
+// policy declines the body size, or the ring is full, the open runs
+// inline in software and cb is invoked before OpenAsync returns. An
+// offloaded open that fails in flight is retried in software at
+// completion, so cb always reports the codec's verdict, never the
+// device's. rec must stay stable until cb runs; the payload passed to
+// cb may alias rec.
+//
+// This is the receive-side counterpart of Stream: the live server keeps
+// its receive path in software (client→server records are far below any
+// sensible threshold), so decrypt offload is exercised through this
+// seam rather than a conn mode switch.
+func (e *Engine) OpenAsync(codec minitls.RecordCodec, seq uint64, rec []byte, cb func(typ uint8, payload []byte, err error)) {
+	open := func() (uint8, []byte, error) {
+		if len(rec) < minitls.RecordHeaderLen {
+			return 0, nil, errors.New("record: short wire record")
+		}
+		return codec.Open(seq, rec[0], rec[minitls.RecordHeaderLen:])
+	}
+	if e.shouldOffload(len(rec) - minitls.RecordHeaderLen) {
+		type opened struct {
+			typ     uint8
+			payload []byte
+		}
+		err := e.inst.Submit(qat.Request{
+			Op:    qat.OpSym,
+			Bytes: len(rec) - minitls.RecordHeaderLen,
+			Work: func() (any, error) {
+				typ, payload, err := open()
+				if err != nil {
+					return nil, err
+				}
+				return opened{typ, payload}, nil
+			},
+			Callback: func(r qat.Response) {
+				e.inflight--
+				if e.brk != nil {
+					if r.Err != nil {
+						e.brk.RecordFailure(time.Now())
+					} else {
+						e.brk.RecordSuccess(time.Now())
+					}
+				}
+				if res, ok := r.Result.(opened); ok && r.Err == nil {
+					cb(res.typ, res.payload, nil)
+					return
+				}
+				// Device fault, not a codec verdict: re-open in software.
+				e.stats.Fallbacks++
+				typ, payload, err := open()
+				cb(typ, payload, err)
+			},
+		})
+		if err == nil {
+			e.inflight++
+			e.stats.OffloadOps++
+			if e.ctrOffload != nil {
+				e.ctrOffload.Inc()
+			}
+			return
+		}
+		if errors.Is(err, qat.ErrRingFull) {
+			e.stats.RingFull++
+		}
+		e.stats.Fallbacks++
+	}
+	e.stats.SoftwareOps++
+	if e.ctrSoftware != nil {
+		e.ctrSoftware.Inc()
+	}
+	typ, payload, err := open()
+	cb(typ, payload, err)
+}
+
+// sealInto protects one record into dst (header + body) and returns it.
+func (e *Engine) sealInto(dst []byte, seq uint64, typ uint8, codec minitls.RecordCodec, payload []byte) ([]byte, error) {
+	wireTyp, body, err := codec.Seal(seq, typ, payload, e.rnd)
+	if err != nil {
+		return dst, err
+	}
+	dst = minitls.AppendRecordHeader(dst[:0], wireTyp, len(body))
+	return append(dst, body...), nil
+}
+
+// sealSoftware seals j inline on the owner goroutine.
+func (e *Engine) sealSoftware(j *job) {
+	buf := e.getBuf()
+	var err error
+	buf.b, err = e.sealInto(buf.b, j.seq, j.typ, j.s.codec, j.payload)
+	if err != nil {
+		e.putBuf(buf)
+		if j.s.err == nil {
+			j.s.err = err
+		}
+	} else {
+		j.buf = buf
+	}
+	j.done = true
+	j.failed = false
+	e.stats.SoftwareOps++
+	if e.ctrSoftware != nil {
+		e.ctrSoftware.Inc()
+	}
+}
+
+// Poll drains device completions and flushes every stream that gained
+// one, in order. Returns the number of completions retrieved. Call it
+// from the owner goroutine whenever Inflight() > 0.
+func (e *Engine) Poll() int {
+	if e.inst == nil {
+		return 0
+	}
+	n := e.inst.Poll(0)
+	if len(e.ready) > 0 {
+		streams := e.ready
+		e.ready = e.ready[:0]
+		for _, s := range streams {
+			s.queued = false
+			if !s.canceled {
+				s.flush() // sticky error surfaces via Stream.Err
+			}
+		}
+	}
+	return n
+}
+
+// flush delivers the done prefix of the stream's queue to the sink, in
+// sequence order, releasing buffers as they land. Failed offloads are
+// re-sealed in software here — on the owner goroutine, under their
+// original sequence numbers — so a device fault never reorders or drops
+// a record.
+func (s *Stream) flush() error {
+	if len(s.q) == 0 {
+		return s.err
+	}
+	var start time.Time
+	tracing := s.e.tr.Active()
+	if tracing {
+		start = time.Now()
+	}
+	var wire int64
+	for len(s.q) > 0 {
+		j := s.q[0]
+		if !j.done {
+			break
+		}
+		if j.failed {
+			s.e.sealSoftware(j)
+		}
+		s.q = s.q[1:]
+		if j.buf == nil {
+			continue // seal failed; s.err is set
+		}
+		if s.err == nil {
+			if err := s.sink.WriteRecord(j.buf.b); err != nil {
+				s.err = err
+			} else {
+				wire += int64(len(j.buf.b))
+				s.e.stats.Records++
+				s.e.stats.Bytes += int64(len(j.payload))
+				if s.e.ctrBytes != nil {
+					s.e.ctrBytes.Add(int64(len(j.payload)))
+				}
+			}
+		}
+		s.e.putBuf(j.buf)
+		j.buf = nil
+	}
+	if tracing && wire > 0 {
+		s.e.tr.Record(trace.PhaseRecord, trace.Op(qat.OpSym), trace.TagNone, wire, start, time.Since(start))
+	}
+	return s.err
+}
+
+func (e *Engine) getBuf() *buffer {
+	return e.pool.Get().(*buffer)
+}
+
+func (e *Engine) putBuf(b *buffer) {
+	b.b = b.b[:0]
+	e.pool.Put(b)
+}

@@ -103,6 +103,16 @@ type RunConfig struct {
 	// submit-side dual of heuristic polling. Straight offload (AsyncModeOff)
 	// is unaffected. Off by default.
 	CoalesceSubmits bool
+	// RecordMode selects the post-handshake record data plane
+	// (qat_record_offload): software (the paper's configuration),
+	// offload every application-data record, or offload adaptively above
+	// RecordThreshold. Non-software modes hand each connection's write
+	// keys to a per-worker record engine (internal/record) after the
+	// handshake, kTLS style.
+	RecordMode offload.RecordMode
+	// RecordThreshold is the adaptive record-offload cutoff in payload
+	// bytes (default offload.DefaultRecordThreshold; RecordAdaptive only).
+	RecordThreshold int
 
 	// OpTimeout bounds each offloaded crypto operation: past the
 	// deadline the engine abandons the offload and computes the result
@@ -145,12 +155,22 @@ func (rc RunConfig) pollPolicy() offload.PollPolicy {
 	}.WithDefaults()
 }
 
+// recordPolicy resolves the record-path knobs into the shared policy
+// value.
+func (rc RunConfig) recordPolicy() offload.RecordPolicy {
+	return offload.RecordPolicy{
+		Mode:          rc.RecordMode,
+		SizeThreshold: rc.RecordThreshold,
+	}.WithDefaults()
+}
+
 func (rc RunConfig) withDefaults() RunConfig {
 	p := rc.pollPolicy()
 	rc.PollInterval = p.Interval
 	rc.AsymThreshold = p.AsymThreshold
 	rc.SymThreshold = p.SymThreshold
 	rc.FailoverInterval = p.FailoverInterval
+	rc.RecordThreshold = rc.recordPolicy().SizeThreshold
 	rc.Deadlines = rc.Deadlines.WithDefaults()
 	rc.Overload = rc.Overload.WithDefaults()
 	return rc
@@ -167,6 +187,7 @@ func (rc RunConfig) OffloadPolicy() offload.Policy {
 		Async:  rc.UseQAT && rc.AsyncMode != minitls.AsyncModeOff,
 		Poll:   rc.pollPolicy(),
 		Notify: rc.Notify,
+		Record: rc.recordPolicy(),
 	}
 	if rc.CoalesceSubmits {
 		p.Submit = offload.SubmitCoalesced
@@ -188,6 +209,8 @@ func FromPolicy(p offload.Policy) RunConfig {
 		FailoverInterval: p.Poll.FailoverInterval,
 		Notify:           p.Notify,
 		CoalesceSubmits:  p.Submit == offload.SubmitCoalesced,
+		RecordMode:       p.Record.Mode,
+		RecordThreshold:  p.Record.SizeThreshold,
 	}
 	if p.Async {
 		rc.AsyncMode = minitls.AsyncModeFiber

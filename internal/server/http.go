@@ -26,6 +26,11 @@ func (w *Worker) handshakeHandler(c *conn) {
 		if c.tls.ConnectionState().DidResume {
 			w.Stats.Resumed.Add(1)
 		}
+		if w.rec != nil {
+			// Record-path mode switch: hand the write direction to the
+			// offloaded record engine now that the keys exist (§kTLS).
+			w.installStream(c)
+		}
 		c.handler = w.requestHandler
 		w.requestHandler(c)
 	case errors.Is(err, minitls.ErrWantRead):
@@ -148,6 +153,12 @@ func (w *Worker) serveRequest(c *conn, req []byte) {
 	}
 	hdr := "HTTP/1.1 " + status + "\r\nContent-Length: " + strconv.Itoa(len(body)) +
 		"\r\nConnection: " + connHdr + "\r\n\r\n"
+	if c.stream != nil {
+		// Offloaded record path: the body is sealed in place, never
+		// copied into a staging buffer (recordpath.go).
+		w.serveRecord(c, hdr, body)
+		return
+	}
 	c.writeBody = append([]byte(hdr), body...)
 	c.handler = w.writeHandler
 	w.writeHandler(c)

@@ -60,7 +60,8 @@ func (w *Worker) rearmDeadline(c *conn) {
 		w.armDeadline(c, offload.DeadlineHandshake)
 	case c.draining || c.nc.HasPending():
 		w.armDeadline(c, offload.DeadlineWrite)
-	case c.active || len(c.reqBuf) > 0 || len(c.writeBody) > 0:
+	case c.active || len(c.reqBuf) > 0 || len(c.writeBody) > 0 ||
+		(c.stream != nil && c.stream.Pending() > 0):
 		w.armDeadline(c, offload.DeadlineHeader)
 	default:
 		w.armDeadline(c, offload.DeadlineKeepalive)
@@ -104,7 +105,7 @@ func (w *Worker) closeGracefully(c *conn, tag trace.Tag) {
 	if w.tr.Active() {
 		w.tr.Record(trace.PhaseShed, trace.OpNone, tag, int64(c.fd), time.Now(), 0)
 	}
-	c.tls.Close() // queues the close-notify alert
+	w.sendCloseNotify(c) // queues the close-notify alert on the owning plane
 	if c.nc.Flush(); c.nc.HasPending() {
 		c.draining = true
 		w.updateWriteInterest(c)
@@ -177,8 +178,9 @@ func (w *Worker) drainStep() bool {
 		if c.asyncPending || c.draining {
 			continue // a QAT response or a queued close-notify completes it
 		}
-		if c.active || len(c.reqBuf) > 0 || len(c.writeBody) > 0 || c.nc.HasPending() {
-			continue // admitted work in progress; writeHandler closes after it
+		if c.active || len(c.reqBuf) > 0 || len(c.writeBody) > 0 || c.nc.HasPending() ||
+			(c.stream != nil && c.stream.Pending() > 0) {
+			continue // admitted work in progress; its write handler closes after it
 		}
 		if !c.tls.HandshakeComplete() {
 			// Mid-handshake and idle: nothing admitted yet, cut it.

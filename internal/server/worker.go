@@ -16,6 +16,7 @@ import (
 	"qtls/internal/netpoll"
 	"qtls/internal/offload"
 	"qtls/internal/qat"
+	"qtls/internal/record"
 	"qtls/internal/trace"
 )
 
@@ -65,6 +66,7 @@ type Worker struct {
 	shed      offload.OverloadPolicy // resolved admission-control policy
 	tlsTmpl   *minitls.Config
 	eng       *engine.Engine
+	rec       *record.Engine // post-handshake record data plane (nil: software)
 	handler   Handler
 	reg       *metrics.Registry
 
@@ -77,6 +79,7 @@ type Worker struct {
 	asyncQueue   []*conn // kernel-bypass async queue (§3.4)
 	fdQueue      []*conn // conns whose async event travelled via the pipe
 	retryQueue   []*conn // conns awaiting a submission retry
+	recWaiting   []*conn // conns whose record-path response is in flight
 	activeConns  int     // TCactive = alive - idle (§4.3)
 	asyncWaiting int     // conns with asyncPending set (deadline scan gate)
 
@@ -150,6 +153,14 @@ type conn struct {
 	closeAfterWrite bool
 	draining        bool // close once buffered output drains
 	closed          bool
+
+	// Record-path state (RecordMode != software): the offloaded write
+	// stream installed after the handshake, the plaintext size of the
+	// response currently moving through it, and whether the conn is on
+	// the worker's record-completion scan list.
+	stream    *record.Stream
+	respBytes int
+	recQueued bool
 
 	// Deadline-wheel state (see wheel.go): whether a lifecycle deadline is
 	// armed, its class, its absolute time, and the generation counter that
@@ -234,6 +245,26 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			return nil, err
 		}
 		w.ringCap = w.eng.RingCapacity()
+	}
+	if cfg.RecordMode != offload.RecordSoftware {
+		// The record data plane gets its own crypto instance, separate
+		// from the handshake engine's: symmetric bulk ops must not
+		// compete for ring slots with latency-critical asymmetric ops.
+		// Without a device the engine still runs, all-software.
+		var recInst *qat.Instance
+		if cfg.UseQAT && dev != nil {
+			if recInst, err = dev.AllocInstance(); err != nil {
+				w.cleanup()
+				return nil, err
+			}
+		}
+		w.rec = record.New(record.Config{
+			Instance: recInst,
+			Policy:   cfg.recordPolicy(),
+			Breaker:  cfg.Breaker,
+			Metrics:  reg,
+			Trace:    w.tr,
+		})
 	}
 	if cfg.Notify == NotifyFD && cfg.AsyncMode != minitls.AsyncModeOff {
 		if w.notifyPipe, err = netpoll.NewNotifyPipe(); err != nil {
@@ -359,6 +390,7 @@ func (w *Worker) Run() {
 		w.advanceWheel()
 		w.processAsyncQueue()
 		w.processRetryQueue()
+		w.pollRecordEngine()
 		// Retried submissions and ops paused by resumed handlers after the
 		// last drain round must not wait out the epoll sleep.
 		w.flushSubmits()
@@ -407,6 +439,10 @@ func (w *Worker) waitTimeout() int {
 	}
 	switch {
 	case len(w.asyncQueue) > 0 || len(w.retryQueue) > 0 || len(w.fdQueue) > 0:
+		return 0
+	case w.rec != nil && (w.rec.Inflight() > 0 || len(w.recWaiting) > 0):
+		// Offloaded record seals in flight: keep the loop executing so
+		// completions flush to their sockets as soon as they land.
 		return 0
 	case w.eng != nil && w.eng.PendingSubmits() > 0:
 		// Gathered submissions must reach the rings, not wait out a sleep.
@@ -578,6 +614,12 @@ func (w *Worker) closeConn(c *conn) {
 		c.handler(c)
 	}
 	w.setAsyncPending(c, false)
+	if c.stream != nil {
+		// Abandon the record-path response: in-flight seals complete
+		// into the engine's pool without touching the dead socket.
+		c.stream.Cancel()
+		c.stream = nil
+	}
 	w.disarmDeadline(c)
 	if c.active {
 		c.active = false
