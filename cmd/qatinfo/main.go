@@ -12,6 +12,13 @@
 //
 //	qatinfo -fault 'stall:op=rsa,p=0.2 latency:d=2ms,p=0.5'
 //	qatinfo -fault 'reset:after=500,limit=1'
+//
+// It also doubles as the flight-dump reader: -flight pretty-prints a
+// black-box dump (qtlsserver -flight anomaly/SIGQUIT files, or a saved
+// GET /debug/flight body) as a windowed phase-latency table, a
+// per-second incident timeline and the top slow spans:
+//
+//	qatinfo -flight flight-breaker-open-1723110000.jsonl
 package main
 
 import (
@@ -19,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"qtls/internal/fault"
+	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/qat"
 	"qtls/internal/trace"
@@ -41,8 +50,17 @@ func main() {
 		faultSpec = flag.String("fault", "", "fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")
 		deadline  = flag.Duration("op-timeout", 50*time.Millisecond, "drain deadline: give up on stalled requests after this long without progress")
+		flightIn  = flag.String("flight", "", "read a flight-recorder dump (JSON lines) and pretty-print it instead of exercising a device")
+		topK      = flag.Int("top", 10, "slow spans to list with -flight")
 	)
 	flag.Parse()
+
+	if *flightIn != "" {
+		if err := printFlightDump(*flightIn, *topK); err != nil {
+			log.Fatalf("-flight: %v", err)
+		}
+		return
+	}
 
 	inj, err := fault.ParseSpec(*faultSpec, *faultSeed)
 	if err != nil {
@@ -236,8 +254,8 @@ func main() {
 		st := inst.Stats()
 		fmt.Printf("  instance %d endpoint %d inflight %d leaked %d breaker %s\n",
 			i, inst.Endpoint(), inst.Inflight(), inst.Leaked(), breakers[i].Snapshot())
-		fmt.Printf("    submits=%d ringFull=%d polls=%d (empty %d) dequeued=%d maxBatch=%d\n",
-			st.Submits, st.RingFull, st.Polls, st.EmptyPolls, st.Dequeued, st.MaxBatch)
+		fmt.Printf("    submits=%d ringFull=%d polls=%d (empty %d) dequeued=%d maxBatch=%d reclaimed=%d\n",
+			st.Submits, st.RingFull, st.Polls, st.EmptyPolls, st.Dequeued, st.MaxBatch, st.Reclaimed)
 		meanBatch := 0.0
 		if st.SubmitBatches > 0 {
 			meanBatch = float64(st.BatchSubmitted) / float64(st.SubmitBatches)
@@ -254,6 +272,23 @@ func main() {
 	}
 	fmt.Printf("\ntotal responses: %d (%.0f ops/s)\n",
 		total, float64(total)/elapsed.Seconds())
+}
+
+// printFlightDump renders a black-box dump file through flight's
+// reader: header summary, windowed phase table, incident timeline and
+// the top slow spans.
+func printFlightDump(path string, topK int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := flight.ReadDump(f)
+	if err != nil {
+		return err
+	}
+	d.Report(os.Stdout, topK)
+	return nil
 }
 
 func sumInflight(insts []*qat.Instance) int {

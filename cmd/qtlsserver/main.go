@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"qtls/internal/fault"
+	"qtls/internal/flight"
 	"qtls/internal/minitls"
 	"qtls/internal/offload"
 	"qtls/internal/qat"
@@ -65,6 +66,8 @@ func main() {
 		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
 		traceOn  = flag.Bool("trace", false, "record offload-phase spans (serves /debug/trace, adds phase latency to stats)")
 		traceCap = flag.Int("trace-spans", 4096, "span ring capacity per worker (with -trace)")
+		flightOn = flag.Bool("flight", false, "enable the black-box flight recorder (serves /debug/flight, windowed _w60s metrics, anomaly + SIGQUIT dumps; implies -trace)")
+		sloP99   = flag.Duration("slo-p99", 0, "windowed p99 SLO over the offload phases; exceeding it triggers a flight dump (0 = off; needs -flight)")
 
 		faultSpec = flag.String("fault", "", "device fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")
@@ -210,9 +213,31 @@ func main() {
 	}
 
 	var rec *trace.Recorder
-	if *traceOn {
+	if *traceOn || *flightOn {
+		// The flight recorder's windowed signal plane consumes spans, so
+		// -flight implies span recording.
 		rec = trace.NewRecorder(*traceCap)
 		rec.SetEnabled(true)
+	}
+	var fr *flight.Recorder
+	if *flightOn {
+		fr = flight.New(flight.Config{SLOP99: *sloP99})
+		fr.SetEnabled(true)
+		fr.SetDumpSink(func(reason string, events []flight.Event) {
+			name := fmt.Sprintf("flight-%s-%d.jsonl", reason, time.Now().UnixNano())
+			f, err := os.Create(name)
+			if err != nil {
+				log.Printf("flight dump (%s): %v", reason, err)
+				return
+			}
+			defer f.Close()
+			if err := fr.WriteDumpEvents(f, reason, events); err != nil {
+				log.Printf("flight dump (%s): %v", reason, err)
+				return
+			}
+			log.Printf("flight dump (%s): %d events -> %s (read with: qatinfo -flight %s)",
+				reason, len(events), name, name)
+		})
 	}
 	srv, err := server.New(server.Options{
 		Addr:    *addr,
@@ -222,6 +247,7 @@ func main() {
 		Device:  dev,
 		Handler: server.SizedBodyHandler(8 << 20),
 		Trace:   rec,
+		Flight:  fr,
 	})
 	if err != nil {
 		log.Fatalf("server: %v", err)
@@ -232,6 +258,16 @@ func main() {
 	log.Printf("observability: GET /stub_status, GET /metrics (Prometheus text)")
 	if rec != nil {
 		log.Printf("tracing: GET /debug/trace?n=256 (four-phase spans, %d per worker)", *traceCap)
+	}
+	if fr != nil {
+		log.Printf("flight recorder: GET /debug/flight?n=256, SIGQUIT dumps, windowed *_w60s series on /metrics")
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				fr.Trigger("signal")
+			}
+		}()
 	}
 
 	if *stats > 0 {

@@ -40,6 +40,7 @@ import (
 
 	"qtls/internal/asynclib"
 	"qtls/internal/fault"
+	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/qat"
@@ -160,6 +161,11 @@ type Config struct {
 	// worker, which owns those boundaries. A nil or disabled buffer costs
 	// one atomic load per op.
 	Trace *trace.Buffer
+	// Flight, when set, receives black-box events: breaker transitions
+	// and software-fallback causes (timeout, cancel). A nil journal or a
+	// disabled flight recorder costs one branch plus one atomic load per
+	// event site.
+	Flight *flight.Journal
 }
 
 // Engine implements minitls.Provider backed by one or more QAT crypto
@@ -227,6 +233,10 @@ type Engine struct {
 	tr           *trace.Buffer
 	histPre      *metrics.Histogram // qtls_phase_ns{phase="pre"}
 	histRetrieve *metrics.Histogram // qtls_phase_ns{phase="retrieve"}
+
+	// Flight-recorder journal (inert when Config.Flight is nil or the
+	// recorder is disabled).
+	fl *flight.Journal
 }
 
 // New creates an engine bound to its QAT instances.
@@ -257,10 +267,19 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.offload[k] = true
 	}
+	e.fl = cfg.Flight
 	if cfg.Breaker != nil {
 		e.breakers = make([]*fault.Breaker, len(e.insts))
 		for i := range e.breakers {
 			e.breakers[i] = fault.NewBreaker(*cfg.Breaker)
+			if e.fl != nil {
+				// Journal every breaker transition; an open transition also
+				// arms the flight recorder's anomaly dump trigger.
+				idx := i
+				e.breakers[i].SetOnTransition(func(from, to fault.BreakerState) {
+					e.fl.Note(flight.KindBreaker, uint8(to), trace.OpNone, int64(from), int64(idx))
+				})
+			}
 		}
 	}
 	e.coalesce = cfg.Coalesce
@@ -408,6 +427,7 @@ func (e *Engine) settleTimeout(class Class, idx int) {
 	if e.ctrTimeouts != nil {
 		e.ctrTimeouts.Inc()
 	}
+	e.fl.Note(flight.KindFallback, flight.FallbackTimeout, trace.OpNone, 0, int64(idx))
 	e.recordResult(idx, false)
 	e.reclaimLeaked()
 }
@@ -458,6 +478,7 @@ func (e *Engine) settleCancel(class Class, idx int) {
 	if e.ctrCancels != nil {
 		e.ctrCancels.Inc()
 	}
+	e.fl.Note(flight.KindFallback, flight.FallbackCancel, trace.OpNone, 0, int64(idx))
 	if idx >= 0 {
 		e.inflight[class].Add(-1)
 		e.recordResult(idx, false)

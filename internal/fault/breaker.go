@@ -78,16 +78,35 @@ type Breaker struct {
 	mu  sync.Mutex
 	cfg BreakerConfig
 
-	state     BreakerState
-	window    []bool // true = failure; ring buffer
-	widx      int
-	filled    int
-	openedAt  time.Time
-	probes    int // successful half-open probes so far
-	inProbe   int // half-open probes currently admitted but unresolved
-	trips     int64
-	successes int64
-	failures  int64
+	state        BreakerState
+	window       []bool // true = failure; ring buffer
+	widx         int
+	filled       int
+	openedAt     time.Time
+	probes       int // successful half-open probes so far
+	inProbe      int // half-open probes currently admitted but unresolved
+	trips        int64
+	successes    int64
+	failures     int64
+	onTransition func(from, to BreakerState)
+}
+
+// SetOnTransition installs a hook invoked on every state transition
+// (closed→open, open→half-open, half-open→closed, half-open→open). The
+// hook runs outside the breaker's lock, on the goroutine that caused
+// the transition; it may call back into the breaker. Pass nil to
+// detach. One hook; the latest call wins.
+func (b *Breaker) SetOnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// notify fires the transition hook after the lock is released.
+func (b *Breaker) notify(hook func(from, to BreakerState), from, to BreakerState) {
+	if hook != nil && from != to {
+		hook(from, to)
+	}
 }
 
 // NewBreaker builds a breaker (closed) with the given configuration.
@@ -100,31 +119,34 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // In the half-open state it admits up to ProbeCount unresolved probes.
 func (b *Breaker) Allow(now time.Time) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, hook := b.state, b.onTransition
+	var ok bool
 	switch b.state {
 	case StateClosed:
-		return true
+		ok = true
 	case StateOpen:
-		if now.Sub(b.openedAt) < b.cfg.Cooldown {
-			return false
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = StateHalfOpen
+			b.probes = 0
+			b.inProbe = 1
+			ok = true
 		}
-		b.state = StateHalfOpen
-		b.probes = 0
-		b.inProbe = 1
-		return true
 	default: // StateHalfOpen
-		if b.inProbe >= b.cfg.ProbeCount {
-			return false
+		if b.inProbe < b.cfg.ProbeCount {
+			b.inProbe++
+			ok = true
 		}
-		b.inProbe++
-		return true
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(hook, from, to)
+	return ok
 }
 
 // RecordSuccess feeds one successful outcome.
 func (b *Breaker) RecordSuccess(now time.Time) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, hook := b.state, b.onTransition
 	b.successes++
 	switch b.state {
 	case StateHalfOpen:
@@ -140,13 +162,17 @@ func (b *Breaker) RecordSuccess(now time.Time) {
 	case StateClosed:
 		b.push(false)
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(hook, from, to)
 }
 
 // RecordFailure feeds one failed outcome (timeout, reset, corruption).
 // It returns true when this failure tripped the breaker open.
 func (b *Breaker) RecordFailure(now time.Time) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, hook := b.state, b.onTransition
+	tripped := false
 	b.failures++
 	switch b.state {
 	case StateHalfOpen:
@@ -155,19 +181,21 @@ func (b *Breaker) RecordFailure(now time.Time) bool {
 		b.openedAt = now
 		b.trips++
 		b.inProbe = 0
-		return true
+		tripped = true
 	case StateOpen:
-		return false
 	default: // StateClosed
 		b.push(true)
 		if b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureThreshold {
 			b.state = StateOpen
 			b.openedAt = now
 			b.trips++
-			return true
+			tripped = true
 		}
-		return false
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(hook, from, to)
+	return tripped
 }
 
 func (b *Breaker) push(failure bool) {

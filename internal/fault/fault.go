@@ -168,6 +168,12 @@ type Outcome struct {
 // by *metrics.Counter without importing the metrics package.
 type Counter interface{ Inc() }
 
+// EventSink receives one call per injected fault with the fault kind and
+// the endpoint/op it hit. It is invoked while the injector's lock is
+// held, so the sink must be fast and must not call back into the
+// injector (the flight-recorder journal qualifies: one seqlock write).
+type EventSink func(k Kind, endpoint, op int)
+
 // Injector decides, deterministically, which submissions and services the
 // device should sabotage. All methods are safe for concurrent use, and all
 // methods on a nil *Injector report no faults — nil is the free default.
@@ -178,6 +184,7 @@ type Injector struct {
 	injected [numKinds]int64
 	total    int64
 	sink     Counter
+	events   EventSink
 }
 
 // NewInjector builds an injector with a deterministic RNG seed and a rule
@@ -201,6 +208,17 @@ func (inj *Injector) SetSink(c Counter) {
 	}
 	inj.mu.Lock()
 	inj.sink = c
+	inj.mu.Unlock()
+}
+
+// SetEventSink mirrors every injection (with kind/endpoint/op detail)
+// into fn — typically the flight recorder's journal. Pass nil to detach.
+func (inj *Injector) SetEventSink(fn EventSink) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	inj.events = fn
 	inj.mu.Unlock()
 }
 
@@ -275,6 +293,9 @@ func (inj *Injector) AtSubmit(endpoint, op int) Outcome {
 		if !inj.fire(r) {
 			continue
 		}
+		if inj.events != nil {
+			inj.events(r.Kind, endpoint, op)
+		}
 		switch r.Kind {
 		case RingFull:
 			out.RingFull = true
@@ -305,6 +326,9 @@ func (inj *Injector) AtService(endpoint, op int) Outcome {
 		}
 		if !inj.fire(r) {
 			continue
+		}
+		if inj.events != nil {
+			inj.events(r.Kind, endpoint, op)
 		}
 		switch r.Kind {
 		case Stall:

@@ -1,0 +1,473 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qtls/internal/metrics"
+	"qtls/internal/trace"
+)
+
+// Config tunes a Recorder. The zero value selects the defaults.
+type Config struct {
+	// JournalSize is each worker ring's capacity in events (rounded up
+	// to a power of two; <= 0 selects 1024).
+	JournalSize int
+	// Buckets is the number of time buckets per window (default 12).
+	Buckets int
+	// Bucket is the width of one time bucket (default 5s; 12 × 5s gives
+	// the default 60 s window and the `_w60s` series suffix).
+	Bucket time.Duration
+	// SlowFloor is the latency floor above which completed spans are
+	// journaled (default 1ms; <0 journals nothing).
+	SlowFloor time.Duration
+	// SLOP99 arms the windowed-p99 anomaly trigger over the four
+	// offload phases (0 disables it).
+	SLOP99 time.Duration
+	// ShedRate arms the shed-rate anomaly trigger, in sheds/second
+	// (0 disables it).
+	ShedRate float64
+	// DumpCooldown is the minimum spacing between automatic dumps
+	// (default 30s). Manual triggers (SIGQUIT, /debug/flight) ignore it.
+	DumpCooldown time.Duration
+	// DumpN caps the events captured per dump (<= 0 keeps everything
+	// the journals retain).
+	DumpN int
+	// Now overrides the recorder clock (tests); nil uses wall time.
+	Now func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.JournalSize <= 0 {
+		c.JournalSize = 1024
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 12
+	}
+	if c.Bucket <= 0 {
+		c.Bucket = 5 * time.Second
+	}
+	if c.SlowFloor == 0 {
+		c.SlowFloor = time.Millisecond
+	}
+	if c.DumpCooldown <= 0 {
+		c.DumpCooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = nowNano
+	}
+	return c
+}
+
+// opClass maps a span op onto the window class index (0 = asym,
+// 1 = sym, -1 = neither). Ordinals mirror qat.OpType/trace.Op: rsa,
+// ecdsa, ecdh are the asymmetric handshake ops; prf, cipher, sym are
+// the symmetric/derivation ops.
+func opClass(op trace.Op) int {
+	switch {
+	case op <= 2:
+		return 0
+	case op <= 5:
+		return 1
+	}
+	return -1
+}
+
+var classNames = [...]string{"asym", "sym"}
+
+// slowSampleFloor is the minimum windowed sample count before the SLO
+// trigger trusts a p99.
+const sloSampleFloor = 8
+
+// Recorder is the flight-recorder root: it owns the per-worker
+// journals, the sliding windows, the anomaly triggers and the dump
+// surface. A nil *Recorder is inert everywhere, so wiring is optional
+// end-to-end (the same contract as trace.Recorder).
+type Recorder struct {
+	cfg     Config
+	enabled atomic.Bool
+
+	// journals is indexed by worker id (0..255) plus SystemWorker;
+	// slots fill lazily and reads are lock-free (the trace hook routes
+	// by span worker on the hot path).
+	journals [SystemWorker + 1]atomic.Pointer[Journal]
+	mu       sync.Mutex // guards journal creation and dump serialization
+
+	phaseWin    [trace.NumPhases]*Window
+	classWin    [len(classNames)]*Window
+	shedWin     *Window
+	faultWin    *Window
+	deadlineWin *Window
+
+	lastCheck  atomic.Int64
+	lastDump   atomic.Int64
+	dumps      atomic.Int64
+	sink       atomic.Pointer[func(reason string, events []Event)]
+	registered atomic.Bool
+}
+
+// New builds a disabled recorder. Call SetEnabled(true) to start
+// keeping events, AttachTrace to feed it spans, and Register to grow
+// the /metrics exposition.
+func New(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	size := uint64(1)
+	for size < uint64(cfg.JournalSize) {
+		size <<= 1
+	}
+	cfg.JournalSize = int(size)
+	r := &Recorder{cfg: cfg}
+	for i := range r.phaseWin {
+		r.phaseWin[i] = NewWindow(cfg.Buckets, cfg.Bucket)
+	}
+	for i := range r.classWin {
+		r.classWin[i] = NewWindow(cfg.Buckets, cfg.Bucket)
+	}
+	r.shedWin = NewWindow(cfg.Buckets, cfg.Bucket)
+	r.faultWin = NewWindow(cfg.Buckets, cfg.Bucket)
+	r.deadlineWin = NewWindow(cfg.Buckets, cfg.Bucket)
+	return r
+}
+
+// SetEnabled turns the recorder on or off. Disabling keeps already
+// journaled events readable.
+func (r *Recorder) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether events are currently being kept.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// now reads the recorder clock.
+func (r *Recorder) now() int64 { return r.cfg.Now() }
+
+// Journal returns worker's event ring, creating it on first use. A nil
+// recorder returns a nil (inert) journal.
+func (r *Recorder) Journal(worker int) *Journal {
+	if r == nil {
+		return nil
+	}
+	if worker < 0 || worker > SystemWorker {
+		worker = SystemWorker
+	}
+	if j := r.journals[worker].Load(); j != nil {
+		return j
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j := r.journals[worker].Load(); j != nil {
+		return j
+	}
+	j := &Journal{
+		rec:    r,
+		worker: uint16(worker),
+		mask:   uint64(r.cfg.JournalSize) - 1,
+		slots:  make([]atomic.Int64, r.cfg.JournalSize*slotWords),
+	}
+	r.journals[worker].Store(j)
+	return j
+}
+
+// AttachTrace subscribes the recorder to tr's span commits: every span
+// feeds the phase/class windows, and spans above the latency floor are
+// journaled. The hook is a no-op (one atomic load) while the recorder
+// is disabled, preserving trace's zero-alloc guarantee.
+func (r *Recorder) AttachTrace(tr *trace.Recorder) {
+	if r == nil || tr == nil {
+		return
+	}
+	tr.Subscribe(r.onSpan)
+}
+
+// onSpan is the trace-commit hook. It must not allocate: windows are
+// pre-built, journals are created at most once per worker, and the
+// span arrives by value.
+func (r *Recorder) onSpan(s trace.Span) {
+	if !r.enabled.Load() {
+		return
+	}
+	end := s.Start + s.Dur
+	if int(s.Phase) < len(r.phaseWin) {
+		r.phaseWin[s.Phase].Observe(float64(s.Dur), end)
+	}
+	if c := opClass(s.Op); c >= 0 {
+		r.classWin[c].Observe(float64(s.Dur), end)
+	}
+	if r.cfg.SlowFloor >= 0 && s.Dur >= int64(r.cfg.SlowFloor) {
+		r.Journal(int(s.Worker)).noteAt(end, KindSlowSpan, uint8(s.Phase), s.Op, s.Dur, s.Arg)
+	}
+}
+
+// onEvent fans a freshly journaled event into the counter windows and
+// the event-driven triggers. Runs on the journaling goroutine.
+func (r *Recorder) onEvent(k Kind, code uint8, tNs int64) {
+	switch k {
+	case KindShed:
+		r.shedWin.Observe(1, tNs)
+	case KindFault:
+		r.faultWin.Observe(1, tNs)
+	case KindDeadline:
+		r.deadlineWin.Observe(1, tNs)
+	case KindBreaker:
+		if code == 1 { // mirrors fault.StateOpen
+			r.trigger("breaker-open", tNs)
+		}
+	}
+}
+
+// PhaseWindow returns the sliding window of one trace phase — the
+// in-process consumer surface (the adaptive ShouldPoll tuner reads the
+// retrieve-phase window from here).
+func (r *Recorder) PhaseWindow(p trace.Phase) *Window {
+	if r == nil || int(p) >= len(r.phaseWin) {
+		return nil
+	}
+	return r.phaseWin[p]
+}
+
+// ClassWindow returns the sliding window of one op class ("asym" or
+// "sym").
+func (r *Recorder) ClassWindow(class string) *Window {
+	if r == nil {
+		return nil
+	}
+	for i, n := range classNames {
+		if n == class {
+			return r.classWin[i]
+		}
+	}
+	return nil
+}
+
+// ShedWindow returns the shed-event counter window.
+func (r *Recorder) ShedWindow() *Window {
+	if r == nil {
+		return nil
+	}
+	return r.shedWin
+}
+
+// Events returns up to n journaled events, merged across workers and
+// sorted by time (oldest first). n <= 0 returns everything retained.
+func (r *Recorder) Events(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.journals {
+		if j := r.journals[i].Load(); j != nil {
+			out = j.snapshot(out)
+		}
+	}
+	sortEvents(out)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// SetDumpSink installs the dump consumer (typically "write a JSONL
+// file"). The sink runs synchronously on whichever goroutine tripped
+// the trigger — keep it cheap or hand off. Pass nil to detach.
+func (r *Recorder) SetDumpSink(fn func(reason string, events []Event)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&fn)
+}
+
+// Dumps returns how many dump triggers have fired.
+func (r *Recorder) Dumps() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dumps.Load()
+}
+
+// Check evaluates the windowed anomaly conditions (SLO p99 over the
+// offload phases, shed rate). It is rate-limited internally to twice
+// per bucket, so event loops call it every iteration for free.
+func (r *Recorder) Check() {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	nowNs := r.now()
+	last := r.lastCheck.Load()
+	if nowNs-last < int64(r.cfg.Bucket)/2 {
+		return
+	}
+	if !r.lastCheck.CompareAndSwap(last, nowNs) {
+		return
+	}
+	if slo := int64(r.cfg.SLOP99); slo > 0 {
+		for _, p := range trace.OffloadPhases() {
+			if s := r.phaseWin[p].Snapshot(nowNs); s.Count >= sloSampleFloor && s.P99 > float64(slo) {
+				r.trigger("slo-p99", nowNs)
+				return
+			}
+		}
+	}
+	if sr := r.cfg.ShedRate; sr > 0 {
+		if s := r.shedWin.Snapshot(nowNs); s.Rate > sr {
+			r.trigger("shed-rate", nowNs)
+		}
+	}
+}
+
+// Trigger fires a dump unconditionally (manual and signal-driven
+// paths; automatic triggers go through the cooldown-limited internal
+// path instead).
+func (r *Recorder) Trigger(reason string) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.dump(reason, r.now())
+}
+
+// trigger fires a dump unless one fired within the cooldown.
+func (r *Recorder) trigger(reason string, nowNs int64) {
+	last := r.lastDump.Load()
+	if last != 0 && nowNs-last < int64(r.cfg.DumpCooldown) {
+		return
+	}
+	if !r.lastDump.CompareAndSwap(last, nowNs) {
+		return
+	}
+	r.dump(reason, nowNs)
+}
+
+// dump snapshots the journals, marks the dump in the system journal and
+// hands the events to the sink.
+func (r *Recorder) dump(reason string, nowNs int64) {
+	events := r.Events(r.cfg.DumpN)
+	r.dumps.Add(1)
+	if j := r.Journal(SystemWorker); j.Active() {
+		j.noteAt(nowNs, KindDump, DumpReasonCode(reason), trace.OpNone, 0, int64(len(events)))
+	}
+	if fn := r.sink.Load(); fn != nil {
+		(*fn)(reason, events)
+	}
+}
+
+// suffix is the windowed-series name suffix ("w60s" for the default
+// 12 × 5 s configuration).
+func (r *Recorder) suffix() string {
+	return fmt.Sprintf("w%ds", int64(r.phaseWin[0].Span()/time.Second))
+}
+
+// Register grows reg's /metrics exposition with the recorder's
+// windowed series (qtls_phase_ns_<sfx>, qtls_op_ns_<sfx>, the
+// shed/fault/deadline rates and the flight meta counters). Existing
+// series names are untouched. Register is idempotent per recorder.
+func (r *Recorder) Register(reg *metrics.Registry) {
+	if r == nil || reg == nil || !r.registered.CompareAndSwap(false, true) {
+		return
+	}
+	reg.AddExposition(r.writeProm)
+}
+
+// writeProm renders the windowed series in Prometheus text format.
+func (r *Recorder) writeProm(w io.Writer) error {
+	nowNs := r.now()
+	sfx := r.suffix()
+
+	phaseFam := "qtls_phase_ns_" + sfx
+	if err := writeSummaryFamily(w, phaseFam,
+		fmt.Sprintf("Sliding-window (%s) offload-phase latency summary in nanoseconds.", sfx),
+		func(emit func(label string, s WindowSnapshot)) {
+			for p := trace.Phase(0); p < trace.NumPhases; p++ {
+				emit(`phase="`+p.String()+`"`, r.phaseWin[p].Snapshot(nowNs))
+			}
+		}); err != nil {
+		return err
+	}
+
+	opFam := "qtls_op_ns_" + sfx
+	if err := writeSummaryFamily(w, opFam,
+		fmt.Sprintf("Sliding-window (%s) op-class latency summary in nanoseconds.", sfx),
+		func(emit func(label string, s WindowSnapshot)) {
+			for i, n := range classNames {
+				emit(`class="`+n+`"`, r.classWin[i].Snapshot(nowNs))
+			}
+		}); err != nil {
+		return err
+	}
+
+	for _, cw := range []struct {
+		name string
+		help string
+		win  *Window
+	}{
+		{"qtls_shed_" + sfx, "Admission-control rejections over the sliding window.", r.shedWin},
+		{"qtls_fault_" + sfx, "Injected faults over the sliding window.", r.faultWin},
+		{"qtls_deadline_" + sfx, "Connection-deadline expiries over the sliding window.", r.deadlineWin},
+	} {
+		s := cw.win.Snapshot(nowNs)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %[1]s_rate %[2]s\n# TYPE %[1]s_rate gauge\n%[1]s_rate %[3]g\n# TYPE %[1]s_count gauge\n%[1]s_count %[4]d\n",
+			cw.name, cw.help, s.Rate, s.Count); err != nil {
+			return err
+		}
+	}
+
+	var journaled int64
+	for i := range r.journals {
+		if j := r.journals[i].Load(); j != nil {
+			journaled += int64(j.cursor.Load())
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP qtls_flight_events_total Events journaled by the flight recorder (including overwritten ones).\n"+
+			"# TYPE qtls_flight_events_total counter\nqtls_flight_events_total %d\n"+
+			"# HELP qtls_flight_dumps_total Flight-recorder dump triggers fired.\n"+
+			"# TYPE qtls_flight_dumps_total counter\nqtls_flight_dumps_total %d\n",
+		journaled, r.dumps.Load())
+	return err
+}
+
+// writeSummaryFamily renders one windowed summary family: quantile
+// lines plus _count, _sum, and companion _max/_rate gauge families.
+func writeSummaryFamily(w io.Writer, fam, help string, each func(emit func(label string, s WindowSnapshot))) error {
+	var err error
+	emitf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	emitf("# HELP %s %s\n# TYPE %s summary\n", fam, help, fam)
+	type row struct {
+		label string
+		s     WindowSnapshot
+	}
+	var rows []row
+	each(func(label string, s WindowSnapshot) { rows = append(rows, row{label, s}) })
+	for _, r := range rows {
+		emitf("%s{%s,quantile=\"0.5\"} %g\n", fam, r.label, r.s.P50)
+		emitf("%s{%s,quantile=\"0.95\"} %g\n", fam, r.label, r.s.P95)
+		emitf("%s{%s,quantile=\"0.99\"} %g\n", fam, r.label, r.s.P99)
+		emitf("%s_sum{%s} %g\n", fam, r.label, r.s.Mean*float64(r.s.Count))
+		emitf("%s_count{%s} %d\n", fam, r.label, r.s.Count)
+	}
+	emitf("# TYPE %s_max gauge\n", fam)
+	for _, r := range rows {
+		v := r.s.Max
+		if r.s.Count == 0 {
+			v = 0
+		}
+		emitf("%s_max{%s} %g\n", fam, r.label, v)
+	}
+	emitf("# TYPE %s_rate gauge\n", fam)
+	for _, r := range rows {
+		emitf("%s_rate{%s} %g\n", fam, r.label, r.s.Rate)
+	}
+	return err
+}

@@ -1,0 +1,102 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"qtls/internal/trace"
+)
+
+// Concurrent writers on their own journals plus readers merging and
+// dumping them: exercised under -race; torn slots must be skipped, not
+// corrupted.
+func TestFlightConcurrentNoteAndSnapshot(t *testing.T) {
+	r, _ := newTestRecorder(Config{JournalSize: 64})
+	const workers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		j := r.Journal(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j.Note(KindShed, uint8(i%2), trace.OpNone, 0, int64(i))
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		for _, e := range r.Events(0) {
+			if e.Kind != KindShed || int(e.Worker) >= workers || e.Code > 1 {
+				t.Errorf("corrupt event read: %+v", e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The disabled-path cost the CI bench guard enforces: one branch + one
+// atomic load, no allocations.
+func BenchmarkNoteDisabled(b *testing.B) {
+	r := New(Config{})
+	j := r.Journal(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Note(KindShed, ShedAccept, trace.OpNone, 0, int64(i))
+	}
+}
+
+func BenchmarkNoteEnabled(b *testing.B) {
+	r := New(Config{})
+	r.SetEnabled(true)
+	j := r.Journal(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Note(KindShed, ShedAccept, trace.OpNone, 0, int64(i))
+	}
+}
+
+// The span hook with flight disabled (the always-wired configuration)
+// must stay free: one atomic load inside the hook.
+func BenchmarkSpanHookDisabled(b *testing.B) {
+	r := New(Config{})
+	tr := trace.NewRecorder(4096)
+	tr.SetEnabled(true)
+	r.AttachTrace(tr)
+	buf := tr.Buffer(0)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Record(trace.PhaseRetrieve, trace.Op(0), trace.TagNone, int64(i), now, time.Microsecond)
+	}
+}
+
+func BenchmarkSpanHookEnabled(b *testing.B) {
+	r := New(Config{})
+	r.SetEnabled(true)
+	tr := trace.NewRecorder(4096)
+	tr.SetEnabled(true)
+	r.AttachTrace(tr)
+	buf := tr.Buffer(0)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// 5 ms spans take the full path: windows + journal.
+		buf.Record(trace.PhaseRetrieve, trace.Op(0), trace.TagNone, int64(i), now, 5*time.Millisecond)
+	}
+}
+
+func BenchmarkWindowObserve(b *testing.B) {
+	w := NewWindow(12, 5*time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i%1000+1), int64(i)*int64(time.Millisecond))
+	}
+}

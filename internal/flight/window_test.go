@@ -1,0 +1,154 @@
+package flight
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWindowObserveAndSnapshot(t *testing.T) {
+	w := NewWindow(4, time.Second)
+	base := int64(100 * time.Second)
+	for i := 0; i < 100; i++ {
+		w.Observe(1000, base+int64(i)*int64(10*time.Millisecond))
+	}
+	s := w.Snapshot(base + int64(time.Second))
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Min != 1000 || s.Max != 1000 || s.Mean != 1000 {
+		t.Fatalf("min/mean/max = %v/%v/%v, want 1000", s.Min, s.Mean, s.Max)
+	}
+	// Quantiles clamp into [min, max], so a constant stream reports the
+	// constant exactly despite the log-bucket approximation.
+	if s.P50 != 1000 || s.P95 != 1000 || s.P99 != 1000 {
+		t.Fatalf("quantiles = %v/%v/%v, want 1000", s.P50, s.P95, s.P99)
+	}
+	if s.Rate < 50 || s.Rate > 150 {
+		t.Fatalf("rate = %v, want ~100/s", s.Rate)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(4, time.Second)
+	if s := w.Snapshot(int64(time.Hour)); s.Count != 0 || s.P99 != 0 || s.Max != 0 || s.Rate != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+// Bucket rotation: observations older than the window must fall out as
+// the injected clock advances, bucket by bucket.
+func TestWindowBucketRotation(t *testing.T) {
+	w := NewWindow(4, time.Second) // 4 s window
+	base := int64(50 * time.Second)
+	w.Observe(100, base)                    // bucket epoch 50
+	w.Observe(200, base+int64(time.Second)) // epoch 51
+
+	if s := w.Snapshot(base + int64(time.Second)); s.Count != 2 {
+		t.Fatalf("both buckets live: count = %d, want 2", s.Count)
+	}
+	// At t=54s the window is [51, 54]: epoch 50 must have rotated out.
+	if s := w.Snapshot(base + 4*int64(time.Second)); s.Count != 1 || s.Min != 200 {
+		t.Fatalf("after one rotation: count=%d min=%v, want 1/200", s.Count, s.Min)
+	}
+	// At t=55s everything is stale.
+	if s := w.Snapshot(base + 5*int64(time.Second)); s.Count != 0 {
+		t.Fatalf("after full rotation: count = %d, want 0", s.Count)
+	}
+	// A write into a recycled ring slot must reset the stale bucket, not
+	// merge with it.
+	w.Observe(300, base+4*int64(time.Second)) // epoch 54, same slot as 50
+	if s := w.Snapshot(base + 4*int64(time.Second)); s.Count != 2 || s.Min != 200 || s.Max != 300 {
+		t.Fatalf("recycled bucket: %+v", s)
+	}
+}
+
+// The acceptance property: a latency step is visible in the windowed
+// p99 within one bucket rotation, while a lifetime histogram would
+// still be dominated by the old regime.
+func TestWindowLatencyStepDetectedWithinOneBucket(t *testing.T) {
+	w := NewWindow(12, 5*time.Second) // the default 60 s window
+	base := int64(1000 * time.Second)
+	healthy := float64(100 * time.Microsecond)
+	slow := float64(10 * time.Millisecond)
+
+	// 55 s of healthy traffic, 100 observations per bucket.
+	now := base
+	for b := 0; b < 11; b++ {
+		for i := 0; i < 100; i++ {
+			w.Observe(healthy, now)
+			now += int64(50 * time.Millisecond)
+		}
+	}
+	before := w.Snapshot(now)
+	if before.P99 > 2*healthy {
+		t.Fatalf("healthy p99 = %v, want ~%v", before.P99, healthy)
+	}
+
+	// The step: one bucket's worth of slow observations.
+	stepStart := now
+	for i := 0; i < 100; i++ {
+		w.Observe(slow, now)
+		now += int64(50 * time.Millisecond)
+	}
+	after := w.Snapshot(now)
+	if now-stepStart > int64(5*time.Second)+int64(50*time.Millisecond) {
+		t.Fatalf("step spanned %v, exceeds one bucket", time.Duration(now-stepStart))
+	}
+	if after.P99 < slow/2 {
+		t.Fatalf("windowed p99 = %v after step, want >= %v (did not react within one bucket)",
+			time.Duration(int64(after.P99)), time.Duration(int64(slow/2)))
+	}
+	if after.Max != slow {
+		t.Fatalf("windowed max = %v, want %v", after.Max, slow)
+	}
+}
+
+func TestValueBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []float64{0, 1, 2, 3, 4, 7, 8, 1000, 1e6, 1e9, 1e12, 1e15} {
+		b := valueBucket(v)
+		if b < prev {
+			t.Fatalf("valueBucket not monotone at %v: %d < %d", v, b, prev)
+		}
+		if b < 0 || b >= numValueBuckets {
+			t.Fatalf("valueBucket(%v) = %d out of range", v, b)
+		}
+		prev = b
+	}
+	// The midpoint of a value's bucket is within one quarter-octave.
+	for _, v := range []float64{100, 1e5, 3e6, 7e8} {
+		mid := bucketMid(valueBucket(v))
+		if r := mid / v; r < 0.8 || r > 1.25 {
+			t.Fatalf("bucketMid(valueBucket(%v)) = %v, ratio %v out of quarter-octave", v, mid, r)
+		}
+	}
+}
+
+func TestWindowQuantileSpread(t *testing.T) {
+	w := NewWindow(12, 5*time.Second)
+	base := int64(10 * time.Second)
+	// 99 fast + 1 slow: p50 fast, p99 picks up the tail once rank
+	// reaches it.
+	for i := 0; i < 99; i++ {
+		w.Observe(1e5, base)
+	}
+	w.Observe(1e8, base)
+	s := w.Snapshot(base)
+	if s.P50 > 2e5 {
+		t.Fatalf("p50 = %v, want ~1e5", s.P50)
+	}
+	if s.P99 > 2e5 {
+		t.Fatalf("p99 = %v should still be fast at 1%% tail", s.P99)
+	}
+	if math.Abs(s.Max-1e8) > 1 {
+		t.Fatalf("max = %v, want 1e8", s.Max)
+	}
+	// Push the tail past 1%: p99 must move to the slow mode.
+	for i := 0; i < 4; i++ {
+		w.Observe(1e8, base)
+	}
+	if s := w.Snapshot(base); s.P99 < 5e7 {
+		t.Fatalf("p99 = %v after 5%% tail, want ~1e8", s.P99)
+	}
+}

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -119,6 +120,23 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records d in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
 
+// Reset discards every observation, returning the histogram to its
+// freshly constructed state (min/max sentinels included) while keeping
+// the sample capacity. Windowed consumers that merge-and-reset between
+// intervals depend on the sentinels being restored: a stale min/max
+// would leak the previous window's extremes into the next Snapshot.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.count = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+	h.sorted = h.sorted[:0]
+	h.dirty = false
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	h.mu.Lock()
@@ -212,6 +230,7 @@ type Snapshot struct {
 	Max   float64
 	P50   float64
 	P90   float64
+	P95   float64
 	P99   float64
 }
 
@@ -233,7 +252,13 @@ func (h *Histogram) Snapshot() Snapshot {
 		sorted := h.sortedLocked()
 		s.P50 = quantileOf(sorted, 0.50)
 		s.P90 = quantileOf(sorted, 0.90)
+		s.P95 = quantileOf(sorted, 0.95)
 		s.P99 = quantileOf(sorted, 0.99)
+	} else {
+		// All samples evicted (e.g. Reset raced a merge): the exact
+		// extremes still bound the distribution, so report them instead
+		// of zeros — windowed merge paths read Min/Max from here.
+		s.P50, s.P90, s.P95, s.P99 = s.Max, s.Max, s.Max, s.Max
 	}
 	return s
 }
@@ -265,6 +290,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
+	expos    []func(io.Writer) error
 }
 
 // NewRegistry returns an empty registry.
@@ -273,7 +300,31 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches a # HELP line to a metric family (the base name,
+// without labels). The exposition writer emits it immediately before
+// the family's # TYPE line.
+func (r *Registry) SetHelp(family, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[sanitizeMetricName(family)] = help
+}
+
+// AddExposition appends a custom exposition section: fn is invoked at
+// the end of every WritePrometheus call with the same writer, so
+// subsystems with their own series shapes (the flight recorder's
+// windowed summaries) can extend /metrics without the registry learning
+// their types. fn must write complete, well-formed exposition lines.
+func (r *Registry) AddExposition(fn func(io.Writer) error) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expos = append(r.expos, fn)
 }
 
 // Counter returns the named counter, registering it on first use.

@@ -314,3 +314,45 @@ func TestMetricsHistogramQuantileCache(t *testing.T) {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 }
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("pre-reset state wrong: n=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("reset did not clear: n=%d sum=%v min=%v max=%v p99=%v",
+			h.Count(), h.Sum(), h.Min(), h.Max(), h.Quantile(0.99))
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("reset snapshot not empty: %+v", s)
+	}
+	// The min/max sentinels must be restored, not left at the previous
+	// window's extremes.
+	h.Observe(50)
+	if h.Min() != 50 || h.Max() != 50 {
+		t.Fatalf("post-reset extremes leak: min=%v max=%v", h.Min(), h.Max())
+	}
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 50 || s.Max != 50 || s.P95 != 50 {
+		t.Fatalf("post-reset snapshot wrong: %+v", s)
+	}
+}
+
+func TestSnapshotCarriesP95(t *testing.T) {
+	h := NewHistogram(1 << 14)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.P95 < 940 || s.P95 > 960 {
+		t.Fatalf("p95 = %v, want ~950", s.P95)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}

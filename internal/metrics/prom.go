@@ -15,6 +15,7 @@ var promQuantiles = []struct {
 }{
 	{"0.5", 0.50},
 	{"0.9", 0.90},
+	{"0.95", 0.95},
 	{"0.99", 0.99},
 }
 
@@ -51,6 +52,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		s.hist = h
 		series = append(series, s)
 	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	expos := append([]func(io.Writer) error(nil), r.expos...)
 	r.mu.Unlock()
 
 	sort.Slice(series, func(i, j int) bool {
@@ -64,6 +70,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, s := range series {
 		if s.base != prevFamily {
 			prevFamily = s.base
+			if h, ok := help[s.base]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.base, helpEscape(h)); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.base, s.kind()); err != nil {
 				return err
 			}
@@ -72,7 +83,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, fn := range expos {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// helpEscape escapes a HELP text per the exposition format (backslash
+// and newline are the only special characters).
+func helpEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 func (s promSeries) kind() string {
@@ -96,7 +119,7 @@ func (s promSeries) write(w io.Writer) error {
 		return err
 	default:
 		snap := s.hist.Snapshot()
-		quants := [...]float64{snap.P50, snap.P90, snap.P99}
+		quants := [...]float64{snap.P50, snap.P90, snap.P95, snap.P99}
 		for i, pq := range promQuantiles {
 			if _, err := fmt.Fprintf(w, "%s %s\n",
 				s.name(`quantile="`+pq.label+`"`), promFloat(quants[i])); err != nil {

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"regexp"
 	"strings"
 	"testing"
@@ -83,5 +86,52 @@ func TestMetricsPrometheusEmptyHistogram(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "empty_ns_count 0\n") {
 		t.Fatalf("empty histogram not exported:\n%s", out)
+	}
+}
+
+func TestMetricsPrometheusHelpLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qtls_record_bytes").Add(10)
+	r.SetHelp("qtls_record_bytes", "Wire bytes flushed by the record data plane.")
+	r.SetHelp("with\nnewline", `line one
+line two \ backslash`)
+	r.Counter("with\nnewline").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "# HELP qtls_record_bytes Wire bytes flushed by the record data plane.\n# TYPE qtls_record_bytes counter\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("HELP not emitted before TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP with_newline line one\nline two \\ backslash`) {
+		t.Fatalf("HELP escaping wrong:\n%s", out)
+	}
+}
+
+func TestMetricsPrometheusAddExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_counter").Inc()
+	r.AddExposition(func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "# TYPE custom_series gauge\ncustom_series 42\n")
+		return err
+	})
+	r.AddExposition(nil) // ignored
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "custom_series 42\n") {
+		t.Fatalf("exposition hook output missing:\n%s", out)
+	}
+	if strings.Index(out, "custom_series") < strings.Index(out, "a_counter") {
+		t.Fatalf("exposition hooks must run after built-in series:\n%s", out)
+	}
+	wantErr := errors.New("boom")
+	r.AddExposition(func(io.Writer) error { return wantErr })
+	if err := r.WritePrometheus(&sb); err != wantErr {
+		t.Fatalf("exposition error not propagated: %v", err)
 	}
 }

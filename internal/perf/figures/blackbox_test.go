@@ -1,0 +1,60 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBlackboxShape runs the deterministic flight-telemetry figure and
+// pins its headline asymmetry: the windowed p99 crosses the SLO within
+// seconds of incident onset and forgets once the incident leaves the
+// window, while the lifetime p99 never reacts at all.
+func TestBlackboxShape(t *testing.T) {
+	tab := Blackbox(Quick())
+	checkShape(t, tab, 4)
+	win := seriesByName(t, tab, "w60s p99")
+	life := seriesByName(t, tab, "all-time p99")
+	trig := seriesByName(t, tab, "slo trigger")
+
+	col := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q in %v", name, tab.Columns)
+		return -1
+	}
+	const sloMs = 5.0
+
+	// Healthy before onset: both planes agree, well under the SLO.
+	for _, c := range []string{"-60s", "-5s"} {
+		i := col(c)
+		if win.Values[i] >= sloMs || trig.Values[i] != 0 {
+			t.Errorf("%s: windowed p99 %.2f ms already over the %g ms SLO", c, win.Values[i], sloMs)
+		}
+	}
+	// Detection: the trigger is armed within ten seconds of onset and
+	// stays armed through the incident.
+	for _, c := range []string{"+10s", "+20s", "+30s"} {
+		i := col(c)
+		if win.Values[i] <= sloMs || trig.Values[i] != 1 {
+			t.Errorf("%s: windowed p99 %.2f ms did not cross the %g ms SLO", c, win.Values[i], sloMs)
+		}
+	}
+	// Forgetting: one window span after the incident ends, the windowed
+	// p99 is back under the SLO.
+	if i := col("+95s"); win.Values[i] >= sloMs || trig.Values[i] != 0 {
+		t.Errorf("+95s: windowed p99 %.2f ms has not recovered below %g ms", win.Values[i], sloMs)
+	}
+	// The lifetime histogram never moves: its p99 stays under the SLO at
+	// every sampled instant, incident included.
+	for i, c := range tab.Columns {
+		if life.Values[i] >= sloMs {
+			t.Errorf("%s: lifetime p99 %.2f ms crossed the %g ms SLO", c, life.Values[i], sloMs)
+		}
+	}
+	if !strings.Contains(tab.Notes, "after onset") {
+		t.Errorf("notes do not report a detection latency: %q", tab.Notes)
+	}
+}

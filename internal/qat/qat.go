@@ -282,6 +282,11 @@ type InstanceStats struct {
 	Dequeued int64
 	// MaxBatch is the largest single-poll batch observed.
 	MaxBatch int64
+	// Reclaimed counts ring slots recovered by ReclaimLeaked — each one a
+	// stalled request the submitter gave up on. A growing value is the
+	// ring-level shadow of the engine's timeout/fallback incidents (the
+	// flight recorder journals the submitter-side cause).
+	Reclaimed int64
 }
 
 type completed struct {
@@ -687,6 +692,7 @@ func (inst *Instance) ReclaimLeaked() int {
 	n := inst.leaked
 	inst.inflight -= n
 	inst.leaked = 0
+	inst.stats.Reclaimed += int64(n)
 	return n
 }
 

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"qtls/internal/fault"
+	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/offload"
@@ -82,6 +83,10 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Trace, when set, records PhaseRecord flush spans.
 	Trace *trace.Buffer
+	// Flight, when set, receives black-box events: record-path breaker
+	// transitions and every offload-to-software fallback with its cause
+	// (ring-full, breaker-open, in-flight failure).
+	Flight *flight.Journal
 }
 
 // Stats are the engine's cumulative counters. Read them on the owner
@@ -114,6 +119,7 @@ type Engine struct {
 	brk  *fault.Breaker
 	rnd  io.Reader
 	tr   *trace.Buffer
+	fl   *flight.Journal
 
 	pool sync.Pool // *buffer; Work closures fill them on engine goroutines
 
@@ -139,8 +145,17 @@ func New(cfg Config) *Engine {
 	if e.rnd == nil {
 		e.rnd = rand.Reader
 	}
+	e.fl = cfg.Flight
 	if cfg.Breaker != nil {
 		e.brk = fault.NewBreaker(*cfg.Breaker)
+		if e.fl != nil {
+			// Journal record-path breaker transitions; Arg -1 marks the
+			// record breaker (handshake-engine breakers carry an instance
+			// index there).
+			e.brk.SetOnTransition(func(from, to fault.BreakerState) {
+				e.fl.Note(flight.KindBreaker, uint8(to), trace.Op(qat.OpSym), int64(from), -1)
+			})
+		}
 	}
 	if cfg.Metrics != nil {
 		e.ctrBytes = cfg.Metrics.Counter("qtls_record_bytes")
@@ -254,7 +269,10 @@ func (s *Stream) Write(p []byte) error {
 		if s.e.ctrOffload != nil {
 			s.e.ctrOffload.Add(int64(accepted))
 		}
-		s.e.stats.Fallbacks += int64(len(offloadable) - accepted)
+		if tail := len(offloadable) - accepted; tail > 0 {
+			s.e.stats.Fallbacks += int64(tail)
+			s.e.fl.Note(flight.KindFallback, flight.FallbackRingFull, trace.Op(qat.OpSym), 0, int64(tail))
+		}
 	}
 	for _, j := range offloadable[accepted:] {
 		s.e.sealSoftware(j)
@@ -305,6 +323,7 @@ func (s *Stream) WriteRecord(typ uint8, payload []byte) error {
 		} else if errors.Is(err, qat.ErrRingFull) {
 			s.e.stats.RingFull++
 			s.e.stats.Fallbacks++
+			s.e.fl.Note(flight.KindFallback, flight.FallbackRingFull, trace.Op(qat.OpSym), 0, 1)
 		}
 	}
 	s.e.sealSoftware(j)
@@ -351,6 +370,9 @@ func (e *Engine) shouldOffload(bytes int) bool {
 		return false
 	}
 	if e.brk != nil && !e.brk.Allow(time.Now()) {
+		// Routed to software while the record breaker is non-closed; the
+		// black box sees the routing decision, not just the trip.
+		e.fl.Note(flight.KindFallback, flight.FallbackBreaker, trace.Op(qat.OpSym), 0, 0)
 		return false
 	}
 	return true
@@ -388,6 +410,7 @@ func (e *Engine) requestFor(j *job) qat.Request {
 				// re-seal in software at flush time, same sequence number.
 				j.failed = true
 				e.stats.Fallbacks++
+				e.fl.Note(flight.KindFallback, flight.FallbackError, trace.Op(qat.OpSym), 0, int64(j.seq))
 			} else {
 				j.buf = buf
 			}
@@ -458,6 +481,7 @@ func (e *Engine) OpenAsync(codec minitls.RecordCodec, seq uint64, rec []byte, cb
 				}
 				// Device fault, not a codec verdict: re-open in software.
 				e.stats.Fallbacks++
+				e.fl.Note(flight.KindFallback, flight.FallbackError, trace.Op(qat.OpSym), 0, int64(seq))
 				typ, payload, err := open()
 				cb(typ, payload, err)
 			},
@@ -470,10 +494,13 @@ func (e *Engine) OpenAsync(codec minitls.RecordCodec, seq uint64, rec []byte, cb
 			}
 			return
 		}
+		cause := uint8(flight.FallbackError)
 		if errors.Is(err, qat.ErrRingFull) {
 			e.stats.RingFull++
+			cause = flight.FallbackRingFull
 		}
 		e.stats.Fallbacks++
+		e.fl.Note(flight.KindFallback, cause, trace.Op(qat.OpSym), 0, int64(seq))
 	}
 	e.stats.SoftwareOps++
 	if e.ctrSoftware != nil {

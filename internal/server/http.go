@@ -139,6 +139,8 @@ func (w *Worker) serveRequest(c *conn, req []byte) {
 		body, ok = w.metricsBody(), true
 	case path == "/debug/trace" && w.tracer != nil:
 		body, ok = w.traceBody(query), true
+	case path == "/debug/flight" && w.flight != nil:
+		body, ok = w.flightBody(query), true
 	default:
 		body, ok = w.handler(path)
 	}
@@ -273,6 +275,28 @@ func (w *Worker) traceBody(query string) []byte {
 		return []byte(`{"error":"trace encoding failed"}`)
 	}
 	return append(out, '\n')
+}
+
+// flightBody serves the /debug/flight endpoint: a manual black-box dump
+// in the same JSON-lines format the anomaly trigger emits — one header
+// line with the windowed phase summaries, then the journaled events,
+// oldest first. ?n= bounds the event count (default everything
+// retained). Reading is lock-free on the writer side: journal snapshots
+// skip torn slots, so scraping under load never blocks a worker.
+func (w *Worker) flightBody(query string) []byte {
+	n := 0
+	for _, kv := range strings.Split(query, "&") {
+		if v, ok := strings.CutPrefix(kv, "n="); ok {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				n = parsed
+			}
+		}
+	}
+	var b bytes.Buffer
+	if err := w.flight.WriteDump(&b, "manual", n); err != nil {
+		return []byte("{\"error\":\"flight dump failed\"}\n")
+	}
+	return b.Bytes()
 }
 
 // requestWantsClose reports whether the request headers ask for the

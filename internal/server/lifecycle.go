@@ -5,6 +5,7 @@ package server
 import (
 	"time"
 
+	"qtls/internal/flight"
 	"qtls/internal/netpoll"
 	"qtls/internal/offload"
 	"qtls/internal/trace"
@@ -89,6 +90,7 @@ func (w *Worker) expireDeadline(c *conn) {
 	class := c.dlClass
 	w.disarmDeadline(c)
 	w.Stats.DeadlineExpired[class].Add(1)
+	w.fl.Note(flight.KindDeadline, uint8(class), trace.OpNone, 0, int64(c.fd))
 	if class == offload.DeadlineKeepalive && !c.asyncPending {
 		w.closeGracefully(c, trace.TagNone)
 		return
@@ -127,6 +129,7 @@ func (w *Worker) shedAccept(nc *netpoll.Conn) bool {
 		return false
 	}
 	w.Stats.ShedAccepts.Add(1)
+	w.fl.Note(flight.KindShed, flight.ShedAccept, trace.OpNone, 0, int64(nc.FD()))
 	if w.tr.Active() {
 		w.tr.Record(trace.PhaseShed, trace.OpNone, trace.TagNone, int64(nc.FD()), time.Now(), 0)
 	}
@@ -145,6 +148,7 @@ func (w *Worker) shedKeepalive(c *conn) bool {
 		return false
 	}
 	w.Stats.ShedKeepalive.Add(1)
+	w.fl.Note(flight.KindShed, flight.ShedKeepalive, trace.OpNone, 0, int64(c.fd))
 	if w.tr.Active() {
 		w.tr.Record(trace.PhaseShed, trace.OpNone, trace.TagNone, int64(c.fd), time.Now(), 0)
 	}
@@ -173,6 +177,7 @@ func (w *Worker) drainStep() bool {
 		w.poller.Del(w.listener.FD())
 		w.listener.Close()
 		w.listenerOff = true
+		w.fl.Note(flight.KindDrain, flight.DrainStart, trace.OpNone, 0, int64(len(w.conns)))
 	}
 	for _, c := range w.conns {
 		if c.asyncPending || c.draining {
@@ -195,5 +200,6 @@ func (w *Worker) drainStep() bool {
 	// Everything settled; push any straggler coalesced submissions out
 	// before the poller and pipes are torn down.
 	w.flushSubmits()
+	w.fl.Note(flight.KindDrain, flight.DrainDone, trace.OpNone, 0, 0)
 	return true
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"qtls/internal/fault"
+	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/offload"
@@ -53,6 +55,14 @@ type Options struct {
 	// /debug/trace endpoint; each worker gets a private ring buffer from
 	// it. nil disables span recording (and /debug/trace 404s).
 	Trace *trace.Recorder
+	// Flight, when set, wires the black-box flight recorder: each worker
+	// gets a private event journal, breaker transitions and fault
+	// injections are journaled, span windows feed the `_w60s` metric
+	// series, and the /debug/flight endpoint serves anomaly dumps. nil
+	// disables the flight surface (and /debug/flight 404s). Windowed
+	// span-fed series additionally require Trace to be set and enabled —
+	// the flight recorder consumes spans through trace.Subscribe.
+	Flight *flight.Recorder
 }
 
 // Server is a set of event-driven workers sharing one listening port.
@@ -88,10 +98,23 @@ func New(opts Options) (*Server, error) {
 		// safe: SetSink on a nil *fault.Injector is a no-op).
 		opts.Device.Spec().Injector.SetSink(reg.Counter("qat_faults_injected"))
 	}
+	if opts.Flight != nil {
+		// Span windows feed off the trace recorder; windowed series join
+		// the /metrics exposition; every injected fault lands in the
+		// black-box journal with its kind and endpoint/op.
+		opts.Flight.AttachTrace(opts.Trace)
+		opts.Flight.Register(reg)
+		if opts.Device != nil {
+			fl := opts.Flight.Journal(flight.SystemWorker)
+			opts.Device.Spec().Injector.SetEventSink(func(k fault.Kind, endpoint, op int) {
+				fl.Note(flight.KindFault, uint8(k), trace.Op(op), int64(endpoint), 0)
+			})
+		}
+	}
 	s := &Server{reg: reg}
 	addr := opts.Addr
 	for i := 0; i < opts.Workers; i++ {
-		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler, reg, opts.Trace)
+		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler, reg, opts.Trace, opts.Flight)
 		if err != nil {
 			s.Stop()
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"qtls/internal/engine"
+	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
 	"qtls/internal/netpoll"
@@ -107,6 +108,12 @@ type Worker struct {
 	tracer *trace.Recorder // shared recorder behind /debug/trace
 	tr     *trace.Buffer   // this worker's private span ring
 
+	// Black-box flight recorder (see internal/flight). flight/fl are
+	// nil-safe like tracer/tr: with the recorder disabled every journal
+	// site costs one branch plus one atomic load.
+	flight *flight.Recorder // shared recorder behind /debug/flight
+	fl     *flight.Journal  // this worker's private event ring
+
 	// Pre-created registry series (nil when reg is nil). Histograms are
 	// only fed while tracing is enabled; gauges and mirrored counters are
 	// refreshed every loop iteration regardless.
@@ -173,8 +180,10 @@ type conn struct {
 
 // NewWorker builds a worker. dev may be nil for the SW configuration;
 // reg may be nil to disable the metrics/stub_status surface; tracer may
-// be nil to disable span recording (the /debug/trace endpoint then 404s).
-func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry, tracer *trace.Recorder) (*Worker, error) {
+// be nil to disable span recording (the /debug/trace endpoint then 404s);
+// fr may be nil to disable the flight recorder (the /debug/flight
+// endpoint then 404s).
+func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry, tracer *trace.Recorder, fr *flight.Recorder) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
 		id:        id,
@@ -187,6 +196,8 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 		conns:     make(map[int]*conn),
 		tracer:    tracer,
 		tr:        tracer.Buffer(id), // nil recorder → nil (inert) buffer
+		flight:    fr,
+		fl:        fr.Journal(id), // nil recorder → nil (inert) journal
 	}
 	w.wheel = newDeadlineWheel(w.deadlines.Tick, time.Now())
 	w.initSeries()
@@ -239,6 +250,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			Coalesce:     cfg.CoalesceSubmits && cfg.AsyncMode != minitls.AsyncModeOff,
 			Metrics:      reg,
 			Trace:        w.tr,
+			Flight:       w.fl,
 		})
 		if err != nil {
 			w.cleanup()
@@ -264,6 +276,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			Breaker:  cfg.Breaker,
 			Metrics:  reg,
 			Trace:    w.tr,
+			Flight:   w.fl,
 		})
 	}
 	if cfg.Notify == NotifyFD && cfg.AsyncMode != minitls.AsyncModeOff {
@@ -401,6 +414,10 @@ func (w *Worker) Run() {
 			w.updateGauges()
 			w.mirrorStats()
 		}
+		// Anomaly sweep: rate-limited internally to half a window bucket,
+		// so per-iteration cost is one atomic load when disabled and one
+		// clock read + CAS otherwise.
+		w.flight.Check()
 		if tracing {
 			busy := time.Since(busyStart)
 			if w.histLoop != nil {

@@ -262,6 +262,20 @@ func (b *Buffer) Record(ph Phase, op Op, tag Tag, arg int64, start time.Time, du
 	b.slots[base+3].Store(int64(ph) | int64(op)<<8 | int64(tag)<<16 | int64(b.worker)<<24)
 	b.slots[base+4].Store(arg)
 	b.slots[base].Store(gen + 2)
+	if h := b.rec.hook.Load(); h != nil {
+		// The span is handed over by value: a subscriber that does not
+		// allocate keeps this path allocation-free (the package benchmark
+		// guards the disabled path; flight's guards the subscribed one).
+		(*h)(Span{
+			Start:  start.UnixNano(),
+			Dur:    int64(dur),
+			Phase:  ph,
+			Op:     op,
+			Tag:    tag,
+			Worker: b.worker,
+			Arg:    arg,
+		})
+	}
 }
 
 // size returns the ring capacity in spans.
@@ -308,6 +322,7 @@ func (b *Buffer) snapshot(out []Span) []Span {
 type Recorder struct {
 	enabled   atomic.Bool
 	perWorker uint64
+	hook      atomic.Pointer[func(Span)]
 
 	mu   sync.Mutex
 	bufs map[int]*Buffer
@@ -336,6 +351,24 @@ func (r *Recorder) SetEnabled(on bool) {
 
 // Enabled reports whether spans are currently being kept.
 func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Subscribe installs fn as the span-commit hook: every span recorded
+// while the recorder is enabled is also handed to fn, by value, on the
+// recording goroutine. This is how the flight recorder observes the
+// stack without re-instrumenting it. fn must be fast and must not
+// allocate if the record path's zero-alloc property matters to the
+// caller; it must not call back into the recorder. Pass nil to detach.
+// Only one subscriber is supported; the latest call wins.
+func (r *Recorder) Subscribe(fn func(Span)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.hook.Store(nil)
+		return
+	}
+	r.hook.Store(&fn)
+}
 
 // Buffer returns worker's private ring, creating it on first use. A nil
 // recorder returns a nil (inert) buffer, so wiring is optional

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -175,6 +176,68 @@ func TestTraceNames(t *testing.T) {
 	}
 }
 
+func TestTraceSubscribeSeesCommittedSpans(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetEnabled(true)
+	var got []Span
+	r.Subscribe(func(s Span) { got = append(got, s) })
+	b := r.Buffer(2)
+	base := time.Unix(2000, 0)
+	b.Record(PhaseRetrieve, Op(1), TagRetry, 42, base, 3*time.Microsecond)
+	if len(got) != 1 {
+		t.Fatalf("hook saw %d spans, want 1", len(got))
+	}
+	s := got[0]
+	if s.Phase != PhaseRetrieve || s.Op != Op(1) || s.Tag != TagRetry ||
+		s.Worker != 2 || s.Arg != 42 || s.Dur != int64(3*time.Microsecond) ||
+		s.Start != base.UnixNano() {
+		t.Fatalf("hook span decoded wrong: %+v", s)
+	}
+
+	// A disabled recorder must not invoke the hook.
+	r.SetEnabled(false)
+	b.Record(PhasePre, Op(0), TagNone, 0, base, time.Microsecond)
+	if len(got) != 1 {
+		t.Fatal("hook fired while recorder disabled")
+	}
+
+	// Detach: spans keep flowing into the ring but not the hook.
+	r.SetEnabled(true)
+	r.Subscribe(nil)
+	b.Record(PhasePre, Op(0), TagNone, 0, base, time.Microsecond)
+	if len(got) != 1 {
+		t.Fatal("hook fired after Subscribe(nil)")
+	}
+
+	var nilRec *Recorder
+	nilRec.Subscribe(func(Span) {}) // must not panic
+}
+
+// A non-allocating subscriber must keep the enabled record path at zero
+// allocations — flight's span hook depends on the span arriving by
+// value.
+func TestTraceSubscribedRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(8)
+	var sink atomic.Int64
+	r.Subscribe(func(s Span) { sink.Add(s.Dur) })
+	b := r.Buffer(0)
+	now := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		b.Record(PhaseRetrieve, Op(0), TagNone, 7, now, time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("disabled Record with subscriber allocates %v times per call", n)
+	}
+	r.SetEnabled(true)
+	if n := testing.AllocsPerRun(1000, func() {
+		b.Record(PhaseRetrieve, Op(0), TagNone, 7, now, time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("enabled Record with subscriber allocates %v times per call", n)
+	}
+	if sink.Load() == 0 {
+		t.Fatal("subscriber never ran")
+	}
+}
+
 func BenchmarkRecordDisabled(b *testing.B) {
 	r := NewRecorder(4096)
 	buf := r.Buffer(0)
@@ -188,6 +251,19 @@ func BenchmarkRecordDisabled(b *testing.B) {
 func BenchmarkRecordEnabled(b *testing.B) {
 	r := NewRecorder(4096)
 	r.SetEnabled(true)
+	buf := r.Buffer(0)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Record(PhasePre, Op(0), TagNone, int64(i), now, time.Microsecond)
+	}
+}
+
+func BenchmarkRecordSubscribed(b *testing.B) {
+	r := NewRecorder(4096)
+	r.SetEnabled(true)
+	var sink atomic.Int64
+	r.Subscribe(func(s Span) { sink.Add(s.Dur) })
 	buf := r.Buffer(0)
 	now := time.Now()
 	b.ReportAllocs()
