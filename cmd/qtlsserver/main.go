@@ -59,6 +59,9 @@ func main() {
 		symThr   = flag.Int("sym-threshold", offload.DefaultSymThreshold, "heuristic polling sym threshold")
 		interval = flag.Duration("poll-interval", offload.DefaultPollInterval, "timer polling interval")
 		coalesce = flag.Bool("coalesce", false, "batch async submissions per event-loop iteration (one doorbell per batch)")
+		notify   = flag.String("notify", "", "async notification backend: fd, kernel-bypass or coalesced (empty = the configuration's default)")
+		adaptive = flag.Bool("adaptive-poll", false, "close the loop on the heuristic thresholds from the retrieve-phase window (implies -flight)")
+		adaptInt = flag.Duration("adaptive-interval", time.Second, "minimum spacing between adaptive threshold adjustments (with -adaptive-poll)")
 		recMode  = flag.String("record-mode", "software", "post-handshake record path: software, offload, or adaptive")
 		recThr   = flag.Int("record-threshold", offload.DefaultRecordThreshold, "adaptive record-offload size threshold in bytes")
 		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
@@ -151,6 +154,29 @@ func main() {
 	// Submit coalescing applies to the async configurations only (the
 	// straight-offload path waits for its own response inline).
 	run.CoalesceSubmits = *coalesce
+
+	// Notification backend override: the named configurations pick fd or
+	// kernel-bypass per the paper; -notify swaps in any Notifier
+	// implementation, including the coalesced hybrid.
+	if *notify != "" {
+		scheme, ok := offload.NotifySchemeByName(*notify)
+		if !ok {
+			log.Fatalf("unknown -notify %q (want fd, kernel-bypass or coalesced)", *notify)
+		}
+		run.Notify = scheme
+	}
+
+	// Adaptive polling replaces the static 48/24 thresholds with the
+	// closed-loop controller. Its feedback source is the flight
+	// recorder's retrieve-phase window, so it implies -flight (which in
+	// turn implies -trace).
+	if *adaptive {
+		if run.Polling != offload.PollHeuristic {
+			log.Fatalf("-adaptive-poll needs heuristic polling (config %s uses %v)", run.Name, run.Polling)
+		}
+		run.AdaptivePoll = &offload.AdaptiveConfig{Interval: *adaptInt}
+		*flightOn = true
+	}
 
 	// Record-path offload: after the handshake, application-data records
 	// are sealed by the record engine per this policy (internal/record).
@@ -258,6 +284,9 @@ func main() {
 	log.Printf("observability: GET /stub_status, GET /metrics (Prometheus text)")
 	if rec != nil {
 		log.Printf("tracing: GET /debug/trace?n=256 (four-phase spans, %d per worker)", *traceCap)
+	}
+	if run.AdaptivePoll != nil {
+		log.Printf("adaptive polling: closed-loop thresholds every %s, watch qtls_poll_threshold{class} on /metrics", *adaptInt)
 	}
 	if fr != nil {
 		log.Printf("flight recorder: GET /debug/flight?n=256, SIGQUIT dumps, windowed *_w60s series on /metrics")

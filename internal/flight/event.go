@@ -59,6 +59,10 @@ const (
 	// KindDump marks a dump trigger firing. Code is the trigger reason
 	// and Arg the number of events captured.
 	KindDump
+	// KindThreshold is one adaptive poll-threshold move. Code is the
+	// threshold class (asym/sym), Dur the old threshold and Arg the new
+	// one.
+	KindThreshold
 
 	numKinds
 )
@@ -82,6 +86,8 @@ func (k Kind) String() string {
 		return "fallback"
 	case KindDump:
 		return "dump"
+	case KindThreshold:
+		return "threshold"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -144,6 +150,8 @@ var (
 	deadlineNames = [...]string{"handshake", "header", "keepalive", "write"}
 	drainNames    = [...]string{"start", "done"}
 	fallbackNames = [...]string{"timeout", "cancel", "ring-full", "breaker", "error", "oversize"}
+	// thresholdNames mirror offload.ThresholdAsym/ThresholdSym.
+	thresholdNames = [...]string{"asym", "sym"}
 )
 
 func codeName(k Kind, code uint8) string {
@@ -165,6 +173,8 @@ func codeName(k Kind, code uint8) string {
 		tab = fallbackNames[:]
 	case KindDump:
 		tab = dumpReasons[:]
+	case KindThreshold:
+		tab = thresholdNames[:]
 	}
 	if int(code) < len(tab) {
 		return tab[code]

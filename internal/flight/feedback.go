@@ -1,0 +1,32 @@
+package flight
+
+import "qtls/internal/offload"
+
+// WindowFeedback backs offload.PollFeedback with a pair of sliding
+// windows: retrieve-phase latency (the recorder's PhaseRetrieve window
+// on the live stack, a virtual-time window in the DES) and completion
+// batch sizes (fed by the worker's poll path). This is the closed-loop
+// wiring the Window doc comment promised: the adaptive ShouldPoll tuner
+// reads the last window, not the lifetime histograms, so the thresholds
+// follow what the device is doing *now*.
+type WindowFeedback struct {
+	// Latency observes retrieve-phase latency in nanoseconds.
+	Latency *Window
+	// Batch observes the size of each non-empty completion batch.
+	Batch *Window
+}
+
+// Feedback merges both windows into one controller reading.
+func (f WindowFeedback) Feedback(nowNs int64) offload.FeedbackPoint {
+	var p offload.FeedbackPoint
+	if f.Latency != nil {
+		s := f.Latency.Snapshot(nowNs)
+		p.Samples = s.Count
+		p.P95 = s.P95
+		p.P99 = s.P99
+	}
+	if f.Batch != nil {
+		p.BatchMean = f.Batch.Snapshot(nowNs).Mean
+	}
+	return p
+}

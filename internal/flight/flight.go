@@ -220,6 +220,18 @@ func (r *Recorder) onEvent(k Kind, code uint8, tNs int64) {
 	}
 }
 
+// NewWindow builds an extra sliding window with the recorder's bucket
+// geometry — for feedback consumers (the adaptive poll tuner's
+// completion-batch window) that want the same time horizon as the
+// recorder's own windows. A nil recorder returns a default window so
+// callers need no nil branch.
+func (r *Recorder) NewWindow() *Window {
+	if r == nil {
+		return NewWindow(0, 0)
+	}
+	return NewWindow(r.cfg.Buckets, r.cfg.Bucket)
+}
+
 // PhaseWindow returns the sliding window of one trace phase — the
 // in-process consumer surface (the adaptive ShouldPoll tuner reads the
 // retrieve-phase window from here).

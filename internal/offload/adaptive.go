@@ -1,0 +1,291 @@
+package offload
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// The adaptive polling controller. The paper calibrates the 48/24
+// efficiency thresholds for one device and one op mix (§4.3); the record
+// path's symmetric traffic and PQ-scale asymmetric ops invalidate both.
+// AdaptivePoll closes the loop: it reads a windowed feedback signal —
+// retrieve-phase latency (how long completed responses sit on the rings
+// before a poll collects them) and completion-batch efficiency (how many
+// responses each poll amortizes its cost over) — and walks the asym/sym
+// thresholds toward the latency knee with hysteresis and clamped steps.
+// Everything behind PollPolicy.Threshold, so ShouldPoll and FailoverDue
+// call sites never change.
+
+// FeedbackPoint is one windowed reading of the retrieve-phase signal.
+type FeedbackPoint struct {
+	// Samples is the number of retrieve observations in the window; the
+	// controller holds while it is under AdaptiveConfig.MinSamples.
+	Samples int64
+	// P95 and P99 are windowed retrieve-phase latency quantiles in
+	// nanoseconds (submission → response collected).
+	P95, P99 float64
+	// BatchMean is the mean completion-batch size per non-empty poll over
+	// the window.
+	BatchMean float64
+}
+
+// PollFeedback is the injected feedback source. The live stack and the
+// DES both back it with flight.Window pairs (flight.WindowFeedback);
+// tests use fixed fakes. The clock is the caller's: the live stack
+// passes wall nanoseconds, the DES passes virtual nanoseconds.
+type PollFeedback interface {
+	Feedback(nowNs int64) FeedbackPoint
+}
+
+// AdaptiveConfig parameterizes the controller. The zero value resolves
+// to usable defaults via WithDefaults.
+type AdaptiveConfig struct {
+	// MinAsym/MaxAsym clamp the asym threshold walk (defaults 4, 192).
+	MinAsym, MaxAsym int
+	// MinSym/MaxSym clamp the sym threshold walk (defaults 2, 96).
+	MinSym, MaxSym int
+	// Step is the largest per-adjustment move of the asym threshold; the
+	// sym threshold moves by max(1, Step/2), preserving the paper's 2:1
+	// shape (default 4).
+	Step int
+	// Hysteresis is the dead band around the latency knee: no adjustment
+	// while the windowed p99 is within ±Hysteresis of it (default 0.15).
+	Hysteresis float64
+	// Headroom positions the knee above the observed latency floor:
+	// knee = floor × (1 + Headroom) (default 0.5).
+	Headroom float64
+	// BatchFill gates upward steps: thresholds only grow while the mean
+	// completion batch is at least BatchFill × the current asym
+	// threshold, i.e. polls actually run threshold-sized (default 0.75).
+	BatchFill float64
+	// Interval is the minimum spacing between adjustments; Tick calls
+	// inside it are no-ops (default 1s).
+	Interval time.Duration
+	// MinSamples is the windowed sample count below which the feedback
+	// is not trusted (default 32).
+	MinSamples int64
+	// Failover is the failover interval of the policy this controller
+	// steers (default DefaultFailoverInterval; the stacks override it
+	// with the resolved policy value). A windowed p99 near it means
+	// responses are being collected by the failover timer, not the
+	// efficiency constraint — the threshold is unreachable for the
+	// current in-flight population and stepping down is free.
+	Failover time.Duration
+}
+
+// WithDefaults resolves unset fields.
+func (c AdaptiveConfig) WithDefaults() AdaptiveConfig {
+	if c.MinAsym <= 0 {
+		c.MinAsym = 4
+	}
+	if c.MaxAsym <= 0 {
+		c.MaxAsym = 4 * DefaultAsymThreshold
+	}
+	if c.MinSym <= 0 {
+		c.MinSym = 2
+	}
+	if c.MaxSym <= 0 {
+		c.MaxSym = 4 * DefaultSymThreshold
+	}
+	if c.Step <= 0 {
+		c.Step = 4
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.15
+	}
+	if c.Headroom <= 0 {
+		c.Headroom = 0.5
+	}
+	if c.BatchFill <= 0 {
+		c.BatchFill = 0.75
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.Failover <= 0 {
+		c.Failover = DefaultFailoverInterval
+	}
+	return c
+}
+
+// Threshold classes reported to the OnChange hook (and journaled as
+// flight threshold-change events).
+const (
+	ThresholdAsym = iota
+	ThresholdSym
+)
+
+// ThresholdClassName names a threshold class for metric labels.
+func ThresholdClassName(class int) string {
+	if class == ThresholdAsym {
+		return "asym"
+	}
+	return "sym"
+}
+
+// failoverFill is the fraction of the failover interval beyond which
+// the windowed p99 is read as failover pacing (see AdaptiveConfig.
+// Failover).
+const failoverFill = 0.8
+
+// floorDecay is the fraction by which the latency floor creeps toward
+// the current reading each adjustment when the reading is above it, so
+// a permanently changed workload re-bases the knee instead of chasing a
+// floor observed under conditions that no longer exist.
+const floorDecay = 0.05
+
+// AdaptivePoll is the closed-loop threshold controller. One instance
+// belongs to one worker loop; Threshold is read on that loop's hot path
+// (and by the observability plane), Tick runs on the same loop, so a
+// single small mutex suffices — there is no contention, only
+// cross-goroutine visibility for metric readers.
+type AdaptivePoll struct {
+	mu       sync.Mutex
+	cfg      AdaptiveConfig
+	fb       PollFeedback
+	asym     int
+	sym      int
+	floor    float64 // lowest windowed p99 seen (ns), with upward creep
+	lastNs   int64   // virtual/wall time of the last adjustment
+	adjusts  int64   // adjustments that moved a threshold
+	onChange func(class, old, new int)
+}
+
+// NewAdaptivePoll builds a controller starting from the paper's static
+// defaults (clamped into the configured range), reading fb.
+func NewAdaptivePoll(cfg AdaptiveConfig, fb PollFeedback) *AdaptivePoll {
+	cfg = cfg.WithDefaults()
+	return &AdaptivePoll{
+		cfg:  cfg,
+		fb:   fb,
+		asym: clampInt(DefaultAsymThreshold, cfg.MinAsym, cfg.MaxAsym),
+		sym:  clampInt(DefaultSymThreshold, cfg.MinSym, cfg.MaxSym),
+	}
+}
+
+// SetOnChange installs a hook invoked (outside the controller mutex)
+// once per threshold move — the seam for flight journal events and the
+// qtls_poll_threshold gauges. Install before the loop starts.
+func (a *AdaptivePoll) SetOnChange(fn func(class, old, new int)) {
+	a.mu.Lock()
+	a.onChange = fn
+	a.mu.Unlock()
+}
+
+// Threshold returns the current efficiency threshold for the in-flight
+// mix, mirroring PollPolicy.Threshold's static contract.
+func (a *AdaptivePoll) Threshold(inflightAsym int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if inflightAsym > 0 {
+		return a.asym
+	}
+	return a.sym
+}
+
+// Thresholds returns both current thresholds.
+func (a *AdaptivePoll) Thresholds() (asym, sym int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.asym, a.sym
+}
+
+// Adjusts returns how many threshold moves the controller has made.
+func (a *AdaptivePoll) Adjusts() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.adjusts
+}
+
+// Tick runs one controller step if at least Interval has elapsed since
+// the last one. It is called from the worker loop (wall clock) or the
+// DES (virtual clock); the controller itself never reads a clock.
+func (a *AdaptivePoll) Tick(nowNs int64) {
+	a.mu.Lock()
+	if a.lastNs != 0 && nowNs-a.lastNs < int64(a.cfg.Interval) {
+		a.mu.Unlock()
+		return
+	}
+	a.lastNs = nowNs
+	fb := a.fb
+	a.mu.Unlock()
+
+	// Read the feedback outside the mutex: window snapshots take their
+	// own locks and may be fed concurrently by other goroutines.
+	p := fb.Feedback(nowNs)
+	if p.Samples < a.cfg.MinSamples || p.P99 <= 0 || math.IsNaN(p.P99) {
+		return
+	}
+
+	a.mu.Lock()
+	// Track the latency floor: the best windowed p99 this workload has
+	// shown. Creep it upward slowly otherwise so a re-based workload
+	// (bigger ops, more load) grows a new knee instead of pinning the
+	// thresholds at MinAsym forever.
+	if a.floor == 0 || p.P99 < a.floor {
+		a.floor = p.P99
+	} else {
+		a.floor += (p.P99 - a.floor) * floorDecay
+	}
+	knee := a.floor * (1 + a.cfg.Headroom)
+	oldAsym, oldSym := a.asym, a.sym
+	switch {
+	case p.P99 >= failoverFill*float64(a.cfg.Failover):
+		// Failover-paced: responses sit on the rings until the failover
+		// timer collects them, so the efficiency constraint never fires
+		// and the threshold is dead weight. This is the one regime the
+		// knee cannot see — a workload that starts here establishes its
+		// latency floor at the failover interval and the relative
+		// comparison below is forever content with it.
+		a.asym = clampInt(a.asym-a.cfg.Step, a.cfg.MinAsym, a.cfg.MaxAsym)
+		a.sym = clampInt(a.sym-symStep(a.cfg.Step), a.cfg.MinSym, a.cfg.MaxSym)
+	case p.P99 > knee*(1+a.cfg.Hysteresis):
+		// Beyond the knee: completed responses are sitting on the rings
+		// waiting for the efficiency constraint — poll earlier.
+		a.asym = clampInt(a.asym-a.cfg.Step, a.cfg.MinAsym, a.cfg.MaxAsym)
+		a.sym = clampInt(a.sym-symStep(a.cfg.Step), a.cfg.MinSym, a.cfg.MaxSym)
+	case p.P99 < knee*(1-a.cfg.Hysteresis) && p.BatchMean >= a.cfg.BatchFill*float64(a.asym):
+		// Under the knee with threshold-sized batches: the efficiency
+		// constraint is what fires polls and latency has headroom, so
+		// coalesce harder.
+		a.asym = clampInt(a.asym+a.cfg.Step, a.cfg.MinAsym, a.cfg.MaxAsym)
+		a.sym = clampInt(a.sym+symStep(a.cfg.Step), a.cfg.MinSym, a.cfg.MaxSym)
+	}
+	moved := a.asym != oldAsym || a.sym != oldSym
+	if moved {
+		a.adjusts++
+	}
+	fn := a.onChange
+	newAsym, newSym := a.asym, a.sym
+	a.mu.Unlock()
+
+	if moved && fn != nil {
+		if newAsym != oldAsym {
+			fn(ThresholdAsym, oldAsym, newAsym)
+		}
+		if newSym != oldSym {
+			fn(ThresholdSym, oldSym, newSym)
+		}
+	}
+}
+
+func symStep(step int) int {
+	if step <= 1 {
+		return 1
+	}
+	return step / 2
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

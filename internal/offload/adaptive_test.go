@@ -1,0 +1,250 @@
+package offload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeFeedback is a fixed PollFeedback whose reading tests mutate
+// between ticks.
+type fakeFeedback struct {
+	p FeedbackPoint
+}
+
+func (f *fakeFeedback) Feedback(int64) FeedbackPoint { return f.p }
+
+// testCfg is a controller config with a tiny interval so every Tick at
+// a fresh timestamp runs a step, and wide clamps unless a test narrows
+// them.
+func testCfg() AdaptiveConfig {
+	return AdaptiveConfig{Interval: time.Microsecond, MinSamples: 1}
+}
+
+// tick advances the controller n steps, each past the rate limit.
+func tick(a *AdaptivePoll, start int64, n int) int64 {
+	for i := 0; i < n; i++ {
+		start += int64(10 * time.Microsecond)
+		a.Tick(start)
+	}
+	return start
+}
+
+func TestAdaptiveStartsAtStaticDefaults(t *testing.T) {
+	a := NewAdaptivePoll(AdaptiveConfig{}, &fakeFeedback{})
+	asym, sym := a.Thresholds()
+	if asym != DefaultAsymThreshold || sym != DefaultSymThreshold {
+		t.Fatalf("start = %d/%d, want %d/%d", asym, sym,
+			DefaultAsymThreshold, DefaultSymThreshold)
+	}
+	// Threshold mirrors the static contract: asym mix reads the asym
+	// threshold, pure-sym mix the sym one.
+	if a.Threshold(1) != asym || a.Threshold(0) != sym {
+		t.Fatal("Threshold class selection")
+	}
+	// Clamps apply to the starting point too.
+	b := NewAdaptivePoll(AdaptiveConfig{MaxAsym: 10, MaxSym: 5}, &fakeFeedback{})
+	if ba, bs := b.Thresholds(); ba != 10 || bs != 5 {
+		t.Fatalf("clamped start = %d/%d, want 10/5", ba, bs)
+	}
+}
+
+func TestAdaptiveStepsDownWhenLatencyHigh(t *testing.T) {
+	fb := &fakeFeedback{}
+	a := NewAdaptivePoll(testCfg(), fb)
+
+	// Establish a floor at 1ms.
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	now := tick(a, 0, 1)
+	// knee = 1ms * 1.5; push p99 well beyond knee*(1+hyst).
+	fb.p = FeedbackPoint{Samples: 100, P99: 5e6}
+	tick(a, now, 3)
+
+	asym, sym := a.Thresholds()
+	if asym >= DefaultAsymThreshold || sym >= DefaultSymThreshold {
+		t.Fatalf("thresholds did not walk down: %d/%d", asym, sym)
+	}
+	if a.Adjusts() == 0 {
+		t.Fatal("no adjustments counted")
+	}
+}
+
+func TestAdaptiveStepsUpOnlyWithFullBatches(t *testing.T) {
+	fb := &fakeFeedback{}
+	a := NewAdaptivePoll(testCfg(), fb)
+
+	// Floor at 1ms, then comfortable latency but thin batches: hold.
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	now := tick(a, 0, 1)
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6, BatchMean: 1}
+	now = tick(a, now, 3)
+	if asym, _ := a.Thresholds(); asym != DefaultAsymThreshold {
+		t.Fatalf("thin batches moved the threshold: %d", asym)
+	}
+
+	// Threshold-sized batches unlock the upward walk.
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6, BatchMean: float64(DefaultAsymThreshold)}
+	tick(a, now, 3)
+	asym, sym := a.Thresholds()
+	if asym <= DefaultAsymThreshold || sym <= DefaultSymThreshold {
+		t.Fatalf("full batches did not walk up: %d/%d", asym, sym)
+	}
+}
+
+func TestAdaptiveHysteresisDeadBand(t *testing.T) {
+	fb := &fakeFeedback{}
+	cfg := testCfg()
+	a := NewAdaptivePoll(cfg, fb)
+
+	// Floor at 1ms → knee 1.5ms. Readings inside ±15% of the knee must
+	// not move anything, even with full batches.
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	now := tick(a, 0, 1)
+	for _, p99 := range []float64{1.5e6, 1.6e6, 1.55e6} {
+		fb.p = FeedbackPoint{Samples: 100, P99: p99, BatchMean: 1000}
+		now = tick(a, now, 2)
+	}
+	if got := a.Adjusts(); got != 0 {
+		t.Fatalf("%d adjustments inside the dead band", got)
+	}
+}
+
+func TestAdaptiveClamps(t *testing.T) {
+	fb := &fakeFeedback{}
+	cfg := testCfg()
+	cfg.MinAsym, cfg.MinSym = 8, 4
+	cfg.MaxAsym, cfg.MaxSym = 64, 32
+	a := NewAdaptivePoll(cfg, fb)
+
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	now := tick(a, 0, 1)
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e9} // way past the knee
+	now = tick(a, now, 50)
+	if asym, sym := a.Thresholds(); asym != 8 || sym != 4 {
+		t.Fatalf("floor clamp: %d/%d, want 8/4", asym, sym)
+	}
+
+	fb.p = FeedbackPoint{Samples: 100, P99: 1, BatchMean: 1e9}
+	tick(a, now, 50)
+	if asym, sym := a.Thresholds(); asym != 64 || sym != 32 {
+		t.Fatalf("ceiling clamp: %d/%d, want 64/32", asym, sym)
+	}
+}
+
+func TestAdaptiveMinSamplesGate(t *testing.T) {
+	fb := &fakeFeedback{p: FeedbackPoint{Samples: 31, P99: 1e9}}
+	cfg := testCfg()
+	cfg.MinSamples = 32
+	a := NewAdaptivePoll(cfg, fb)
+	tick(a, 0, 10)
+	if a.Adjusts() != 0 {
+		t.Fatal("controller moved on an under-sampled window")
+	}
+}
+
+func TestAdaptiveIntervalRateLimit(t *testing.T) {
+	fb := &fakeFeedback{}
+	cfg := testCfg()
+	cfg.Interval = time.Second
+	a := NewAdaptivePoll(cfg, fb)
+
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	a.Tick(int64(time.Second)) // first tick sets the floor
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e9}
+	// 100 ticks crammed into half the interval: at most the one step
+	// that lands when the interval first elapses.
+	for i := 0; i < 100; i++ {
+		a.Tick(int64(time.Second) + int64(i)*int64(5*time.Millisecond))
+	}
+	if got := a.Adjusts(); got > 1 {
+		t.Fatalf("%d adjustments inside one interval", got)
+	}
+}
+
+func TestAdaptiveOnChangeHook(t *testing.T) {
+	fb := &fakeFeedback{}
+	a := NewAdaptivePoll(testCfg(), fb)
+	type move struct{ class, old, new int }
+	var moves []move
+	a.SetOnChange(func(class, old, new int) {
+		moves = append(moves, move{class, old, new})
+	})
+
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	now := tick(a, 0, 1)
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e9}
+	tick(a, now, 1)
+
+	if len(moves) != 2 {
+		t.Fatalf("%d moves, want 2 (asym + sym)", len(moves))
+	}
+	if moves[0].class != ThresholdAsym || moves[1].class != ThresholdSym {
+		t.Fatalf("move classes = %+v", moves)
+	}
+	if moves[0].old != DefaultAsymThreshold || moves[0].new >= moves[0].old {
+		t.Fatalf("asym move = %+v", moves[0])
+	}
+	if ThresholdClassName(ThresholdAsym) != "asym" || ThresholdClassName(ThresholdSym) != "sym" {
+		t.Fatal("ThresholdClassName")
+	}
+}
+
+// TestShouldPollAtHysteresisEdges drives a policy with an armed
+// controller through feedback swings and checks ShouldPoll flips exactly
+// when the walked threshold crosses the in-flight count — the unchanged
+// call-site contract the tentpole promises.
+func TestShouldPollAtHysteresisEdges(t *testing.T) {
+	fb := &fakeFeedback{}
+	cfg := testCfg()
+	cfg.Step = 8
+	a := NewAdaptivePoll(cfg, fb)
+	p := PollPolicy{Scheme: PollHeuristic, Adaptive: a}.WithDefaults()
+
+	// Static defaults: 40 asym in flight with plentiful actives is under
+	// the 48 threshold.
+	const inflight = 40
+	if p.ShouldPoll(inflight, inflight, 1000) {
+		t.Fatal("ShouldPoll fired under the static threshold")
+	}
+
+	// High latency walks asym 48 → 40: the same in-flight count now
+	// meets the efficiency constraint.
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6}
+	now := tick(a, 0, 1)
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e9}
+	now = tick(a, now, 1)
+	if asym, _ := a.Thresholds(); asym != 40 {
+		t.Fatalf("asym threshold = %d, want 40", asym)
+	}
+	if !p.ShouldPoll(inflight, inflight, 1000) {
+		t.Fatal("ShouldPoll ignored the walked-down threshold")
+	}
+
+	// Readings just inside the dead band leave it there; just outside
+	// the low edge with full batches walks it back up and ShouldPoll
+	// goes quiet again.
+	fb.p = FeedbackPoint{Samples: 100, P99: 1e6, BatchMean: 1000}
+	tick(a, now, 2)
+	if asym, _ := a.Thresholds(); asym <= 40 {
+		t.Fatalf("asym threshold = %d, want > 40", asym)
+	}
+	if p.ShouldPoll(inflight, inflight, 1000) {
+		t.Fatal("ShouldPoll fired after the threshold walked back up")
+	}
+}
+
+func BenchmarkShouldPoll(b *testing.B) {
+	b.Run("static", func(b *testing.B) {
+		p := PollPolicy{Scheme: PollHeuristic}.WithDefaults()
+		for i := 0; i < b.N; i++ {
+			_ = p.ShouldPoll(10, 2, 100)
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		a := NewAdaptivePoll(AdaptiveConfig{}, &fakeFeedback{})
+		p := PollPolicy{Scheme: PollHeuristic, Adaptive: a}.WithDefaults()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = p.ShouldPoll(10, 2, 100)
+		}
+	})
+}

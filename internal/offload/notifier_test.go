@@ -1,0 +1,92 @@
+package offload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFDNotifier(t *testing.T) {
+	n := NewNotifier(NotifierFD)
+	// Every event demands its own kernel wakeup.
+	if !n.Wake("a") || !n.Wake("b") {
+		t.Fatal("fd Wake must always request a wakeup")
+	}
+	if n.Pending(DeliverWakeup) != 2 || n.Pending(DeliverLoopEnd) != 0 {
+		t.Fatal("fd events pend at the wakeup point only")
+	}
+	if got := n.Deliver(DeliverLoopEnd); got != nil {
+		t.Fatalf("fd delivered at loop end: %v", got)
+	}
+	if got := n.Deliver(DeliverWakeup); !reflect.DeepEqual(got, []any{"a", "b"}) {
+		t.Fatalf("fd wakeup delivery = %v", got)
+	}
+	if n.Pending(DeliverWakeup) != 0 || n.Deliver(DeliverWakeup) != nil {
+		t.Fatal("fd queue not emptied by delivery")
+	}
+}
+
+func TestBypassNotifier(t *testing.T) {
+	n := NewNotifier(NotifierKernelBypass)
+	// Kernel bypass: no wakeups, ever.
+	if n.Wake("a") || n.Wake("b") {
+		t.Fatal("bypass Wake must never request a wakeup")
+	}
+	if n.Pending(DeliverLoopEnd) != 2 || n.Pending(DeliverWakeup) != 0 {
+		t.Fatal("bypass events pend at the loop-end point only")
+	}
+	if got := n.Deliver(DeliverWakeup); got != nil {
+		t.Fatalf("bypass delivered on wakeup: %v", got)
+	}
+	if got := n.Deliver(DeliverLoopEnd); !reflect.DeepEqual(got, []any{"a", "b"}) {
+		t.Fatalf("bypass loop-end delivery = %v", got)
+	}
+	if n.Pending(DeliverLoopEnd) != 0 {
+		t.Fatal("bypass queue not emptied by delivery")
+	}
+}
+
+func TestCoalescedNotifier(t *testing.T) {
+	n := NewNotifier(NotifierCoalesced)
+	// Only the first event of a batch arms the kernel wakeup.
+	if !n.Wake("a") {
+		t.Fatal("first event must arm a wakeup")
+	}
+	if n.Wake("b") || n.Wake("c") {
+		t.Fatal("subsequent events must coalesce into the armed wakeup")
+	}
+	if n.Pending(DeliverWakeup) != 3 {
+		t.Fatal("coalesced events pend at the wakeup point")
+	}
+	if got := n.Deliver(DeliverWakeup); !reflect.DeepEqual(got, []any{"a", "b", "c"}) {
+		t.Fatalf("coalesced delivery = %v", got)
+	}
+	// Delivery disarms: the next batch's first event wakes again.
+	if !n.Wake("d") {
+		t.Fatal("delivery must disarm the wakeup")
+	}
+}
+
+func TestNotifierDrain(t *testing.T) {
+	for _, s := range []NotifyScheme{NotifierFD, NotifierKernelBypass, NotifierCoalesced} {
+		n := NewNotifier(s)
+		n.Wake("a")
+		n.Wake("b")
+		if got := n.Drain(); !reflect.DeepEqual(got, []any{"a", "b"}) {
+			t.Errorf("%v: Drain = %v", s, got)
+		}
+		if n.Drain() != nil || n.Pending(DeliverWakeup) != 0 || n.Pending(DeliverLoopEnd) != 0 {
+			t.Errorf("%v: queue survived Drain", s)
+		}
+		// Coalesced: Drain must disarm so the next event wakes.
+		if s == NotifierCoalesced && !n.Wake("c") {
+			t.Error("coalesced Drain left the wakeup armed")
+		}
+	}
+}
+
+func TestNewNotifierUnknownScheme(t *testing.T) {
+	n := NewNotifier(NotifyScheme(99))
+	if n.Scheme() != NotifierFD {
+		t.Fatalf("unknown scheme → %v, want fd fallback", n.Scheme())
+	}
+}

@@ -75,29 +75,50 @@ func (p PollScheme) String() string {
 	}
 }
 
-// Notifier selects how async events reach the event loop (§3.4).
-type Notifier int
+// NotifyScheme selects how async events reach the event loop (§3.4).
+// It names a notification strategy; NewNotifier builds the matching
+// Notifier implementation.
+type NotifyScheme int
 
 const (
 	// NotifierFD: the response callback writes to a descriptor monitored
 	// by epoll — user/kernel switches on every event.
-	NotifierFD Notifier = iota
+	NotifierFD NotifyScheme = iota
 	// NotifierKernelBypass: the response callback pushes the saved async
 	// handler onto an application-level async queue drained at the end of
 	// the event loop.
 	NotifierKernelBypass
+	// NotifierCoalesced: eventfd-style batched delivery — events queue in
+	// user space like kernel bypass, but the first event of a batch writes
+	// the wake descriptor once, so epoll-blocked workers still wake while
+	// the per-event kernel cost is amortized across the batch. A third
+	// point on the paper's FD vs kernel-bypass comparison (§3.4).
+	NotifierCoalesced
 )
 
 // String returns the notifier name.
-func (n Notifier) String() string {
+func (n NotifyScheme) String() string {
 	switch n {
 	case NotifierFD:
 		return "fd"
 	case NotifierKernelBypass:
 		return "kernel-bypass"
+	case NotifierCoalesced:
+		return "coalesced"
 	default:
-		return fmt.Sprintf("Notifier(%d)", int(n))
+		return fmt.Sprintf("NotifyScheme(%d)", int(n))
 	}
+}
+
+// NotifySchemeByName maps a flag value ("fd", "kernel-bypass",
+// "coalesced") back to its scheme.
+func NotifySchemeByName(name string) (NotifyScheme, bool) {
+	for _, s := range []NotifyScheme{NotifierFD, NotifierKernelBypass, NotifierCoalesced} {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
 }
 
 // SubmitMode selects how submissions reach the request rings.
@@ -140,6 +161,14 @@ type PollPolicy struct {
 	SymThreshold int
 	// FailoverInterval is the heuristic failover timer (default 5 ms).
 	FailoverInterval time.Duration
+	// Adaptive, when non-nil, overrides the static thresholds with the
+	// closed-loop controller's current values: Threshold (and therefore
+	// ShouldPoll) reads the controller instead of AsymThreshold /
+	// SymThreshold, while the call sites stay byte-for-byte identical.
+	// Nil — the paper's static scheme — for all five named
+	// configurations, which keeps the cross-stack parity comparison
+	// exact.
+	Adaptive *AdaptivePoll
 }
 
 // WithDefaults resolves unset parameters to the paper's defaults.
@@ -164,6 +193,9 @@ func (p PollPolicy) WithDefaults() PollPolicy {
 // otherwise (§4.3: "48 when asymmetric requests are in flight, 24
 // otherwise").
 func (p PollPolicy) Threshold(inflightAsym int) int {
+	if p.Adaptive != nil {
+		return p.Adaptive.Threshold(inflightAsym)
+	}
 	if inflightAsym > 0 {
 		return p.AsymThreshold
 	}
@@ -206,7 +238,7 @@ type Policy struct {
 	// Poll is the response-retrieval policy.
 	Poll PollPolicy
 	// Notify is the async event notification scheme.
-	Notify Notifier
+	Notify NotifyScheme
 	// Submit is the submission strategy.
 	Submit SubmitMode
 	// Record is the post-handshake record-path policy (zero: software

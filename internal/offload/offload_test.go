@@ -81,13 +81,38 @@ func TestFailoverDue(t *testing.T) {
 	}
 }
 
+// TestFailoverDueBoundaries pins the edge behavior of the §3.3 failover
+// check on raw policies (no WithDefaults, which would replace a zero
+// interval with the 5 ms default).
+func TestFailoverDueBoundaries(t *testing.T) {
+	zero := PollPolicy{Scheme: PollHeuristic}
+	if !zero.FailoverDue(1, 0) {
+		t.Fatal("zero interval must fire immediately (0 >= 0)")
+	}
+	p := PollPolicy{Scheme: PollHeuristic, FailoverInterval: DefaultFailoverInterval}
+	if !p.FailoverDue(1, DefaultFailoverInterval) {
+		t.Fatal("exact-interval elapsed must fire (>= boundary)")
+	}
+	if p.FailoverDue(1, DefaultFailoverInterval-time.Nanosecond) {
+		t.Fatal("one nanosecond short must not fire")
+	}
+	// A clock regression (worker's lastPoll stamped after "now", e.g. a
+	// virtual-time replay) yields a negative elapsed time: never due.
+	if p.FailoverDue(1, -time.Millisecond) {
+		t.Fatal("negative elapsed time must not fire")
+	}
+	if p.FailoverDue(0, time.Hour) {
+		t.Fatal("failover with nothing in flight")
+	}
+}
+
 func TestNamedConfigurations(t *testing.T) {
 	want := []struct {
 		name   string
 		useQAT bool
 		async  bool
 		scheme PollScheme
-		notify Notifier
+		notify NotifyScheme
 	}{
 		{"SW", false, false, PollNone, NotifierFD},
 		{"QAT+S", true, false, PollNone, NotifierFD},
@@ -123,13 +148,42 @@ func TestStrings(t *testing.T) {
 		PollHeuristic.String() != "heuristic" || PollInterrupt.String() != "interrupt" {
 		t.Fatal("PollScheme strings")
 	}
-	if NotifierFD.String() != "fd" || NotifierKernelBypass.String() != "kernel-bypass" {
-		t.Fatal("Notifier strings")
+	if NotifierFD.String() != "fd" || NotifierKernelBypass.String() != "kernel-bypass" ||
+		NotifierCoalesced.String() != "coalesced" {
+		t.Fatal("NotifyScheme strings")
 	}
 	if SubmitDirect.String() != "direct" || SubmitCoalesced.String() != "coalesced" {
 		t.Fatal("SubmitMode strings")
 	}
-	if PollScheme(99).String() == "" || Notifier(99).String() == "" || SubmitMode(99).String() == "" {
-		t.Fatal("out-of-range strings")
+	// Out-of-range values render the exact Go-style fallback so log lines
+	// stay greppable across renames.
+	if got := PollScheme(99).String(); got != "PollScheme(99)" {
+		t.Fatalf("PollScheme fallback = %q", got)
+	}
+	if got := NotifyScheme(99).String(); got != "NotifyScheme(99)" {
+		t.Fatalf("NotifyScheme fallback = %q", got)
+	}
+	if got := SubmitMode(99).String(); got != "SubmitMode(99)" {
+		t.Fatalf("SubmitMode fallback = %q", got)
+	}
+	// Notifier implementations echo their scheme names: a worker log that
+	// prints the backend must match the flag spelling that selected it.
+	for _, s := range []NotifyScheme{NotifierFD, NotifierKernelBypass, NotifierCoalesced} {
+		n := NewNotifier(s)
+		if n.Scheme() != s || n.String() != s.String() {
+			t.Errorf("NewNotifier(%v): scheme %v string %q", s, n.Scheme(), n.String())
+		}
+	}
+}
+
+func TestNotifySchemeByName(t *testing.T) {
+	for _, s := range []NotifyScheme{NotifierFD, NotifierKernelBypass, NotifierCoalesced} {
+		got, ok := NotifySchemeByName(s.String())
+		if !ok || got != s {
+			t.Errorf("NotifySchemeByName(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := NotifySchemeByName("smoke-signal"); ok {
+		t.Fatal("NotifySchemeByName accepted an unknown name")
 	}
 }

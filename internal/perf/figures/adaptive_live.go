@@ -1,0 +1,103 @@
+//go:build linux
+
+package figures
+
+import (
+	"time"
+
+	"qtls/internal/flight"
+	"qtls/internal/loadgen"
+	"qtls/internal/minitls"
+	"qtls/internal/offload"
+	"qtls/internal/qat"
+	"qtls/internal/server"
+	"qtls/internal/trace"
+)
+
+func init() { registerExtra("adaptive-live", AdaptiveLive) }
+
+// adaptiveLiveRun drives the closed-loop handshake workload through a
+// live QTLS server and returns the load result, the windowed retrieve
+// p99 at the end of the run, and the thresholds the first worker ended
+// on. A nil ad runs the static 48/24 scheme.
+func adaptiveLiveRun(o Opts, ad *offload.AdaptiveConfig) (loadgen.Result, flight.WindowSnapshot, int, int) {
+	dev := qat.NewDevice(qat.DeviceSpec{
+		Endpoints:          3,
+		EnginesPerEndpoint: 4,
+		RingCapacity:       128,
+	})
+	defer dev.Close()
+
+	rec := trace.NewRecorder(1024)
+	rec.SetEnabled(true)
+	fr := flight.New(flight.Config{Buckets: 8, Bucket: 500 * time.Millisecond})
+	fr.SetEnabled(true)
+
+	run := server.ConfigQTLS
+	run.AdaptivePoll = ad
+	rsaID, _ := table1Identities()
+	srv, err := server.New(server.Options{
+		Addr:    "127.0.0.1:0",
+		Workers: 2,
+		Run:     run,
+		TLS: &minitls.Config{
+			Identity:     rsaID,
+			CipherSuites: []uint16{minitls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+		},
+		Device:  dev,
+		Trace:   rec,
+		Flight:  fr,
+		Handler: server.SizedBodyHandler(4 << 20),
+	})
+	if err != nil {
+		panic("adaptive-live: " + err.Error())
+	}
+	srv.Start()
+	res := loadgen.STime(loadgen.STimeOptions{
+		Addr:     srv.Addr(),
+		Clients:  16,
+		Duration: o.Warmup + o.Measure,
+	})
+	snap := fr.PhaseWindow(trace.PhaseRetrieve).Snapshot(time.Now().UnixNano())
+	asym, sym := srv.Workers()[0].PollThresholds()
+	srv.Stop()
+	return res, snap, asym, sym
+}
+
+// AdaptiveLive is the live-stack half of the adaptive experiment: the
+// same static-vs-adaptive contrast as the DES adaptive figure, measured
+// end-to-end through real sockets with the controller fed by the flight
+// recorder's retrieve-phase window. It proves the whole feedback loop
+// functions under load — spans flow from the tracer into the sliding
+// windows, the controller ticks on the worker loop, threshold moves are
+// journaled and exported as gauges — rather than re-deriving the DES
+// convergence numbers.
+func AdaptiveLive(o Opts) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "adaptive-live",
+		Title:  "Adaptive poll thresholds, live stack: static 48/24 vs closed-loop",
+		XLabel: "metric",
+		YLabel: "CPS, retrieve p99 ms, final thresholds, moves",
+		Notes: "controller fed by the flight recorder's retrieve window (500ms buckets);\n" +
+			"  short Interval/MinSamples so it moves within the measurement window.",
+		Columns: []string{"CPS", "retrieve p99 ms", "final asym", "final sym"},
+	}
+	ad := &offload.AdaptiveConfig{
+		Interval:   250 * time.Millisecond,
+		MinSamples: 16,
+	}
+	for _, c := range []struct {
+		name string
+		ad   *offload.AdaptiveConfig
+	}{
+		{"static 48/24", nil},
+		{"adaptive", ad},
+	} {
+		res, snap, asym, sym := adaptiveLiveRun(o, c.ad)
+		t.Series = append(t.Series, Series{Name: c.name, Values: []float64{
+			res.CPS(), snap.P99 / 1e6, float64(asym), float64(sym),
+		}})
+	}
+	return t
+}

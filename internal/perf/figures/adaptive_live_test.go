@@ -1,0 +1,38 @@
+//go:build linux
+
+package figures
+
+import "testing"
+
+// TestAdaptiveLiveFigure smoke-runs the live feedback loop: both
+// schemes serve handshakes and produce a retrieve distribution, the
+// static run keeps the paper thresholds, and the adaptive run's final
+// thresholds stay inside the default clamps. Whether the controller
+// moves in the short smoke window is load-dependent, so convergence
+// itself is the DES adaptive figure's claim, not this test's.
+func TestAdaptiveLiveFigure(t *testing.T) {
+	tab := AdaptiveLive(Quick())
+	if tab.ID != "adaptive-live" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	checkShape(t, tab, 2)
+	static := seriesByName(t, tab, "static 48/24")
+	adaptive := seriesByName(t, tab, "adaptive")
+	for _, s := range []Series{static, adaptive} {
+		if s.Values[0] <= 0 {
+			t.Errorf("%s: no connections completed", s.Name)
+		}
+		if s.Values[1] <= 0 {
+			t.Errorf("%s: empty retrieve window", s.Name)
+		}
+	}
+	if static.Values[2] != 48 || static.Values[3] != 24 {
+		t.Errorf("static thresholds moved: %v/%v", static.Values[2], static.Values[3])
+	}
+	if a := adaptive.Values[2]; a < 4 || a > 192 {
+		t.Errorf("adaptive final asym %v outside clamps", a)
+	}
+	if s := adaptive.Values[3]; s < 2 || s > 96 {
+		t.Errorf("adaptive final sym %v outside clamps", s)
+	}
+}

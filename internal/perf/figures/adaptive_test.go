@@ -1,0 +1,62 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"qtls/internal/offload"
+)
+
+// The tentpole acceptance claim: on the 10x-asym mix — where the static
+// 48/24 scheme degenerates to failover-paced polling because in-flight
+// counts never reach 48 — the controller must end with its windowed
+// retrieve p99 at least 20% closer to the best static scheme than the
+// static default gets, having walked the asym threshold down from 48.
+func TestAdaptiveConvergesOn10xAsym(t *testing.T) {
+	o := Quick()
+	mix := adaptiveMixes()[2]
+	if mix.name != "10x-asym" {
+		t.Fatalf("mix order changed: %q", mix.name)
+	}
+	def := runAdaptiveMix(o, mix, 0, 0, nil)
+	bestA, best := bestStaticAdaptive(o, mix)
+	ad := runAdaptiveMix(o, mix, 0, 0, adaptiveDESConfig())
+
+	if ad.Stats.ThresholdAdjusts == 0 {
+		t.Fatal("controller made no moves")
+	}
+	if ad.Stats.FinalAsymThreshold >= offload.DefaultAsymThreshold {
+		t.Fatalf("final asym threshold %d did not walk below %d",
+			ad.Stats.FinalAsymThreshold, offload.DefaultAsymThreshold)
+	}
+	gapStatic := math.Abs(def.Stats.RetrieveP99 - best.Stats.RetrieveP99)
+	gapAdaptive := math.Abs(ad.Stats.RetrieveP99 - best.Stats.RetrieveP99)
+	if gapAdaptive > 0.8*gapStatic {
+		t.Fatalf("adaptive p99 %.3fms is not ≥20%% closer to best static (asym=%d, %.3fms) than the default (%.3fms): gaps %.3f vs %.3f ms",
+			ad.Stats.RetrieveP99/1e6, bestA, best.Stats.RetrieveP99/1e6, def.Stats.RetrieveP99/1e6,
+			gapAdaptive/1e6, gapStatic/1e6)
+	}
+}
+
+func TestAdaptiveFigureShape(t *testing.T) {
+	tab := Adaptive(Quick())
+	checkShape(t, tab, 6)
+	if len(tab.Columns) != 3 || tab.Columns[2] != "10x-asym" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	static := seriesByName(t, tab, "static 48/24 p99")
+	adapt := seriesByName(t, tab, "adaptive p99")
+	// Every run must have produced a retrieve distribution.
+	for i := range tab.Columns {
+		if static.Values[i] <= 0 || adapt.Values[i] <= 0 {
+			t.Fatalf("col %s: empty retrieve window: static %.3f adaptive %.3f",
+				tab.Columns[i], static.Values[i], adapt.Values[i])
+		}
+	}
+	// On the PQ-scale mix the controller must beat the miscalibrated
+	// static default outright.
+	if adapt.Values[2] >= static.Values[2] {
+		t.Fatalf("10x-asym: adaptive p99 %.3fms not below static default %.3fms",
+			adapt.Values[2], static.Values[2])
+	}
+}

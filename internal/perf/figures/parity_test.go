@@ -1,0 +1,39 @@
+package figures
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const notifyParityGolden = "testdata/notify_parity.golden"
+
+// TestNotifierByteParity proves the five named configurations still
+// produce byte-identical DES output after the Notifier enum became the
+// Notifier interface (and after any later poll-policy refactor): the
+// golden file was generated from the pre-interface model, and the
+// fixed-seed regeneration must match it byte for byte.
+//
+// Regenerate deliberately (after an intentional model change) with:
+//
+//	QTLS_UPDATE_GOLDEN=1 go test ./internal/perf/figures/ -run TestNotifierByteParity
+func TestNotifierByteParity(t *testing.T) {
+	got := NotifyParity().CSV()
+	if os.Getenv("QTLS_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(notifyParityGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(notifyParityGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", notifyParityGolden, len(got))
+		return
+	}
+	want, err := os.ReadFile(notifyParityGolden)
+	if err != nil {
+		t.Fatalf("read golden: %v (generate with QTLS_UPDATE_GOLDEN=1)", err)
+	}
+	if got != string(want) {
+		t.Errorf("notify-parity output drifted from the pre-refactor golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/offload"
 	"qtls/internal/sim"
@@ -40,14 +41,17 @@ const (
 )
 
 // NotifKind selects the async event notification scheme. It is the
-// shared offload.Notifier under its historical name.
-type NotifKind = offload.Notifier
+// shared offload.NotifyScheme under its historical name.
+type NotifKind = offload.NotifyScheme
 
 const (
 	// NotifFD is the descriptor-based scheme (write(2) + epoll).
 	NotifFD = offload.NotifierFD
 	// NotifBypass is the kernel-bypass async queue.
 	NotifBypass = offload.NotifierKernelBypass
+	// NotifCoalesced is eventfd-style batched delivery: bypass-cost
+	// queueing per event plus one descriptor write per completion batch.
+	NotifCoalesced = offload.NotifierCoalesced
 )
 
 // Config selects one offload configuration for a model run.
@@ -85,6 +89,13 @@ type Config struct {
 	// paper's behavior: the QAT Engine offloads every cipher operation
 	// whenever the accelerator is in use.
 	Record *offload.RecordPolicy
+	// Adaptive, when non-nil, arms the closed-loop threshold controller
+	// on every worker (PollHeuristic only): each worker's poll policy
+	// carries an offload.AdaptivePoll fed by virtual-time sliding windows
+	// of retrieve-phase latency and completion-batch size — the
+	// discrete-event counterpart of the live stack's flight-backed
+	// feedback. Nil keeps the paper's static thresholds.
+	Adaptive *offload.AdaptiveConfig
 }
 
 // FaultScenario degrades the modeled device and arms the engine-side
@@ -219,6 +230,10 @@ type conn struct {
 	// fallback is a pending software-fallback CPU burst (set when an
 	// offload deadline expired; paid when the worker next runs the conn).
 	fallback time.Duration
+	// offAt is the submission time of the conn's in-flight async offload;
+	// poll() reads it to feed the retrieve-latency window (submission →
+	// response collected, the live stack's PhaseRetrieve).
+	offAt sim.Time
 }
 
 // Stats aggregates a measurement window.
@@ -250,6 +265,16 @@ type Stats struct {
 	// paper's engine-level cipher offload).
 	RecordOffloadOps int64
 	RecordSWOps      int64
+
+	// Adaptive-poll telemetry (async configurations only). RetrieveP99 is
+	// the windowed retrieve-phase p99 (ns) at the end of the measurement
+	// window — the controller's feedback signal, reported for static runs
+	// too so figures can compare planes. The threshold fields are zero
+	// unless Config.Adaptive armed the controller.
+	RetrieveP99        float64
+	FinalAsymThreshold int
+	FinalSymThreshold  int
+	ThresholdAdjusts   int64
 }
 
 // CPUPerKB returns worker-CPU nanoseconds per kilobyte of served
@@ -279,6 +304,12 @@ type Model struct {
 	workers []*worker
 	dev     *device
 	link    *link
+	// retrieveWin is the shared virtual-time retrieve-latency window
+	// (submission → response collected), the DES analogue of the flight
+	// recorder's PhaseRetrieve window: process-wide, fed by every
+	// worker's poll path, read by every worker's controller. Nil for
+	// non-async configurations.
+	retrieveWin *flight.Window
 
 	measuring bool
 	stats     *Stats
@@ -319,10 +350,30 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 			}
 		}
 	}
+	if cfg.UseQAT && cfg.Async {
+		m.retrieveWin = flight.NewWindow(adaptiveWinBuckets, adaptiveWinBucket)
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{m: m, id: i}
+		w := &worker{m: m, id: i, policy: poll}
 		if m.dev != nil {
 			w.endpoint = m.dev.endpoints[i%len(m.dev.endpoints)]
+		}
+		if cfg.UseQAT && cfg.Async {
+			w.notif = offload.NewNotifier(cfg.Notify)
+			w.batchWin = flight.NewWindow(adaptiveWinBuckets, adaptiveWinBucket)
+			if cfg.Adaptive != nil && cfg.Polling == PollHeuristic {
+				ac := *cfg.Adaptive
+				if ac.Failover <= 0 {
+					// Steer against the failover timer actually pacing
+					// this policy, not the paper default.
+					ac.Failover = poll.FailoverInterval
+				}
+				w.adaptive = offload.NewAdaptivePoll(ac, flight.WindowFeedback{
+					Latency: m.retrieveWin,
+					Batch:   w.batchWin,
+				})
+				w.policy.Adaptive = w.adaptive
+			}
 		}
 		m.workers = append(m.workers, w)
 		if cfg.UseQAT && !cfg.Async {
@@ -339,6 +390,14 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 	}
 	return m
 }
+
+// Virtual-time window geometry for the DES feedback windows: runs last
+// hundreds of virtual milliseconds, so the windows span 200 ms (8 × 25
+// ms) rather than the live recorder's 60 s.
+const (
+	adaptiveWinBuckets = 8
+	adaptiveWinBucket  = 25 * time.Millisecond
+)
 
 // Sim exposes the underlying simulation (workload drivers schedule client
 // events on it).
@@ -419,6 +478,17 @@ func (m *Model) Run(warmup, measure time.Duration) *Stats {
 		if w.tripped {
 			m.stats.Trips++
 		}
+		if w.adaptive != nil {
+			m.stats.ThresholdAdjusts += w.adaptive.Adjusts()
+		}
+	}
+	if m.retrieveWin != nil {
+		m.stats.RetrieveP99 = m.retrieveWin.Snapshot(int64(m.sim.Now())).P99
+	}
+	if w := m.workers[0]; w.adaptive != nil {
+		// Workers see round-robin slices of the same traffic, so their
+		// controllers converge together; worker 0 stands in for the fleet.
+		m.stats.FinalAsymThreshold, m.stats.FinalSymThreshold = w.adaptive.Thresholds()
 	}
 	return m.stats
 }

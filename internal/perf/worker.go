@@ -3,6 +3,8 @@ package perf
 import (
 	"time"
 
+	"qtls/internal/flight"
+	"qtls/internal/offload"
 	"qtls/internal/sim"
 )
 
@@ -30,6 +32,18 @@ type worker struct {
 	alive        int             // open connections (TCalive)
 	idle         int             // keepalive-idle connections (TCidle)
 	lastPoll     sim.Time
+
+	// policy is this worker's retrieval policy — a copy of the model's
+	// so an armed adaptive controller is per-worker, exactly like the
+	// live stack's Worker.poll.
+	policy offload.PollPolicy
+	// notif queues completed async events and schedules their delivery
+	// (the §3.4 seam as an interface; nil for non-async configurations).
+	notif offload.Notifier
+	// adaptive is the closed-loop threshold controller (nil = static
+	// thresholds), fed by the shared retrieve window and batchWin.
+	adaptive *offload.AdaptivePoll
+	batchWin *flight.Window
 
 	// Timer-polling thread preemption debt (ticks landing while busy).
 	stolen time.Duration
@@ -335,6 +349,7 @@ func (w *worker) asyncOffload(c *conn, st step) {
 			w.m.sim.After(w.m.cfg.Fault.OpTimeout, func() { w.onOpTimeout(c, st) })
 		}
 		submitAt := w.now()
+		c.offAt = submitAt
 		w.endpoint.submit(st.op, st.hw, func(at sim.Time) {
 			// Response lands on the instance's response ring once the
 			// pipeline latency has elapsed; it is retrieved by a later
@@ -359,13 +374,76 @@ func (w *worker) asyncOffload(c *conn, st step) {
 	})
 }
 
+// notifyCost is the per-event notification cost of the configured
+// scheme: an FD event pays the write(2) + epoll processing, the
+// kernel-bypass and coalesced schemes pay a user-space queue insertion
+// (coalesced pays its single descriptor write per batch separately).
+func (w *worker) notifyCost() time.Duration {
+	if w.m.cfg.Notify == NotifFD {
+		return w.m.p.NotifyFDCost
+	}
+	return w.m.p.NotifyBypassCost
+}
+
+// retrieveOne pops one response off the ring, settles the in-flight
+// counters, feeds the feedback windows, and hands the event to the
+// notifier. It returns the handle and whether the notifier demanded a
+// kernel wakeup for it.
+func (w *worker) retrieveOne(now sim.Time) (c *conn, wake bool) {
+	c, _ = w.responses.Pop()
+	w.inflight--
+	if c.idx > 0 {
+		if st := c.script[c.idx-1]; st.kind == stepCrypto && st.op.asym() {
+			w.inflightAsym--
+		}
+	}
+	if w.m.retrieveWin != nil {
+		// Submission → collected: the live stack's PhaseRetrieve span.
+		w.m.retrieveWin.Observe(float64(now-c.offAt), int64(now))
+	}
+	if w.m.measuring {
+		w.m.stats.Notifications++
+	}
+	return c, w.notif.Wake(c)
+}
+
+// collect drains the response ring through the notifier and returns the
+// notification cost plus the two delivery batches, captured at the
+// point the poll pays for them (the notifier queue never spans a
+// virtual-time gap, mirroring the single-threaded live loop).
+func (w *worker) collect(n int, now sim.Time) (cost time.Duration, wakeBatch, loopBatch []any) {
+	p := &w.m.p
+	wakes := 0
+	for i := 0; i < n; i++ {
+		cost += p.PerResponseCost + w.notifyCost()
+		if _, wake := w.retrieveOne(now); wake {
+			wakes++
+		}
+	}
+	if w.m.cfg.Notify == NotifCoalesced {
+		// The batch's armed wakeups (one per coalesced delivery) each pay
+		// one descriptor write — the eventfd amortization.
+		cost += time.Duration(wakes) * p.NotifyFDCost
+	}
+	if n > 0 {
+		if w.batchWin != nil {
+			w.batchWin.Observe(float64(n), int64(now))
+		}
+		if w.adaptive != nil {
+			w.adaptive.Tick(int64(now))
+		}
+	}
+	return cost, w.notif.Deliver(offload.DeliverWakeup), w.notif.Deliver(offload.DeliverLoopEnd)
+}
+
 // poll retrieves all ready responses, paying the polling and
 // notification costs, then dispatches the resumed handlers.
 // It re-enters taskBoundary when done.
 func (w *worker) poll(failover bool) {
 	p := &w.m.p
 	n := w.responses.Len()
-	w.lastPoll = w.now()
+	now := w.now()
+	w.lastPoll = now
 	if w.m.measuring {
 		w.m.stats.Polls++
 		if n == 0 {
@@ -381,44 +459,22 @@ func (w *worker) poll(failover bool) {
 		// worth of work paces the spin.
 		cost += p.IdleLoopCost
 	}
-	var resumed []*conn
-	for i := 0; i < n; i++ {
-		c, _ := w.responses.Pop()
-		resumed = append(resumed, c)
-		cost += p.PerResponseCost
-		if w.m.cfg.Notify == NotifFD {
-			cost += p.NotifyFDCost
-		} else {
-			cost += p.NotifyBypassCost
-		}
-		if w.m.measuring {
-			w.m.stats.Notifications++
-		}
-	}
-	w.inflight -= n
-	// Recompute asym in-flight from the script positions of the conns we
-	// resumed (decrement per asym response).
-	for _, c := range resumed {
-		if c.idx > 0 {
-			if st := c.script[c.idx-1]; st.kind == stepCrypto && st.op.asym() {
-				w.inflightAsym--
-			}
-		}
-	}
+	ncost, wakeBatch, loopBatch := w.collect(n, now)
+	cost += ncost
 	w.m.sim.After(cost, func() {
-		if w.m.cfg.Notify == NotifFD && len(resumed) > 0 {
-			// FD events surface on a later epoll iteration; the worker
-			// is free to process other work meanwhile.
+		if len(wakeBatch) > 0 {
+			// Wakeup-delivered events surface on a later epoll iteration;
+			// the worker is free to process other work meanwhile.
 			w.m.sim.After(p.FDDispatchDelay, func() {
-				for _, c := range resumed {
-					w.enqueue(c)
+				for _, h := range wakeBatch {
+					w.enqueue(h.(*conn))
 				}
 			})
 			w.taskBoundary()
 			return
 		}
-		for _, c := range resumed {
-			w.queue.Push(c)
+		for _, h := range loopBatch {
+			w.queue.Push(h.(*conn))
 		}
 		w.taskBoundary()
 	})
@@ -454,7 +510,7 @@ func (w *worker) heuristicCheck() bool {
 	if !w.m.cfg.UseQAT || !w.m.cfg.Async {
 		return false
 	}
-	if !w.m.poll.ShouldPoll(w.inflight, w.inflightAsym, w.active()) {
+	if !w.policy.ShouldPoll(w.inflight, w.inflightAsym, w.active()) {
 		return false
 	}
 	w.poll(false)
@@ -472,44 +528,26 @@ func (w *worker) startTimerPolling() {
 		w.m.sim.After(interval, func() {
 			tickCost := p.CtxSwitchCost + p.PollCost
 			n := w.responses.Len()
-			var resumed []*conn
-			for i := 0; i < n; i++ {
-				c, _ := w.responses.Pop()
-				resumed = append(resumed, c)
-				tickCost += p.PerResponseCost
-				if w.m.cfg.Notify == NotifFD {
-					tickCost += p.NotifyFDCost
-				} else {
-					tickCost += p.NotifyBypassCost
-				}
-				if w.m.measuring {
-					w.m.stats.Notifications++
-				}
-			}
-			w.inflight -= n
-			for _, c := range resumed {
-				if c.idx > 0 {
-					if st := c.script[c.idx-1]; st.kind == stepCrypto && st.op.asym() {
-						w.inflightAsym--
-					}
-				}
-			}
+			now := w.now()
+			ncost, wakeBatch, loopBatch := w.collect(n, now)
+			tickCost += ncost
 			if w.m.measuring {
 				w.m.stats.Polls++
 				if n == 0 {
 					w.m.stats.EmptyPolls++
 				}
 			}
-			w.lastPoll = w.now()
-			dispatch := func() {
-				for _, c := range resumed {
-					w.enqueue(c)
-				}
-			}
-			if w.m.cfg.Notify == NotifFD && len(resumed) > 0 {
-				w.m.sim.After(p.FDDispatchDelay, dispatch)
+			w.lastPoll = now
+			if len(wakeBatch) > 0 {
+				w.m.sim.After(p.FDDispatchDelay, func() {
+					for _, h := range wakeBatch {
+						w.enqueue(h.(*conn))
+					}
+				})
 			} else {
-				dispatch()
+				for _, h := range loopBatch {
+					w.enqueue(h.(*conn))
+				}
 			}
 			// The polling thread steals CPU from the worker: preemption
 			// debt if busy, direct busy time otherwise.
@@ -528,11 +566,11 @@ func (w *worker) startTimerPolling() {
 // happened during the last interval but requests are in flight, poll
 // once.
 func (w *worker) startFailoverTimer() {
-	interval := w.m.poll.FailoverInterval
+	interval := w.policy.FailoverInterval
 	var tick func()
 	tick = func() {
 		w.m.sim.After(interval, func() {
-			if w.m.poll.FailoverDue(w.inflight, time.Duration(w.now()-w.lastPoll)) {
+			if w.policy.FailoverDue(w.inflight, time.Duration(w.now()-w.lastPoll)) {
 				if !w.busy {
 					w.beginBusy()
 					w.poll(true)

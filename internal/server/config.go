@@ -47,8 +47,9 @@ const (
 )
 
 // NotifyScheme selects how async events reach the event loop (§3.4).
-// It is the shared offload.Notifier under its historical name.
-type NotifyScheme = offload.Notifier
+// It is the shared offload.NotifyScheme under its historical name; each
+// worker builds the matching offload.Notifier implementation from it.
+type NotifyScheme = offload.NotifyScheme
 
 const (
 	// NotifyFD: the response callback writes to a descriptor monitored by
@@ -58,6 +59,9 @@ const (
 	// handler onto an application-level async queue drained at the end of
 	// the event loop.
 	NotifyKernelBypass = offload.NotifierKernelBypass
+	// NotifyCoalesced: eventfd-style batched delivery — events queue in
+	// user space, one wakeup write per completion batch.
+	NotifyCoalesced = offload.NotifierCoalesced
 )
 
 // RunConfig selects the offload configuration of a worker, mirroring the
@@ -141,6 +145,15 @@ type RunConfig struct {
 	// inflight pressure or the connection count says the worker is beyond
 	// its capacity. Zero fields take the offload defaults.
 	Overload offload.OverloadPolicy
+
+	// AdaptivePoll, when non-nil, arms the closed-loop threshold
+	// controller (PollHeuristic only): each worker walks its asym/sym
+	// efficiency thresholds toward the retrieve-latency knee, fed by the
+	// flight recorder's retrieve-phase window and a per-worker
+	// completion-batch window. Requires the trace and flight recorders
+	// (they are the feedback source). Zero fields of the config take the
+	// offload defaults. Nil keeps the paper's static thresholds.
+	AdaptivePoll *offload.AdaptiveConfig
 }
 
 // pollPolicy resolves the RunConfig's retrieval knobs into the shared

@@ -5,14 +5,16 @@ package server
 import (
 	"time"
 
+	"qtls/internal/offload"
 	"qtls/internal/trace"
 )
 
-// Async event notification (§3.4) and the queues it feeds: the
-// kernel-bypass async queue, the FD-notification queue, and the
-// submission-retry queue. Everything here runs on the worker goroutine —
-// the engine's response callbacks fire inside engine.Poll, which the
-// worker drives.
+// Async event notification (§3.4) behind the offload.Notifier seam: the
+// notifier owns the queue of completed-but-undelivered events and the
+// per-scheme delivery rules (kernel wakeup or not, hand-back on the
+// epoll wakeup or at the end-of-loop drain). Everything here runs on
+// the worker goroutine — the engine's response callbacks fire inside
+// engine.Poll, which the worker drives.
 
 // asyncEventCallback is the engine's response-callback notification hook.
 // It runs on the worker goroutine (inside an engine.Poll call).
@@ -21,16 +23,13 @@ func (w *Worker) asyncEventCallback(arg any) {
 	if w.tr.Active() {
 		c.notifyAt = time.Now().UnixNano()
 	}
-	if w.cfg.Notify == NotifyKernelBypass {
-		// Insert the async handler at the tail of the async queue — no
-		// kernel involvement (§3.4).
-		w.asyncQueue = append(w.asyncQueue, c)
-		return
+	if w.notif.Wake(c) {
+		// The scheme demands a kernel wakeup for this event: a real write
+		// syscall on the notification pipe; epoll reports it on a later
+		// iteration, costing user/kernel switches. Kernel bypass never
+		// lands here; coalesced lands here once per completion batch.
+		w.notifyPipe.Notify()
 	}
-	// FD-based: a real write syscall on the notification pipe; epoll
-	// reports it on a later iteration, costing user/kernel switches.
-	w.fdQueue = append(w.fdQueue, c)
-	w.notifyPipe.Notify()
 }
 
 // suspendForAsync parks the connection while an offload job is paused.
@@ -77,22 +76,34 @@ func (w *Worker) resumeAsync(c *conn) {
 
 // notifyTag says which notification scheme delivered the async event.
 func (w *Worker) notifyTag() trace.Tag {
-	if w.cfg.Notify == NotifyKernelBypass {
+	switch w.cfg.Notify {
+	case NotifyKernelBypass:
 		return trace.TagKernelBypass
+	case NotifyCoalesced:
+		return trace.TagCoalesce
+	default:
+		return trace.TagFD
 	}
-	return trace.TagFD
+}
+
+// pendingNotifications counts queued async events across both delivery
+// points — the epoll-timeout input.
+func (w *Worker) pendingNotifications() int {
+	return w.notif.Pending(offload.DeliverWakeup) + w.notif.Pending(offload.DeliverLoopEnd)
 }
 
 func (w *Worker) processAsyncQueue() {
-	// Drain the application-defined async queue at the end of the main
-	// event loop (§3.4). Handlers may enqueue more events (next offload
-	// op of the same connection completes during a heuristic poll), so
-	// iterate until empty.
-	for len(w.asyncQueue) > 0 {
-		q := w.asyncQueue
-		w.asyncQueue = nil
-		for _, c := range q {
-			w.resumeAsync(c)
+	// Drain the end-of-loop delivery point (§3.4's application-defined
+	// async queue). Handlers may enqueue more events (next offload op of
+	// the same connection completes during a heuristic poll), so iterate
+	// until empty.
+	for {
+		q := w.notif.Deliver(offload.DeliverLoopEnd)
+		if len(q) == 0 {
+			return
+		}
+		for _, h := range q {
+			w.resumeAsync(h.(*conn))
 		}
 		// Resumed handlers typically pause on their next offload op; flush
 		// the batch they formed before the next drain round so its
@@ -102,10 +113,11 @@ func (w *Worker) processAsyncQueue() {
 }
 
 func (w *Worker) processFDQueue() {
-	q := w.fdQueue
-	w.fdQueue = nil
-	for _, c := range q {
-		w.resumeAsync(c)
+	// The wakeup delivery point: events whose completion wrote the
+	// notification pipe (every event under fd, one per batch under
+	// coalesced).
+	for _, h := range w.notif.Deliver(offload.DeliverWakeup) {
+		w.resumeAsync(h.(*conn))
 	}
 }
 

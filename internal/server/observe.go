@@ -61,7 +61,15 @@ func (w *Worker) initSeries() {
 	w.gLag = w.reg.Gauge(`qtls_loop_lag_ns` + wl)
 	// The heuristic thresholds in effect (offload.Default* unless the
 	// conf overrides them), so a dashboard can plot Rtotal against the
-	// line it must cross.
+	// line it must cross. The labeled form is the canonical series; the
+	// two legacy names stay for existing dashboards. When the adaptive
+	// controller is armed its change hook refreshes the labeled gauges
+	// (last-moving worker wins, like the legacy gauges under per-worker
+	// overrides).
+	w.gThreshold[offload.ThresholdAsym] = w.reg.Gauge(`qtls_poll_threshold{class="asym"}`)
+	w.gThreshold[offload.ThresholdSym] = w.reg.Gauge(`qtls_poll_threshold{class="sym"}`)
+	w.gThreshold[offload.ThresholdAsym].Set(int64(w.poll.AsymThreshold))
+	w.gThreshold[offload.ThresholdSym].Set(int64(w.poll.SymThreshold))
 	w.reg.Gauge("qtls_asym_threshold").Set(int64(w.poll.AsymThreshold))
 	w.reg.Gauge("qtls_sym_threshold").Set(int64(w.poll.SymThreshold))
 	st := &w.Stats

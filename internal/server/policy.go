@@ -24,6 +24,11 @@ func (w *Worker) pollEngine(tag trace.Tag) int {
 		start = time.Now()
 	}
 	n := w.eng.Poll(0)
+	if n > 0 && w.batchWin != nil {
+		// Completion-batch efficiency feed for the adaptive controller:
+		// how many responses this poll amortized its cost over.
+		w.batchWin.Observe(float64(n), time.Now().UnixNano())
+	}
 	if !start.IsZero() {
 		w.tr.Record(trace.PhasePoll, trace.OpNone, tag, int64(n), start, time.Since(start))
 		if h := w.histBatch[batchIdx(tag)]; h != nil {

@@ -76,15 +76,24 @@ type Worker struct {
 	notifyPipe *netpoll.NotifyPipe // FD-based async notification
 	stopPipe   *netpoll.NotifyPipe // cross-goroutine stop/wake
 
-	conns        map[int]*conn
-	asyncQueue   []*conn // kernel-bypass async queue (§3.4)
-	fdQueue      []*conn // conns whose async event travelled via the pipe
+	conns map[int]*conn
+	// notif owns the completed-but-undelivered async events and the
+	// delivery strategy — the §3.4 queues (kernel-bypass async queue, FD
+	// queue) behind the shared offload.Notifier seam.
+	notif        offload.Notifier
 	retryQueue   []*conn // conns awaiting a submission retry
 	recWaiting   []*conn // conns whose record-path response is in flight
 	activeConns  int     // TCactive = alive - idle (§4.3)
 	asyncWaiting int     // conns with asyncPending set (deadline scan gate)
 
 	lastPoll time.Time // last response-retrieval poll (failover timer)
+
+	// adaptive is the closed-loop threshold controller (nil = static
+	// thresholds, the paper's behavior). Its feedback is the flight
+	// recorder's retrieve-phase window plus batchWin, the per-worker
+	// completion-batch window fed by pollEngine.
+	adaptive *offload.AdaptivePoll
+	batchWin *flight.Window
 
 	wheel   *deadlineWheel // lifecycle deadlines (see wheel.go)
 	ringCap int            // engine request-ring capacity (0 for SW)
@@ -129,6 +138,7 @@ type Worker struct {
 	gWaiting     *metrics.Gauge        // conns with a paused offload
 	gLag         *metrics.Gauge        // busy ns of the latest iteration
 	gDrain       *metrics.Gauge        // 1 while a graceful drain runs
+	gThreshold   [2]*metrics.Gauge     // qtls_poll_threshold{class}, by offload.Threshold*
 	mirrors      []mirroredCounter     // WorkerStats → registry counters
 }
 
@@ -193,6 +203,7 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 		shed:      cfg.Overload,
 		handler:   handler,
 		reg:       reg,
+		notif:     offload.NewNotifier(cfg.Notify),
 		conns:     make(map[int]*conn),
 		tracer:    tracer,
 		tr:        tracer.Buffer(id), // nil recorder → nil (inert) buffer
@@ -279,7 +290,35 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 			Flight:   w.fl,
 		})
 	}
-	if cfg.Notify == NotifyFD && cfg.AsyncMode != minitls.AsyncModeOff {
+	if cfg.AdaptivePoll != nil && cfg.Polling == PollHeuristic {
+		if tracer == nil || fr == nil {
+			w.cleanup()
+			return nil, errors.New("server: adaptive polling needs the trace and flight recorders (its feedback source)")
+		}
+		w.batchWin = fr.NewWindow()
+		ac := *cfg.AdaptivePoll
+		if ac.Failover <= 0 {
+			// Steer against the failover timer actually pacing this
+			// policy, not the paper default.
+			ac.Failover = w.poll.FailoverInterval
+		}
+		w.adaptive = offload.NewAdaptivePoll(ac, flight.WindowFeedback{
+			Latency: fr.PhaseWindow(trace.PhaseRetrieve),
+			Batch:   w.batchWin,
+		})
+		w.adaptive.SetOnChange(func(class, old, new int) {
+			w.fl.Note(flight.KindThreshold, uint8(class), trace.OpNone, int64(old), int64(new))
+			if class >= 0 && class < len(w.gThreshold) && w.gThreshold[class] != nil {
+				w.gThreshold[class].Set(int64(new))
+			}
+		})
+		// Behind the unchanged seam: ShouldPoll and FailoverDue call sites
+		// below read the walked thresholds through PollPolicy.Threshold.
+		w.poll.Adaptive = w.adaptive
+	}
+	// The kernel-bypass scheme is the only one that never writes a
+	// notification descriptor; fd and coalesced both need the pipe.
+	if cfg.Notify != NotifyKernelBypass && cfg.AsyncMode != minitls.AsyncModeOff {
 		if w.notifyPipe, err = netpoll.NewNotifyPipe(); err != nil {
 			w.cleanup()
 			return nil, err
@@ -414,6 +453,12 @@ func (w *Worker) Run() {
 			w.updateGauges()
 			w.mirrorStats()
 		}
+		// Controller step: rate-limited internally to the configured
+		// interval, so per-iteration cost is one mutex round and usually
+		// nothing else.
+		if w.adaptive != nil {
+			w.adaptive.Tick(time.Now().UnixNano())
+		}
 		// Anomaly sweep: rate-limited internally to half a window bucket,
 		// so per-iteration cost is one atomic load when disabled and one
 		// clock read + CAS otherwise.
@@ -427,7 +472,7 @@ func (w *Worker) Run() {
 				w.gLag.Set(int64(busy))
 			}
 		}
-		if len(events) == 0 && retrieved == 0 && len(w.asyncQueue) == 0 {
+		if len(events) == 0 && retrieved == 0 && w.notif.Pending(offload.DeliverLoopEnd) == 0 {
 			// The in-flight crypto work runs on this host's CPUs (the
 			// simulated accelerator's engines are goroutines, unlike the
 			// paper's ASIC): when the loop has nothing to do, yield so
@@ -455,7 +500,7 @@ func (w *Worker) waitTimeout() int {
 		inflight = w.eng.InflightTotal()
 	}
 	switch {
-	case len(w.asyncQueue) > 0 || len(w.retryQueue) > 0 || len(w.fdQueue) > 0:
+	case w.pendingNotifications() > 0 || len(w.retryQueue) > 0:
 		return 0
 	case w.rec != nil && (w.rec.Inflight() > 0 || len(w.recWaiting) > 0):
 		// Offloaded record seals in flight: keep the loop executing so
@@ -651,6 +696,16 @@ func (w *Worker) closeConn(c *conn) {
 // ConnCount returns the number of live connections (test/diagnostic use;
 // call from the worker goroutine or after Stop).
 func (w *Worker) ConnCount() int { return len(w.conns) }
+
+// PollThresholds returns the heuristic thresholds currently in effect:
+// the controller's walked values when adaptive polling is armed, the
+// static policy otherwise. Safe from any goroutine.
+func (w *Worker) PollThresholds() (asym, sym int) {
+	if w.adaptive != nil {
+		return w.adaptive.Thresholds()
+	}
+	return w.poll.AsymThreshold, w.poll.SymThreshold
+}
 
 // String identifies the worker.
 func (w *Worker) String() string {
