@@ -46,7 +46,8 @@ import (
 
 func main() {
 	var (
-		endpoints = flag.Int("endpoints", 3, "QAT endpoints (DH8970 has 3)")
+		devices   = flag.Int("devices", 1, "QAT devices in the pool (instances round-robin across them)")
+		endpoints = flag.Int("endpoints", 3, "QAT endpoints per device (DH8970 has 3)")
 		engines   = flag.Int("engines", 4, "engines per endpoint")
 		instances = flag.Int("instances", 6, "crypto instances to allocate")
 		burst     = flag.Int("burst", 100, "requests of each type per instance")
@@ -75,7 +76,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("-fault: %v", err)
 	}
-	dev := qat.NewDevice(qat.DeviceSpec{
+	if *devices < 1 {
+		log.Fatalf("-devices: need at least 1, got %d", *devices)
+	}
+	pool := qat.NewPool(*devices, qat.DeviceSpec{
 		Endpoints:          *endpoints,
 		EnginesPerEndpoint: *engines,
 		RingCapacity:       256,
@@ -86,7 +90,7 @@ func main() {
 		SymPerKB:    *symPerKB,
 		Injector:    inj,
 	})
-	defer dev.Close()
+	defer pool.Close()
 
 	ops := []qat.OpType{qat.OpRSA, qat.OpECDSA, qat.OpECDH, qat.OpPRF, qat.OpCipher, qat.OpSym}
 	// Submit→response latency per op type, plus retrieval spans in the
@@ -106,17 +110,20 @@ func main() {
 		lat[op] = metrics.NewHistogram(1 << 14)
 	}
 	var insts []*qat.Instance
+	var instDev []int // owning device of each instance
 	var breakers []*fault.Breaker
 	for i := 0; i < *instances; i++ {
-		inst, err := dev.AllocInstance()
+		d := i % *devices
+		inst, err := pool.AllocInstance(d)
 		if err != nil {
 			log.Fatalf("alloc instance %d: %v", i, err)
 		}
 		insts = append(insts, inst)
+		instDev = append(instDev, d)
 		breakers = append(breakers, fault.NewBreaker(fault.BreakerConfig{}))
 	}
-	fmt.Printf("device: %d endpoints × %d engines, %d instances allocated\n",
-		*endpoints, *engines, len(insts))
+	fmt.Printf("pool: %d device(s) × %d endpoints × %d engines, %d instances allocated\n",
+		*devices, *endpoints, *engines, len(insts))
 	if inj != nil {
 		fmt.Printf("%s\n", inj)
 	}
@@ -254,13 +261,16 @@ func main() {
 
 	fmt.Printf("\nfw_counters (after %v):\n", elapsed.Round(time.Millisecond))
 	total := uint64(0)
-	for i, c := range dev.Counters() {
-		fmt.Printf("  endpoint %d:\n", i)
-		for _, op := range ops {
-			fmt.Printf("    %-7s requests=%-8d responses=%d\n",
-				op, c.Requests[op], c.Responses[op])
+	for di, dev := range pool.Devices() {
+		fmt.Printf("  device %d:\n", di)
+		for i, c := range dev.Counters() {
+			fmt.Printf("    endpoint %d:\n", i)
+			for _, op := range ops {
+				fmt.Printf("      %-7s requests=%-8d responses=%d\n",
+					op, c.Requests[op], c.Responses[op])
+			}
+			total += c.TotalResponses()
 		}
-		total += c.TotalResponses()
 	}
 	fmt.Printf("\nsubmit→response latency (%d spans recorded):\n", rec.Count())
 	for _, op := range ops {
@@ -275,11 +285,17 @@ func main() {
 			time.Duration(h.Max()).Round(time.Microsecond))
 	}
 
+	fmt.Printf("\ndevice health:\n")
+	for _, h := range pool.Health() {
+		fmt.Printf("  device %d: instances=%d inflight=%d leaked=%d resets=%d pressure=%.2f\n",
+			h.Device, h.Instances, h.Inflight, h.Leaked, h.Resets, h.Pressure())
+	}
+
 	fmt.Printf("\ninstance health:\n")
 	for i, inst := range insts {
 		st := inst.Stats()
-		fmt.Printf("  instance %d endpoint %d inflight %d leaked %d breaker %s\n",
-			i, inst.Endpoint(), inst.Inflight(), inst.Leaked(), breakers[i].Snapshot())
+		fmt.Printf("  instance %d device %d endpoint %d inflight %d leaked %d breaker %s\n",
+			i, instDev[i], inst.Endpoint(), inst.Inflight(), inst.Leaked(), breakers[i].Snapshot())
 		fmt.Printf("    submits=%d ringFull=%d polls=%d (empty %d) dequeued=%d maxBatch=%d reclaimed=%d\n",
 			st.Submits, st.RingFull, st.Polls, st.EmptyPolls, st.Dequeued, st.MaxBatch, st.Reclaimed)
 		meanBatch := 0.0

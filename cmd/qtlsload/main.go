@@ -7,7 +7,7 @@
 // this tool only drives the TLS client half of the workload.
 //
 //	qtlsload -mode stime -addr 127.0.0.1:8443 -clients 50 -duration 10s
-//	qtlsload -mode stime -reuse 1.0            # 100% abbreviated handshakes
+//	qtlsload -mode stime -resume-fraction 0.9  # full:abbreviated = 1:9 mix
 //	qtlsload -mode ab -path /65536 -clients 40 # 64 KB keepalive transfers
 package main
 
@@ -27,7 +27,8 @@ func main() {
 		mode     = flag.String("mode", "stime", "workload: stime (handshakes) or ab (keepalive requests)")
 		clients  = flag.Int("clients", 10, "concurrent clients")
 		duration = flag.Duration("duration", 5*time.Second, "run duration")
-		reuse    = flag.Float64("reuse", 0, "fraction of resumed connections (stime mode)")
+		reuse    = flag.Float64("reuse", 0, "fraction of resumed connections (stime mode; alias of -resume-fraction)")
+		resume   = flag.Float64("resume-fraction", 0, "fraction of connections attempted as abbreviated (resumed) handshakes; implies requesting session tickets")
 		path     = flag.String("path", "/1024", "request path (ab mode, or stime per-connection request)")
 		request  = flag.Bool("request", false, "stime: issue one request per connection")
 		maxVer   = flag.String("max-version", "1.2", "maximum TLS version: 1.2 or 1.3")
@@ -39,6 +40,16 @@ func main() {
 		tlsCfg.MaxVersion = minitls.VersionTLS13
 	}
 
+	frac := *reuse
+	if *resume > 0 {
+		frac = *resume
+	}
+	if frac > 0 {
+		// A resumption mix needs sessions to resume: ask the server for
+		// tickets on the full handshakes.
+		tlsCfg.RequestTicket = true
+	}
+
 	var res loadgen.Result
 	switch *mode {
 	case "stime":
@@ -47,7 +58,7 @@ func main() {
 			Clients:        *clients,
 			Duration:       *duration,
 			TLS:            tlsCfg,
-			ResumeFraction: *reuse,
+			ResumeFraction: frac,
 		}
 		if *request {
 			opts.RequestPath = *path

@@ -64,8 +64,11 @@ func main() {
 		adaptInt = flag.Duration("adaptive-interval", time.Second, "minimum spacing between adaptive threshold adjustments (with -adaptive-poll)")
 		recMode  = flag.String("record-mode", "software", "post-handshake record path: software, offload, or adaptive")
 		recThr   = flag.Int("record-threshold", offload.DefaultRecordThreshold, "adaptive record-offload size threshold in bytes")
-		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on the simulated device")
+		endpnts  = flag.Int("endpoints", 3, "QAT endpoints on each simulated device")
 		engines  = flag.Int("engines", 4, "engines per endpoint")
+		devCount = flag.Int("devices", 1, "simulated QAT devices in the pool")
+		placeStr = flag.String("placement", "", "multi-device placement: single, class-shard or conn-hash (empty = single)")
+		tktRot   = flag.Duration("ticket-rotate", 0, "session-ticket key rotation interval for the shared ring (0 = off; needs a multi-device placement)")
 		stats    = flag.Duration("stats", 5*time.Second, "stats print interval (0 = off)")
 		traceOn  = flag.Bool("trace", false, "record offload-phase spans (serves /debug/trace, adds phase latency to stats)")
 		traceCap = flag.Int("trace-spans", 4096, "span ring capacity per worker (with -trace)")
@@ -126,6 +129,23 @@ func main() {
 		run.PollInterval = *interval
 	}
 
+	// Device-placement layer: shard op classes or hash connections across
+	// a pool of devices. The zero/empty value keeps the single-device
+	// legacy path byte-identical.
+	if *placeStr != "" {
+		p, ok := offload.PlacementByName(*placeStr)
+		if !ok {
+			log.Fatalf("unknown -placement %q (want single, class-shard or conn-hash)", *placeStr)
+		}
+		run.Placement = p
+	}
+	if *devCount < 1 {
+		log.Fatalf("-devices: need at least 1, got %d", *devCount)
+	}
+	if run.Placement != offload.PlacementSingle && !run.UseQAT {
+		log.Fatalf("-placement %s needs a QAT configuration (got %s)", run.Placement, run.Name)
+	}
+
 	log.Printf("generating %s identity...", *keyType)
 	var id *minitls.Identity
 	var err error
@@ -146,9 +166,20 @@ func main() {
 		tlsCfg.SessionCache = minitls.NewSessionCache(4096)
 	}
 	if *tickets {
-		var key [32]byte
-		copy(key[:], "qtlsserver-demo-ticket-key-32byte")
-		tlsCfg.TicketKey = &key
+		if run.Placement != offload.PlacementSingle {
+			// Multi-device placements share one rotating ring across the
+			// accept-sharded workers so a ticket issued anywhere resumes
+			// anywhere, across rotations.
+			ring, err := minitls.GenerateTicketKeyRing(0)
+			if err != nil {
+				log.Fatalf("ticket ring: %v", err)
+			}
+			tlsCfg.TicketKeys = ring
+		} else {
+			var key [32]byte
+			copy(key[:], "qtlsserver-demo-ticket-key-32byte")
+			tlsCfg.TicketKey = &key
+		}
 	}
 
 	// Submit coalescing applies to the async configurations only (the
@@ -223,16 +254,16 @@ func main() {
 		log.Print("warning: -fault without -op-timeout; stalled ops will hang their connections")
 	}
 
-	var dev *qat.Device
+	var pool *qat.Pool
 	if run.UseQAT {
-		dev = qat.NewDevice(qat.DeviceSpec{
+		pool = qat.NewPool(*devCount, qat.DeviceSpec{
 			Endpoints:          *endpnts,
 			EnginesPerEndpoint: *engines,
 			SymBaseTime:        4 * time.Microsecond,
 			SymPerKB:           time.Microsecond,
 			Injector:           inj,
 		})
-		defer dev.Close()
+		defer pool.Close()
 		if inj != nil {
 			log.Printf("%s", inj)
 		}
@@ -270,7 +301,7 @@ func main() {
 		Workers: *workers,
 		Run:     run,
 		TLS:     tlsCfg,
-		Device:  dev,
+		Pool:    pool,
 		Handler: server.SizedBodyHandler(8 << 20),
 		Trace:   rec,
 		Flight:  fr,
@@ -284,6 +315,25 @@ func main() {
 	log.Printf("observability: GET /stub_status, GET /metrics (Prometheus text)")
 	if rec != nil {
 		log.Printf("tracing: GET /debug/trace?n=256 (four-phase spans, %d per worker)", *traceCap)
+	}
+	if pool != nil && (pool.Size() > 1 || run.Placement != offload.PlacementSingle) {
+		log.Printf("placement: %s over %d device(s), pool-wide admission control", run.Placement, pool.Size())
+	}
+	if *tktRot > 0 {
+		ring := srv.TicketKeys()
+		if ring == nil {
+			log.Fatalf("-ticket-rotate needs the shared ticket ring (a multi-device -placement with -tickets)")
+		}
+		go func() {
+			for range time.Tick(*tktRot) {
+				if err := ring.Rotate(); err != nil {
+					log.Printf("ticket rotate: %v", err)
+					continue
+				}
+				log.Printf("ticket ring rotated (generation %d, %d keys retained)", ring.Generation(), ring.Len())
+			}
+		}()
+		log.Printf("ticket ring: rotating every %s", *tktRot)
 	}
 	if run.AdaptivePoll != nil {
 		log.Printf("adaptive polling: closed-loop thresholds every %s, watch qtls_poll_threshold{class} on /metrics", *adaptInt)
@@ -306,10 +356,12 @@ func main() {
 				line := fmt.Sprintf("handshakes=%d (resumed %d) requests=%d bytes=%d asyncEvents=%d heuristicPolls=%d timerPolls=%d retries=%d errors=%d",
 					st.Handshakes, st.Resumed, st.Requests, st.BytesOut,
 					st.AsyncEvents, st.HeuristicPolls, st.TimerPolls, st.RetryEvents, st.Errors)
-				if dev != nil {
+				if pool != nil {
 					var reqs uint64
-					for _, c := range dev.Counters() {
-						reqs += c.TotalRequests()
+					for _, d := range pool.Devices() {
+						for _, c := range d.Counters() {
+							reqs += c.TotalRequests()
+						}
 					}
 					line += fmt.Sprintf(" fw_counters=%d", reqs)
 				}

@@ -105,7 +105,7 @@ func (e *Engine) flushClass(class Class, q []*pendingSubmit) int {
 	if len(live) == 0 {
 		return 0
 	}
-	order := e.instancesByFree()
+	order := e.instancesByFreeClass(class)
 	if len(order) == 0 {
 		for _, ps := range live {
 			ps.fail(ErrNoInstance)
@@ -141,6 +141,7 @@ func (e *Engine) flushClass(class Class, q []*pendingSubmit) int {
 		live = live[acc:]
 		flushed += acc
 		if acc > 0 {
+			e.noteRouteClass(class, idx)
 			if e.ctrBatched != nil {
 				for i := 0; i < acc; i++ {
 					e.ctrBatched.Inc()

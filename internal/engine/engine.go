@@ -43,6 +43,7 @@ import (
 	"qtls/internal/flight"
 	"qtls/internal/metrics"
 	"qtls/internal/minitls"
+	"qtls/internal/offload"
 	"qtls/internal/qat"
 	"qtls/internal/trace"
 )
@@ -118,6 +119,14 @@ type Config struct {
 	// offloadable kinds (RSA, ECDSA, ECDH, PRF, Cipher). This mirrors the
 	// default_algorithm directive of the SSL Engine Framework (§A.7).
 	Offload []minitls.OpKind
+	// Placement selects the multi-device routing mode (see placement.go).
+	// The zero value, PlacementSingle, is the exact legacy single-device
+	// behavior.
+	Placement offload.Placement
+	// InstanceDevices gives the pool device index of each instance,
+	// parallel to the combined Instance+Instances list. nil means all
+	// instances live on device 0 (single-device, the legacy assumption).
+	InstanceDevices []int
 
 	// OpTimeout bounds the wait for each offloaded response; once
 	// exceeded the engine abandons the offload, reclaims any leaked ring
@@ -175,6 +184,18 @@ type Engine struct {
 	insts   []*qat.Instance
 	next    int // round-robin submission cursor
 	offload [6]bool
+
+	// Device-placement state (see placement.go). Inert under
+	// PlacementSingle.
+	placement      offload.Placement
+	devOf          []int // device index per instance
+	numDevs        int
+	lanePref       [numLanes][]bool // device → preferred, per lane
+	laneInsts      [numLanes][]int  // instances on preferred devices
+	laneOther      [numLanes][]int  // instances elsewhere (spill targets)
+	laneCursor     [numLanes]int    // per-lane rotation cursors
+	routeDev       [numLanes]atomic.Int64
+	placementFlips atomic.Int64
 
 	// Hardening configuration (see Config).
 	timeout  time.Duration
@@ -268,6 +289,9 @@ func New(cfg Config) (*Engine, error) {
 		e.offload[k] = true
 	}
 	e.fl = cfg.Flight
+	if err := e.initPlacement(cfg); err != nil {
+		return nil, err
+	}
 	if cfg.Breaker != nil {
 		e.breakers = make([]*fault.Breaker, len(e.insts))
 		for i := range e.breakers {

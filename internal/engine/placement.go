@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"errors"
+
+	"qtls/internal/flight"
+	"qtls/internal/offload"
+	"qtls/internal/qat"
+	"qtls/internal/trace"
+)
+
+// This file is the engine's device-placement layer: the routing that
+// turns "this worker owns instances on several QAT devices" into
+// per-op-class submission decisions. Under offload.PlacementSingle — the
+// zero value, and the only mode the paper's five configurations use —
+// none of this runs: the legacy round-robin submitIdx path is taken
+// byte-for-byte, which is what keeps the notify-parity golden stable.
+//
+// With an active placement and more than one device, each op class maps
+// to a *lane* (asym or sym, the same split the heuristic polling
+// thresholds use) and each lane prefers the device set
+// offload.Placement.AsymDevices/SymDevices selects. A submission tries
+// the preferred devices' instances first and spills to the rest of the
+// pool when the preferred set is circuit-broken or its rings are full;
+// every time a lane's op lands on a different device than its
+// predecessor the engine counts a placement flip and journals it
+// (flight.KindPlacement), so an incident dump shows the re-route that
+// absorbed a dying device. Breaker state, inflight accounting and
+// SubmitBatch doorbell amortization all stay per-instance — and
+// therefore per-device — exactly as before.
+
+// numLanes is the number of placement lanes (asym, sym).
+const numLanes = 2
+
+// laneOf maps an engine class to its placement lane: the asymmetric
+// handshake ops form one lane, the symmetric-leaning PRF and cipher ops
+// the other. Codes match flight.PlacementAsym/PlacementSym.
+func laneOf(class Class) uint8 {
+	if class == ClassAsym {
+		return flight.PlacementAsym
+	}
+	return flight.PlacementSym
+}
+
+// placementActive reports whether per-class routing is in effect.
+func (e *Engine) placementActive() bool {
+	return e.placement != offload.PlacementSingle && e.numDevs > 1
+}
+
+// initPlacement derives the per-lane instance partitions from the
+// instance→device mapping. Called from New.
+func (e *Engine) initPlacement(cfg Config) error {
+	e.placement = cfg.Placement
+	e.devOf = make([]int, len(e.insts))
+	if cfg.InstanceDevices != nil {
+		if len(cfg.InstanceDevices) != len(e.insts) {
+			return errors.New("engine: InstanceDevices must parallel the combined instance list")
+		}
+		copy(e.devOf, cfg.InstanceDevices)
+	}
+	e.numDevs = 1
+	for _, d := range e.devOf {
+		if d < 0 {
+			return errors.New("engine: negative device index in InstanceDevices")
+		}
+		if d+1 > e.numDevs {
+			e.numDevs = d + 1
+		}
+	}
+	for lane := 0; lane < numLanes; lane++ {
+		e.routeDev[lane].Store(-1)
+	}
+	if !e.placementActive() {
+		return nil
+	}
+	laneSets := [numLanes][]int{
+		flight.PlacementAsym: e.placement.AsymDevices(e.numDevs),
+		flight.PlacementSym:  e.placement.SymDevices(e.numDevs),
+	}
+	for lane, set := range laneSets {
+		pref := make([]bool, e.numDevs)
+		for _, d := range set {
+			if d < e.numDevs {
+				pref[d] = true
+			}
+		}
+		e.lanePref[lane] = pref
+		for idx, d := range e.devOf {
+			if pref[d] {
+				e.laneInsts[lane] = append(e.laneInsts[lane], idx)
+			} else {
+				e.laneOther[lane] = append(e.laneOther[lane], idx)
+			}
+		}
+	}
+	return nil
+}
+
+// routeOrder returns the instance indexes a lane's submission should try,
+// preferred-device instances first, each half rotated by the lane cursor
+// so load spreads within a device set the way the legacy round-robin
+// spread it across the whole engine.
+func (e *Engine) routeOrder(lane uint8) []int {
+	p, o := e.laneInsts[lane], e.laneOther[lane]
+	c := e.laneCursor[lane]
+	e.laneCursor[lane]++
+	out := make([]int, 0, len(p)+len(o))
+	for i := range p {
+		out = append(out, p[(c+i)%len(p)])
+	}
+	for i := range o {
+		out = append(out, o[(c+i)%len(o)])
+	}
+	return out
+}
+
+// noteRoute records where a lane's op landed, journaling a placement flip
+// when the device changed. The first route of a lane is not a flip.
+func (e *Engine) noteRoute(lane uint8, dev int) {
+	prev := e.routeDev[lane].Swap(int64(dev))
+	if prev == int64(dev) {
+		return
+	}
+	if prev >= 0 {
+		e.placementFlips.Add(1)
+		e.fl.Note(flight.KindPlacement, lane, trace.OpNone, prev, int64(dev))
+	}
+}
+
+// submitClass places the request on an instance chosen for the op's
+// class. Single-device placement takes the legacy round-robin path
+// unchanged; active placements route preferred-device-first with
+// pool-wide spill.
+func (e *Engine) submitClass(class Class, req qat.Request) (int, error) {
+	if !e.placementActive() {
+		return e.submitIdx(req)
+	}
+	lane := laneOf(class)
+	var lastErr error
+	tried := false
+	for _, idx := range e.routeOrder(lane) {
+		if !e.instAllowed(idx) {
+			continue
+		}
+		tried = true
+		lastErr = e.insts[idx].Submit(req)
+		if lastErr == nil {
+			e.noteRoute(lane, e.devOf[idx])
+			return idx, nil
+		}
+		if !errors.Is(lastErr, qat.ErrRingFull) {
+			e.recordResult(idx, false)
+			return idx, lastErr
+		}
+	}
+	if !tried {
+		return -1, ErrNoInstance
+	}
+	return -1, lastErr
+}
+
+// instancesByFreeClass orders the flush candidates for one class: the
+// legacy free-capacity order under single placement, and under an active
+// placement the same order stably partitioned so the lane's preferred
+// devices come first.
+func (e *Engine) instancesByFreeClass(class Class) []int {
+	order := e.instancesByFree()
+	if !e.placementActive() {
+		return order
+	}
+	pref := e.lanePref[laneOf(class)]
+	out := make([]int, 0, len(order))
+	for _, idx := range order {
+		if pref[e.devOf[idx]] {
+			out = append(out, idx)
+		}
+	}
+	for _, idx := range order {
+		if !pref[e.devOf[idx]] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// noteRouteClass is noteRoute keyed by class, a no-op under single
+// placement; the coalescer calls it per accepted batch.
+func (e *Engine) noteRouteClass(class Class, idx int) {
+	if !e.placementActive() {
+		return
+	}
+	e.noteRoute(laneOf(class), e.devOf[idx])
+}
+
+// Placement returns the engine's placement mode.
+func (e *Engine) Placement() offload.Placement { return e.placement }
+
+// DeviceInflight sums the occupied ring slots of the engine's instances
+// on one device (per-device pressure for qatinfo and admission views).
+func (e *Engine) DeviceInflight(dev int) int {
+	n := 0
+	for i, inst := range e.insts {
+		if e.devOf[i] == dev {
+			n += inst.Inflight()
+		}
+	}
+	return n
+}
+
+// LaneDevice returns the device a lane's last op was routed to (-1 before
+// the first route). Lanes are flight.PlacementAsym / flight.PlacementSym.
+func (e *Engine) LaneDevice(lane uint8) int {
+	if lane >= numLanes {
+		return -1
+	}
+	return int(e.routeDev[lane].Load())
+}

@@ -114,24 +114,29 @@ type Stats struct {
 	VerifyFails int64
 	Trips       int64
 	Cancels     int64
+
+	// PlacementFlips counts lane re-routes to a different device (zero
+	// under single-device placement).
+	PlacementFlips int64
 }
 
 // Stats returns cumulative counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Submitted:   e.submitted.Load(),
-		Retrieved:   e.retrieved.Load(),
-		RingFulls:   e.ringFulls.Load(),
-		Polls:       e.polls.Load(),
-		PollsEmpty:  e.pollsEmpty.Load(),
-		Flushes:     e.flushes.Load(),
-		FlushedOps:  e.flushedOps.Load(),
-		MaxFlush:    e.maxFlush.Load(),
-		Timeouts:    e.timeouts.Load(),
-		SWFallbacks: e.fallbacks.Load(),
-		Retries:     e.retries.Load(),
-		VerifyFails: e.verifyFails.Load(),
-		Trips:       e.trips.Load(),
-		Cancels:     e.cancels.Load(),
+		Submitted:      e.submitted.Load(),
+		Retrieved:      e.retrieved.Load(),
+		RingFulls:      e.ringFulls.Load(),
+		Polls:          e.polls.Load(),
+		PollsEmpty:     e.pollsEmpty.Load(),
+		Flushes:        e.flushes.Load(),
+		FlushedOps:     e.flushedOps.Load(),
+		MaxFlush:       e.maxFlush.Load(),
+		Timeouts:       e.timeouts.Load(),
+		SWFallbacks:    e.fallbacks.Load(),
+		Retries:        e.retries.Load(),
+		VerifyFails:    e.verifyFails.Load(),
+		Trips:          e.trips.Load(),
+		Cancels:        e.cancels.Load(),
+		PlacementFlips: e.placementFlips.Load(),
 	}
 }

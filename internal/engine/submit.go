@@ -144,7 +144,7 @@ func (e *Engine) submitPath(a *attempt, s pauseStrategy) (any, error, outcome) {
 	if !a.preStart.IsZero() {
 		a.submitAt = time.Now()
 	}
-	idx, err := e.submitIdx(req)
+	idx, err := e.submitClass(a.class, req)
 	if err != nil {
 		if errors.Is(err, qat.ErrRingFull) {
 			e.ringFulls.Add(1)
@@ -470,7 +470,7 @@ func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Cla
 		if !preStart.IsZero() {
 			submitAt = time.Now()
 		}
-		idx, err := e.submitIdx(req)
+		idx, err := e.submitClass(class, req)
 		for err != nil && errors.Is(err, qat.ErrRingFull) {
 			e.ringFulls.Add(1)
 			e.pollAll(0)
@@ -483,7 +483,7 @@ func (e *Engine) doStraight(call *minitls.OpCall, kind minitls.OpKind, class Cla
 			if !preStart.IsZero() {
 				submitAt = time.Now()
 			}
-			idx, err = e.submitIdx(req)
+			idx, err = e.submitClass(class, req)
 		}
 		if err != nil {
 			if errors.Is(err, ErrNoInstance) {

@@ -63,6 +63,11 @@ const (
 	// threshold class (asym/sym), Dur the old threshold and Arg the new
 	// one.
 	KindThreshold
+	// KindPlacement is one placement flip: the engine re-routed an op
+	// class to a different device (breaker open or rings saturated on the
+	// preferred set). Code is the op class's placement lane (asym/sym),
+	// Dur the previous device index and Arg the new one.
+	KindPlacement
 
 	numKinds
 )
@@ -88,6 +93,8 @@ func (k Kind) String() string {
 		return "dump"
 	case KindThreshold:
 		return "threshold"
+	case KindPlacement:
+		return "placement"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -152,6 +159,15 @@ var (
 	fallbackNames = [...]string{"timeout", "cancel", "ring-full", "breaker", "error", "oversize"}
 	// thresholdNames mirror offload.ThresholdAsym/ThresholdSym.
 	thresholdNames = [...]string{"asym", "sym"}
+	// placementNames mirror the engine's placement lanes (PlacementAsym /
+	// PlacementSym codes below).
+	placementNames = [...]string{"asym", "sym"}
+)
+
+// Placement lanes (KindPlacement codes).
+const (
+	PlacementAsym uint8 = iota
+	PlacementSym
 )
 
 func codeName(k Kind, code uint8) string {
@@ -175,6 +191,8 @@ func codeName(k Kind, code uint8) string {
 		tab = dumpReasons[:]
 	case KindThreshold:
 		tab = thresholdNames[:]
+	case KindPlacement:
+		tab = placementNames[:]
 	}
 	if int(code) < len(tab) {
 		return tab[code]

@@ -29,6 +29,11 @@ type Result struct {
 	Connections int64
 	// Resumed is how many of those used an abbreviated handshake.
 	Resumed int64
+	// ResumeDeclined counts connections that offered a session but were
+	// answered with a full handshake (ticket key rotated out, cache miss
+	// on another worker, server without resumption). These complete and
+	// count under Connections, but as full handshakes.
+	ResumeDeclined int64
 	// Requests is the number of completed HTTP requests.
 	Requests int64
 	// BytesIn is the number of response body bytes received.
@@ -56,7 +61,17 @@ type Result struct {
 	// Latency summarizes per-operation latency (handshake latency for
 	// STime, request latency for AB).
 	Latency metrics.Snapshot
+	// LatencyFull and LatencyResumed split the STime handshake latency by
+	// handshake kind: a resumed handshake skips the asymmetric-key
+	// calculations, so mixing the two hides both distributions (§5.3's
+	// 1:9 mix). Zero-valued for AB and when the split is empty.
+	LatencyFull    metrics.Snapshot
+	LatencyResumed metrics.Snapshot
 }
+
+// FullHandshakes returns the connections completed with a full (non
+// resumed) handshake.
+func (r Result) FullHandshakes() int64 { return r.Connections - r.Resumed }
 
 // CPS returns completed connections per second.
 func (r Result) CPS() float64 {
@@ -117,8 +132,10 @@ func STime(opts STimeOptions) Result {
 		opts.TLS = &minitls.Config{}
 	}
 	var res Result
-	var conns, resumed, reqs, bytesIn, errCount, shedCount, cleanCount, shortCount atomic.Int64
+	var conns, resumed, declined, reqs, bytesIn, errCount, shedCount, cleanCount, shortCount atomic.Int64
 	lat := metrics.NewHistogram(1 << 14)
+	latFull := metrics.NewHistogram(1 << 14)
+	latResumed := metrics.NewHistogram(1 << 14)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -145,10 +162,17 @@ func STime(opts STimeOptions) Result {
 					classifyFailure(err, conn, &shedCount, &cleanCount, &shortCount, &errCount)
 					continue
 				}
-				lat.ObserveDuration(time.Since(t0))
+				hsDur := time.Since(t0)
+				lat.ObserveDuration(hsDur)
 				conns.Add(1)
 				if didResume {
 					resumed.Add(1)
+					latResumed.ObserveDuration(hsDur)
+				} else {
+					latFull.ObserveDuration(hsDur)
+					if wantResume {
+						declined.Add(1)
+					}
 				}
 				if opts.RequestPath != "" {
 					reqs.Add(1)
@@ -166,6 +190,7 @@ func STime(opts STimeOptions) Result {
 	res.Elapsed = time.Since(start)
 	res.Connections = conns.Load()
 	res.Resumed = resumed.Load()
+	res.ResumeDeclined = declined.Load()
 	res.Requests = reqs.Load()
 	res.BytesIn = bytesIn.Load()
 	res.Errors = errCount.Load()
@@ -173,6 +198,8 @@ func STime(opts STimeOptions) Result {
 	res.Shed = shedCount.Load()
 	res.CleanCloses = cleanCount.Load()
 	res.Latency = lat.Snapshot()
+	res.LatencyFull = latFull.Snapshot()
+	res.LatencyResumed = latResumed.Snapshot()
 	return res
 }
 
@@ -388,7 +415,14 @@ func AB(opts ABOptions) Result {
 
 // String renders a result summary.
 func (r Result) String() string {
-	return fmt.Sprintf("conns=%d (%.0f cps, %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d short=%d shed=%d clean=%d lat{%s}",
-		r.Connections, r.CPS(), r.Resumed, r.Requests, r.RPS(), r.ThroughputGbps(),
+	s := fmt.Sprintf("conns=%d (%.0f cps, %d full / %d resumed) reqs=%d (%.0f rps) in=%.2f Gbps err=%d short=%d shed=%d clean=%d lat{%s}",
+		r.Connections, r.CPS(), r.FullHandshakes(), r.Resumed, r.Requests, r.RPS(), r.ThroughputGbps(),
 		r.Errors, r.ShortIO, r.Shed, r.CleanCloses, r.Latency)
+	if r.Resumed > 0 {
+		s += fmt.Sprintf(" full{%s} resumed{%s}", r.LatencyFull, r.LatencyResumed)
+	}
+	if r.ResumeDeclined > 0 {
+		s += fmt.Sprintf(" declined=%d", r.ResumeDeclined)
+	}
+	return s
 }

@@ -111,6 +111,87 @@ func TestSTimeResumption(t *testing.T) {
 	}
 }
 
+// TestSTimeClassifiesFullVsResumed pins the split stats: every completed
+// connection lands in exactly one of the full/resumed latency
+// distributions, and the counters agree with them.
+func TestSTimeClassifiesFullVsResumed(t *testing.T) {
+	ring, err := minitls.GenerateTicketKeyRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, func(c *minitls.Config) {
+		c.TicketKeys = ring
+	})
+	res := STime(STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        2,
+		Duration:       500 * time.Millisecond,
+		TLS:            &minitls.Config{RequestTicket: true},
+		ResumeFraction: 0.9,
+		MaxConnections: 20,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("errors: %s", res)
+	}
+	if res.Resumed == 0 || res.FullHandshakes() == 0 {
+		t.Fatalf("need both kinds in a 0.9 mix: %s", res)
+	}
+	if res.FullHandshakes() != res.Connections-res.Resumed {
+		t.Fatalf("full %d != conns %d - resumed %d", res.FullHandshakes(), res.Connections, res.Resumed)
+	}
+	if res.LatencyFull.Count != res.FullHandshakes() {
+		t.Fatalf("full latency samples %d != full handshakes %d", res.LatencyFull.Count, res.FullHandshakes())
+	}
+	if res.LatencyResumed.Count != res.Resumed {
+		t.Fatalf("resumed latency samples %d != resumed %d", res.LatencyResumed.Count, res.Resumed)
+	}
+	if res.Latency.Count != res.Connections {
+		t.Fatalf("combined latency samples %d != connections %d", res.Latency.Count, res.Connections)
+	}
+}
+
+// TestSTimeResumeDeclined checks the declined bucket: a server that
+// cannot resume (no ticket key, no cache) still issues no session, so
+// nothing is offered — declined stays 0. Against a resuming server whose
+// keys rotate away mid-run, offers start failing and are classified as
+// declined full handshakes rather than errors.
+func TestSTimeResumeDeclined(t *testing.T) {
+	ring, err := minitls.GenerateTicketKeyRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, func(c *minitls.Config) {
+		c.TicketKeys = ring
+	})
+	// Age every issued key out shortly into the run: outstanding tickets
+	// stop opening and offers get declined.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		for i := 0; i < 2; i++ {
+			ring.Rotate()
+		}
+		<-stop
+	}()
+	res := STime(STimeOptions{
+		Addr:           srv.Addr(),
+		Clients:        1,
+		Duration:       600 * time.Millisecond,
+		TLS:            &minitls.Config{RequestTicket: true},
+		ResumeFraction: 1.0,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("declined resumptions must not error: %s", res)
+	}
+	if res.ResumeDeclined == 0 {
+		t.Fatalf("no declines after key rotation: %s", res)
+	}
+	if res.LatencyFull.Count+res.LatencyResumed.Count != res.Connections {
+		t.Fatalf("split does not cover all connections: %s", res)
+	}
+}
+
 func TestABKeepalive(t *testing.T) {
 	srv := startServer(t, nil)
 	res := AB(ABOptions{

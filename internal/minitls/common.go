@@ -404,6 +404,11 @@ type Config struct {
 	SessionCache *SessionCache
 	// TicketKey, when non-nil, enables session-ticket resumption.
 	TicketKey *[32]byte
+	// TicketKeys, when non-nil, enables session-ticket resumption backed
+	// by a shared rotating key ring; the ring's newest key seals and all
+	// retained keys open, so workers sharing one ring resume each other's
+	// tickets across rotations. Takes precedence over TicketKey.
+	TicketKeys *TicketKeyRing
 	// Session, on the client, resumes the given session.
 	Session *ClientSession
 	// RequestTicket, on the client, asks the server for a session ticket.

@@ -248,7 +248,7 @@ func (c *Conn) serverStateStep() error {
 	case stateS12SendFinished:
 		// Ticket (if offered), then CCS; no crypto offload in this state.
 		if hs.offerTicket {
-			ticket, err := sealTicket(c.config.TicketKey, SessionState{
+			ticket, err := c.config.sealSessionTicket(SessionState{
 				Version:      VersionTLS12,
 				CipherSuite:  c.suite,
 				MasterSecret: hs.master,
@@ -518,7 +518,7 @@ func (c *Conn) serverStateStep() error {
 		c.in.setProtection(inProt)
 		// Post-handshake NewSessionTicket: wrap the resumption PSK so a
 		// later connection can run the PSK handshake (RFC 8446 §4.6.1).
-		if c.config.TicketKey != nil {
+		if c.config.hasTicketKey() {
 			resMaster, err := c.hkdfOp(func() []byte {
 				return resumptionMasterSecret(hs.sec.masterSecret, c.transcriptHash())
 			})
@@ -529,7 +529,7 @@ func (c *Conn) serverStateStep() error {
 			if err != nil {
 				return err
 			}
-			ticket, err := sealTicket(c.config.TicketKey, SessionState{
+			ticket, err := c.config.sealSessionTicket(SessionState{
 				Version:      VersionTLS13,
 				CipherSuite:  c.suite,
 				MasterSecret: psk,
@@ -638,8 +638,8 @@ func (c *Conn) srvReadClientHello() error {
 		// binder over the truncated ClientHello. An invalid ticket or
 		// binder silently falls back to a full handshake, except that a
 		// *forged* binder on a valid ticket is fatal (RFC 8446 §4.2.11).
-		if c.config.TicketKey != nil && hs.clientHello.hasPSK {
-			if st, err := openTicket(c.config.TicketKey, hs.clientHello.pskIdentity); err == nil && st.Version == VersionTLS13 {
+		if c.config.hasTicketKey() && hs.clientHello.hasPSK {
+			if st, err := c.config.openSessionTicket(hs.clientHello.pskIdentity); err == nil && st.Version == VersionTLS13 {
 				raw := handshakeMsg(typeClientHello, body)
 				early, err := c.hkdfOp(func() []byte { return hkdfExtract(nil, st.MasterSecret) })
 				if err != nil {
@@ -678,7 +678,7 @@ func (c *Conn) srvReadClientHello() error {
 
 	// Full handshake: offer a ticket when the client asked for one and we
 	// have a ticket key; allocate a session ID when we have a cache.
-	hs.offerTicket = hs.clientHello.hasTicketExt && c.config.TicketKey != nil
+	hs.offerTicket = hs.clientHello.hasTicketExt && c.config.hasTicketKey()
 	if c.config.SessionCache != nil {
 		hs.sessionID = make([]byte, 32)
 		if _, err := io.ReadFull(c.config.rand(), hs.sessionID); err != nil {
@@ -696,8 +696,8 @@ func (c *Conn) srvReadClientHello() error {
 // lookupResumption checks the ClientHello for a resumable session.
 func (c *Conn) lookupResumption() (SessionState, bool) {
 	hs := c.hsrv
-	if c.config.TicketKey != nil && hs.clientHello.hasTicketExt && len(hs.clientHello.sessionTicket) > 0 {
-		if st, err := openTicket(c.config.TicketKey, hs.clientHello.sessionTicket); err == nil && st.Version == VersionTLS12 {
+	if c.config.hasTicketKey() && hs.clientHello.hasTicketExt && len(hs.clientHello.sessionTicket) > 0 {
+		if st, err := c.config.openSessionTicket(hs.clientHello.sessionTicket); err == nil && st.Version == VersionTLS12 {
 			return st, true
 		}
 	}

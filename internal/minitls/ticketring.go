@@ -1,0 +1,143 @@
+package minitls
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"sync"
+)
+
+// TicketKeyRing is a shared, rotating set of session-ticket keys. All of
+// a server's workers point at one ring (the per-worker Config copies
+// share the pointer), so a ticket sealed by any worker resumes on any
+// other — the cross-worker resumption that makes a resumption-heavy,
+// sym-dominated workload reachable with SO_REUSEPORT accept sharding.
+//
+// The newest key seals; every retained key still opens, so tickets
+// issued before a rotation stay valid until their key ages out of the
+// ring. Rotation is cheap (one allocation under a short lock) and safe
+// to run from any goroutine.
+type TicketKeyRing struct {
+	mu     sync.RWMutex
+	keys   [][32]byte // keys[0] seals; all open
+	retain int
+	gen    int64
+}
+
+// NewTicketKeyRing builds a ring seeded with initial, retaining at most
+// retain keys (minimum 2: the sealing key plus one predecessor, so a
+// rotation never instantly invalidates outstanding tickets).
+func NewTicketKeyRing(initial [32]byte, retain int) *TicketKeyRing {
+	if retain < 2 {
+		retain = 2
+	}
+	return &TicketKeyRing{keys: [][32]byte{initial}, retain: retain}
+}
+
+// GenerateTicketKeyRing builds a ring seeded with a random key.
+func GenerateTicketKeyRing(retain int) (*TicketKeyRing, error) {
+	var k [32]byte
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return nil, err
+	}
+	return NewTicketKeyRing(k, retain), nil
+}
+
+// Rotate prepends a fresh random sealing key, aging the oldest key out
+// once the ring exceeds its retention bound.
+func (r *TicketKeyRing) Rotate() error {
+	var k [32]byte
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return err
+	}
+	r.RotateTo(k)
+	return nil
+}
+
+// RotateTo prepends the given sealing key (deterministic rotation for
+// tests and key-escrow deployments).
+func (r *TicketKeyRing) RotateTo(key [32]byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys = append([][32]byte{key}, r.keys...)
+	if len(r.keys) > r.retain {
+		r.keys = r.keys[:r.retain]
+	}
+	r.gen++
+}
+
+// Len returns the number of keys currently able to open tickets.
+func (r *TicketKeyRing) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.keys)
+}
+
+// Generation returns how many rotations have happened.
+func (r *TicketKeyRing) Generation() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// current returns a stable copy of the sealing key.
+func (r *TicketKeyRing) current() *[32]byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k := r.keys[0]
+	return &k
+}
+
+// all returns stable copies of every retained key, sealing key first.
+func (r *TicketKeyRing) all() []*[32]byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*[32]byte, len(r.keys))
+	for i := range r.keys {
+		k := r.keys[i]
+		out[i] = &k
+	}
+	return out
+}
+
+// hasTicketKey reports whether the config can seal/open session tickets
+// through either the static key or a ring.
+func (c *Config) hasTicketKey() bool {
+	return c.TicketKeys != nil || c.TicketKey != nil
+}
+
+// sealSessionTicket seals state under the ring's current key, falling
+// back to the static TicketKey — the pre-ring behavior, byte-identical
+// for configs without a ring.
+func (c *Config) sealSessionTicket(state SessionState) ([]byte, error) {
+	if c.TicketKeys != nil {
+		return sealTicket(c.TicketKeys.current(), state)
+	}
+	if c.TicketKey == nil {
+		return nil, errors.New("minitls: no ticket key configured")
+	}
+	return sealTicket(c.TicketKey, state)
+}
+
+// openSessionTicket tries every retained ring key (newest first), then
+// the static TicketKey. Tickets sealed before a rotation keep resuming
+// until their key ages out.
+func (c *Config) openSessionTicket(ticket []byte) (SessionState, error) {
+	if c.TicketKeys != nil {
+		var lastErr error
+		for _, k := range c.TicketKeys.all() {
+			st, err := openTicket(k, ticket)
+			if err == nil {
+				return st, nil
+			}
+			lastErr = err
+		}
+		if c.TicketKey == nil {
+			return SessionState{}, lastErr
+		}
+	}
+	if c.TicketKey == nil {
+		return SessionState{}, errors.New("minitls: no ticket key configured")
+	}
+	return openTicket(c.TicketKey, ticket)
+}

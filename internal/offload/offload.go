@@ -121,6 +121,91 @@ func NotifySchemeByName(name string) (NotifyScheme, bool) {
 	return 0, false
 }
 
+// Placement selects how work is spread across the devices of a qat.Pool.
+// The zero value (PlacementSingle) is the exact legacy single-device
+// behavior: everything lands on device 0 and no placement decisions are
+// taken, so the five named configurations are byte-identical to the
+// pre-placement stack.
+type Placement int
+
+const (
+	// PlacementSingle pins all work to one device (the paper's setup).
+	PlacementSingle Placement = iota
+	// PlacementClassShard shards by op class: asymmetric handshake ops go
+	// to one device set, OpSym record traffic (and the sym-leaning PRF /
+	// cipher handshake ops) to another. A saturated or broken preferred
+	// set fails over to the other, journaled as a placement flip.
+	PlacementClassShard
+	// PlacementConnHash shards whole connections across devices by
+	// connection hash — with SO_REUSEPORT accept sharding, each worker's
+	// engine is pinned to the device its hash selects.
+	PlacementConnHash
+)
+
+// String returns the placement name.
+func (p Placement) String() string {
+	switch p {
+	case PlacementSingle:
+		return "single"
+	case PlacementClassShard:
+		return "class-shard"
+	case PlacementConnHash:
+		return "conn-hash"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// PlacementByName maps a flag value ("single", "class-shard",
+// "conn-hash") back to its placement mode.
+func PlacementByName(name string) (Placement, bool) {
+	for _, p := range []Placement{PlacementSingle, PlacementClassShard, PlacementConnHash} {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// AsymDevices returns the preferred device indices for asymmetric ops in
+// a pool of n devices under this placement; SymDevices returns the set
+// for symmetric/PRF/record ops. Under class-shard the pool splits in
+// half, asym taking the first ceil(n/2) devices — the asym ops are the
+// expensive ones, and a resumption-heavy mix drains the sym set instead.
+// Under single (or a one-device pool) both sets are {0}; under conn-hash
+// placement is per-connection, not per-class, so both sets cover the
+// whole pool.
+func (p Placement) AsymDevices(n int) []int {
+	if n <= 1 || p != PlacementClassShard {
+		return allDevices(n, p)
+	}
+	return deviceRange(0, (n+1)/2)
+}
+
+// SymDevices returns the preferred device indices for symmetric-class
+// ops. See AsymDevices.
+func (p Placement) SymDevices(n int) []int {
+	if n <= 1 || p != PlacementClassShard {
+		return allDevices(n, p)
+	}
+	return deviceRange((n+1)/2, n)
+}
+
+func allDevices(n int, p Placement) []int {
+	if n <= 1 || p == PlacementSingle {
+		return []int{0}
+	}
+	return deviceRange(0, n)
+}
+
+func deviceRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
 // SubmitMode selects how submissions reach the request rings.
 type SubmitMode int
 
@@ -244,6 +329,9 @@ type Policy struct {
 	// Record is the post-handshake record-path policy (zero: software
 	// record protection, as in the paper's five configurations).
 	Record RecordPolicy
+	// Placement is the multi-device placement mode (zero: single device,
+	// as in the paper's five configurations).
+	Placement Placement
 }
 
 // WithDefaults resolves the poll policy's unset parameters.

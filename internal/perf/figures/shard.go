@@ -1,0 +1,98 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"qtls/internal/offload"
+	"qtls/internal/perf"
+)
+
+// shardParams shrinks the modeled card so one device — not worker CPU —
+// is the CPS ceiling on a resumption-heavy mix: a single endpoint with a
+// single (slower) PRF engine caps one device near 13K abbreviated
+// handshakes/s, while 8 workers of CPU can drive ~45K. Scaling the
+// device count then moves the bottleneck, which is exactly what the
+// figure is about.
+func shardParams() perf.Params {
+	p := perf.DefaultParams()
+	p.Endpoints = 1
+	p.SymEnginesPerEndpoint = 1
+	p.QatPRF = 25 * time.Microsecond
+	return p
+}
+
+// shardConfig is QTLS on 8 workers hashed across n devices.
+func shardConfig(devices int) perf.Config {
+	cfg := perf.QTLS(8)
+	cfg.Devices = devices
+	cfg.Placement = offload.PlacementConnHash
+	cfg.Name = fmt.Sprintf("QTLS %dxQAT", devices)
+	return cfg
+}
+
+// shardRun drives the full:abbreviated = 1:9 closed loop against the
+// sharded model; degradeDev >= 0 stalls that device a third of the way
+// into the measurement window.
+func shardRun(o Opts, devices, degradeDev int) perf.RunResult {
+	cfg := shardConfig(devices)
+	if degradeDev >= 0 {
+		cfg.DegradeAt = o.Warmup + o.Measure/3
+		cfg.DegradeDevice = degradeDev
+	}
+	return perf.Run(perf.RunOptions{
+		Params:  shardParams(),
+		Config:  cfg,
+		Warmup:  o.Warmup,
+		Measure: o.Measure,
+		Install: func(m *perf.Model) {
+			perf.STimeWorkload{
+				Clients:        320,
+				Spec:           perf.ScriptSpec{Suite: perf.SuiteECDHERSA},
+				ResumeFraction: 0.9,
+			}.Install(m)
+		},
+	})
+}
+
+// Shard is the multi-device scale-out experiment: CPS and p99 latency on
+// a resumption-heavy ECDHE-RSA mix (full:abbreviated = 1:9) as the same
+// 8 workers are conn-hashed across 1, 2 and 4 QAT devices, plus a 2-device
+// run where device 1 stalls mid-measurement and the placement layer
+// re-routes its workers' offloads onto device 0.
+func Shard(o Opts) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "shard",
+		Title:  "Multi-device sharding: 8 workers conn-hashed over N devices, full:abbrev = 1:9",
+		XLabel: "QAT devices",
+		YLabel: "connections per second / p99 ms / reroutes",
+		Notes: "one shrunken device (1 endpoint, 1 PRF engine) is the bottleneck, so CPS " +
+			"scales with the device count until worker CPU saturates; in the degraded run " +
+			"device 1 stalls a third into the window and its workers' submissions re-route " +
+			"to device 0 with no lost handshakes",
+	}
+	type point struct {
+		label      string
+		devices    int
+		degradeDev int
+	}
+	points := []point{
+		{"1", 1, -1},
+		{"2", 2, -1},
+		{"4", 4, -1},
+		{"2 (1 degraded)", 2, 1},
+	}
+	cps := Series{Name: "CPS"}
+	p99 := Series{Name: "p99 (ms)"}
+	rer := Series{Name: "reroutes"}
+	for _, pt := range points {
+		t.Columns = append(t.Columns, pt.label)
+		res := shardRun(o, pt.devices, pt.degradeDev)
+		cps.Values = append(cps.Values, res.CPS)
+		p99.Values = append(p99.Values, float64(res.P99Latency)/float64(time.Millisecond))
+		rer.Values = append(rer.Values, float64(res.Stats.Reroutes))
+	}
+	t.Series = []Series{cps, p99, rer}
+	return t
+}

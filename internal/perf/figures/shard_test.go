@@ -1,0 +1,67 @@
+package figures
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardScaling pins the headline claim of the placement layer: on a
+// resumption-heavy mix where one device is the bottleneck, hashing the
+// same workers across two devices buys at least 1.7x CPS, and four
+// devices keep climbing until worker CPU takes over.
+func TestShardScaling(t *testing.T) {
+	o := Quick()
+	one := shardRun(o, 1, -1)
+	two := shardRun(o, 2, -1)
+	four := shardRun(o, 4, -1)
+	if one.CPS <= 0 {
+		t.Fatalf("1-device run produced no handshakes: %+v", one.Stats)
+	}
+	if ratio := two.CPS / one.CPS; ratio < 1.7 {
+		t.Fatalf("2-device scaling %.2fx (%.0f -> %.0f CPS), want >= 1.7x",
+			ratio, one.CPS, two.CPS)
+	}
+	if four.CPS <= two.CPS {
+		t.Fatalf("4 devices (%.0f CPS) should beat 2 (%.0f CPS)", four.CPS, two.CPS)
+	}
+}
+
+// TestShardDegradedReroutes stalls device 1 of 2 a third into the
+// measurement window: the conn-hashed workers homed there must re-route
+// onto device 0 — handshakes keep completing, nothing times out, and the
+// closed loop's p99 stays bounded by queueing on the surviving device.
+func TestShardDegradedReroutes(t *testing.T) {
+	o := Quick()
+	res := shardRun(o, 2, 1)
+	st := res.Stats
+	if st.Handshakes == 0 {
+		t.Fatal("no handshakes completed under mid-run degradation")
+	}
+	if st.Timeouts != 0 {
+		t.Fatalf("%d offload timeouts; re-routing should avoid the stalled device", st.Timeouts)
+	}
+	if st.Reroutes == 0 {
+		t.Fatal("device 1 stalled but no offloads were re-routed")
+	}
+	if res.P99Latency > 250*time.Millisecond {
+		t.Fatalf("p99 %v unbounded after degradation", res.P99Latency)
+	}
+}
+
+func TestShardShape(t *testing.T) {
+	tab := Shard(Quick())
+	checkShape(t, tab, 3)
+	cps := seriesByName(t, tab, "CPS")
+	rer := seriesByName(t, tab, "reroutes")
+	if cps.Values[1] < 1.7*cps.Values[0] {
+		t.Fatalf("table 2-device column %.0f < 1.7x of %.0f", cps.Values[1], cps.Values[0])
+	}
+	for i, v := range rer.Values[:3] {
+		if v != 0 {
+			t.Fatalf("healthy column %s rerouted %v ops", tab.Columns[i], v)
+		}
+	}
+	if rer.Values[3] == 0 {
+		t.Fatal("degraded column recorded no reroutes")
+	}
+}

@@ -96,6 +96,26 @@ type Config struct {
 	// discrete-event counterpart of the live stack's flight-backed
 	// feedback. Nil keeps the paper's static thresholds.
 	Adaptive *offload.AdaptiveConfig
+	// Devices is the number of modeled QAT cards (default 1 — the
+	// paper's single-card testbed). With more than one, Placement
+	// selects how op classes and workers spread across them — the
+	// discrete-event counterpart of the live stack's qat.Pool sharding.
+	Devices int
+	// Placement is the multi-device placement mode. The zero value pins
+	// everything to device 0, byte-identical to the pre-placement model;
+	// PlacementClassShard routes asymmetric ops and sym/PRF ops to
+	// disjoint device sets; PlacementConnHash homes each worker (and its
+	// connections) on one device by worker hash.
+	Placement offload.Placement
+	// DegradeAt, when positive with Devices > 1 and an active Placement,
+	// stalls every engine pool of DegradeDevice that far into the run
+	// (virtual time from model start): the mid-run device-degradation
+	// scenario. Workers detect the stall at submission time and re-route
+	// to a healthy device, so connections complete with bounded latency
+	// instead of hanging.
+	DegradeAt time.Duration
+	// DegradeDevice is the device index DegradeAt stalls.
+	DegradeDevice int
 }
 
 // FaultScenario degrades the modeled device and arms the engine-side
@@ -151,11 +171,12 @@ func (cfg Config) pollPolicy(p Params) offload.PollPolicy {
 // (see the parity test in internal/offload).
 func (cfg Config) OffloadPolicy(p Params) offload.Policy {
 	pol := offload.Policy{
-		Name:   cfg.Name,
-		UseQAT: cfg.UseQAT,
-		Async:  cfg.Async,
-		Poll:   cfg.pollPolicy(p),
-		Notify: cfg.Notify,
+		Name:      cfg.Name,
+		UseQAT:    cfg.UseQAT,
+		Async:     cfg.Async,
+		Poll:      cfg.pollPolicy(p),
+		Notify:    cfg.Notify,
+		Placement: cfg.Placement,
 	}
 	if cfg.Record != nil {
 		pol.Record = cfg.Record.WithDefaults()
@@ -259,6 +280,11 @@ type Stats struct {
 	// policy (zero unless Config.Overload is set).
 	Sheds int64
 
+	// Reroutes counts offloads diverted away from their preferred device
+	// because its engine pool was stalled (zero unless a multi-device
+	// placement absorbed a degradation).
+	Reroutes int64
+
 	// Record-path counters: cipher (record seal) operations routed to the
 	// accelerator vs computed on the worker core. With Config.Record nil
 	// every cipher op under a QAT configuration counts as offloaded (the
@@ -302,8 +328,14 @@ type Model struct {
 	rec     offload.RecordPolicy // resolved record policy (recOn)
 	recOn   bool
 	workers []*worker
-	dev     *device
-	link    *link
+	dev     *device   // devs[0]: the legacy single-device view
+	devs    []*device // all modeled cards, indexed by device
+	// placementOn marks a multi-device placement: workers carry per-lane
+	// endpoints and re-route around stalled devices. Off (the zero
+	// Placement or one device), every path is byte-identical to the
+	// single-device model.
+	placementOn bool
+	link        *link
 	// retrieveWin is the shared virtual-time retrieve-latency window
 	// (submission → response collected), the DES analogue of the flight
 	// recorder's PhaseRetrieve window: process-wide, fed by every
@@ -340,7 +372,15 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 		m.recOn = true
 	}
 	if cfg.UseQAT {
-		m.dev = newDevice(m.sim, p.Endpoints, p.AsymEnginesPerEndpoint, p.SymEnginesPerEndpoint)
+		ndev := cfg.Devices
+		if ndev <= 0 {
+			ndev = 1
+		}
+		for d := 0; d < ndev; d++ {
+			m.devs = append(m.devs, newDevice(m.sim, p.Endpoints, p.AsymEnginesPerEndpoint, p.SymEnginesPerEndpoint))
+		}
+		m.dev = m.devs[0]
+		m.placementOn = ndev > 1 && cfg.Placement != offload.PlacementSingle
 		if sc := cfg.Fault; sc != nil {
 			if sc.OpTimeout <= 0 {
 				sc.OpTimeout = 5 * time.Millisecond
@@ -348,6 +388,15 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 			for i := 0; i < sc.StalledEndpoints && i < len(m.dev.endpoints); i++ {
 				m.dev.endpoints[i].asym.stalled = true
 			}
+		}
+		if cfg.DegradeAt > 0 && m.placementOn {
+			dd := cfg.DegradeDevice % ndev
+			m.sim.After(cfg.DegradeAt, func() {
+				for _, ep := range m.devs[dd].endpoints {
+					ep.asym.stalled = true
+					ep.sym.stalled = true
+				}
+			})
 		}
 	}
 	if cfg.UseQAT && cfg.Async {
@@ -357,6 +406,24 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 		w := &worker{m: m, id: i, policy: poll}
 		if m.dev != nil {
 			w.endpoint = m.dev.endpoints[i%len(m.dev.endpoints)]
+		}
+		if m.placementOn {
+			// Per-lane home endpoints: class sharding routes each op
+			// class to its device set; conn-hash homes the whole worker
+			// (both lanes) on one hash-picked device.
+			if cfg.Placement == offload.PlacementConnHash {
+				home := m.devs[i%len(m.devs)]
+				w.endpoint = home.endpoints[i%len(home.endpoints)]
+				w.asymEP, w.symEP = w.endpoint, w.endpoint
+			} else {
+				asymDevs := cfg.Placement.AsymDevices(len(m.devs))
+				symDevs := cfg.Placement.SymDevices(len(m.devs))
+				ad := m.devs[asymDevs[i%len(asymDevs)]]
+				sd := m.devs[symDevs[i%len(symDevs)]]
+				w.asymEP = ad.endpoints[i%len(ad.endpoints)]
+				w.symEP = sd.endpoints[i%len(sd.endpoints)]
+				w.endpoint = w.asymEP
+			}
 		}
 		if cfg.UseQAT && cfg.Async {
 			w.notif = offload.NewNotifier(cfg.Notify)
@@ -554,14 +621,19 @@ func newDevice(s *sim.Simulation, endpoints, asymEngines, symEngines int) *devic
 	return d
 }
 
+// pool returns the engine pool serving an op class.
+func (ep *endpoint) pool(op opClass) *enginePool {
+	if op.asym() {
+		return &ep.asym
+	}
+	return &ep.sym
+}
+
 // submit hands a request to the right engine pool; done fires at
 // completion time. Load balancing across a pool's engines is implicit
 // (any free engine takes the next queued request).
 func (ep *endpoint) submit(op opClass, service time.Duration, done func(at sim.Time)) {
-	pool := &ep.sym
-	if op.asym() {
-		pool = &ep.asym
-	}
+	pool := ep.pool(op)
 	if pool.stalled {
 		return // swallowed by the hung engine; done never fires
 	}

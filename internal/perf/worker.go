@@ -18,6 +18,12 @@ type worker struct {
 	id       int
 	endpoint *endpoint
 
+	// Per-lane home endpoints under a multi-device placement (nil
+	// otherwise): asymmetric ops submit to asymEP, sym/PRF ops to symEP.
+	// Conn-hash placements set both to the worker's hash-picked device.
+	asymEP *endpoint
+	symEP  *endpoint
+
 	queue sim.FIFO[*conn]
 	busy  bool
 
@@ -117,6 +123,36 @@ func (w *worker) taskBoundary() {
 // vanish into a stalled engine pool (Config.Fault scenario).
 func (w *worker) stalledOffload(op opClass) bool {
 	return w.m.cfg.Fault != nil && w.endpoint != nil && op.asym() && w.endpoint.asym.stalled
+}
+
+// routeEndpoint picks the endpoint an offload of op submits to. Without
+// a multi-device placement it is always the worker's pinned endpoint —
+// the exact legacy path, including the Fault scenario's stalled-pool
+// semantics (ops vanish and the deadline rescues them). Under an active
+// placement the op goes to its lane's home endpoint, spilling pool-wide
+// to the first healthy device when the home pool is stalled — the
+// re-routing that absorbs a mid-run device degradation.
+func (w *worker) routeEndpoint(op opClass) *endpoint {
+	if !w.m.placementOn {
+		return w.endpoint
+	}
+	ep := w.symEP
+	if op.asym() {
+		ep = w.asymEP
+	}
+	if !ep.pool(op).stalled {
+		return ep
+	}
+	for _, d := range w.m.devs {
+		cand := d.endpoints[w.id%len(d.endpoints)]
+		if cand != ep && !cand.pool(op).stalled {
+			if w.m.measuring {
+				w.m.stats.Reroutes++
+			}
+			return cand
+		}
+	}
+	return ep // every device degraded: swallowed like a Fault stall
 }
 
 // recordTimeout feeds the circuit breaker after a deadline expiration.
@@ -295,7 +331,7 @@ func (w *worker) straightOffload(c *conn, st step) {
 	w.m.sim.After(p.SubmitCost, func() {
 		w.blocked = c
 		submitAt := w.now()
-		w.endpoint.submit(st.op, st.hw, func(at sim.Time) {
+		w.routeEndpoint(st.op).submit(st.op, st.hw, func(at sim.Time) {
 			// The response is ready after both engine completion and the
 			// device pipeline latency; the inline busy-poll discovers it
 			// with a small slop.
@@ -350,7 +386,7 @@ func (w *worker) asyncOffload(c *conn, st step) {
 		}
 		submitAt := w.now()
 		c.offAt = submitAt
-		w.endpoint.submit(st.op, st.hw, func(at sim.Time) {
+		w.routeEndpoint(st.op).submit(st.op, st.hw, func(at sim.Time) {
 			// Response lands on the instance's response ring once the
 			// pipeline latency has elapsed; it is retrieved by a later
 			// poll — or delivered immediately by a kernel interrupt in

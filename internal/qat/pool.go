@@ -1,0 +1,200 @@
+package qat
+
+import (
+	"math"
+	"sync"
+)
+
+// Pool owns N identically-specified Devices and hands out crypto
+// instances with per-device health and pressure views. It is the
+// placement layer's view of the hardware: internal/offload decides which
+// device set an op class should land on, the engine routes individual
+// ops, and the Pool answers "how loaded is device k right now" and "which
+// device should take this next allocation".
+//
+// Instances must be allocated through the Pool (AllocInstance) for the
+// pressure views to see them; instances allocated directly on a Device
+// are invisible to Health/Pressure.
+type Pool struct {
+	devs []*Device
+
+	mu    sync.Mutex
+	insts [][]*Instance // pool-allocated instances, indexed by device
+}
+
+// NewPool creates n devices sharing one spec and starts their engines.
+// n <= 0 is treated as 1. Device IDs are their pool indices.
+func NewPool(n int, spec DeviceSpec) *Pool {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Pool{devs: make([]*Device, n), insts: make([][]*Instance, n)}
+	for i := range p.devs {
+		d := NewDevice(spec)
+		d.id = i
+		p.devs[i] = d
+	}
+	return p
+}
+
+// PoolOf wraps already-constructed devices into a pool without starting
+// new ones — the adapter that lets legacy single-device callers (and
+// tests that need per-device specs, e.g. one faulted and one clean) use
+// the placement layer. Device IDs are rewritten to their pool indices.
+func PoolOf(devs ...*Device) *Pool {
+	p := &Pool{devs: devs, insts: make([][]*Instance, len(devs))}
+	for i, d := range devs {
+		d.id = i
+	}
+	return p
+}
+
+// Size returns the number of devices in the pool.
+func (p *Pool) Size() int { return len(p.devs) }
+
+// Device returns device i.
+func (p *Pool) Device(i int) *Device { return p.devs[i] }
+
+// Devices returns the pool's devices in index order. The slice is shared;
+// callers must not mutate it.
+func (p *Pool) Devices() []*Device { return p.devs }
+
+// AllocInstance allocates a crypto instance on device dev and registers
+// it with the pool's pressure accounting. Errors carry the device index
+// (see Device.AllocInstance).
+func (p *Pool) AllocInstance(dev int) (*Instance, error) {
+	inst, err := p.devs[dev].AllocInstance()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.insts[dev] = append(p.insts[dev], inst)
+	p.mu.Unlock()
+	return inst, nil
+}
+
+// Close shuts every device down.
+func (p *Pool) Close() {
+	for _, d := range p.devs {
+		d.Close()
+	}
+}
+
+// DeviceHealth is a point-in-time pressure view of one pool device,
+// aggregated over the instances allocated through the pool.
+type DeviceHealth struct {
+	// Device is the device index.
+	Device int
+	// Instances is how many instances the pool has allocated on it.
+	Instances int
+	// Inflight is the total submitted-but-unpolled requests across them.
+	Inflight int
+	// Leaked is the total ring slots held by stalled requests.
+	Leaked int
+	// RingCapacity is the summed ring capacity of those instances.
+	RingCapacity int
+	// Resets is the total endpoint reset count on the device.
+	Resets int64
+}
+
+// Pressure is Inflight/RingCapacity, or 0 for a device with no
+// pool-allocated capacity.
+func (h DeviceHealth) Pressure() float64 {
+	if h.RingCapacity == 0 {
+		return 0
+	}
+	return float64(h.Inflight) / float64(h.RingCapacity)
+}
+
+// Health returns a per-device pressure snapshot, indexed by device.
+func (p *Pool) Health() []DeviceHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]DeviceHealth, len(p.devs))
+	for i, d := range p.devs {
+		h := DeviceHealth{Device: i, Instances: len(p.insts[i])}
+		for _, inst := range p.insts[i] {
+			h.Inflight += inst.Inflight()
+			h.Leaked += inst.Leaked()
+			h.RingCapacity += inst.Cap()
+		}
+		for _, r := range d.Resets() {
+			h.Resets += r
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Pressure returns device dev's inflight/capacity ratio (0 when the pool
+// has allocated no capacity on it).
+func (p *Pool) Pressure(dev int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pressureLocked(dev)
+}
+
+func (p *Pool) pressureLocked(dev int) float64 {
+	var inflight, capa int
+	for _, inst := range p.insts[dev] {
+		inflight += inst.Inflight()
+		capa += inst.Cap()
+	}
+	if capa == 0 {
+		return 0
+	}
+	return float64(inflight) / float64(capa)
+}
+
+// TotalPressure returns pool-wide inflight and ring capacity across every
+// pool-allocated instance — the denominator admission control should use
+// when work is sharded across devices instead of pinned to one.
+func (p *Pool) TotalPressure() (inflight, capacity int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.devs {
+		for _, inst := range p.insts[i] {
+			inflight += inst.Inflight()
+			capacity += inst.Cap()
+		}
+	}
+	return inflight, capacity
+}
+
+// Pick routes one unit of work: it returns the least-pressure device
+// among preferred, failing over to the least-pressure device pool-wide
+// when every preferred device is saturated (pressure >= 1). An empty
+// preferred set scans the whole pool. This is the hot-path primitive the
+// class-shard placement builds on, so it must stay cheap
+// (BenchmarkPoolRoute guards it).
+func (p *Pool) Pick(preferred []int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best, bestP := -1, math.Inf(1)
+	for _, i := range preferred {
+		if i < 0 || i >= len(p.devs) {
+			continue
+		}
+		if pr := p.pressureLocked(i); pr < bestP {
+			best, bestP = i, pr
+		}
+	}
+	if best >= 0 && bestP < 1 {
+		return best
+	}
+	for i := range p.devs {
+		if pr := p.pressureLocked(i); pr < bestP {
+			best, bestP = i, pr
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+// RouteConn maps a connection hash to a device index (the conn-hash
+// placement mode).
+func (p *Pool) RouteConn(hash uint64) int {
+	return int(hash % uint64(len(p.devs)))
+}

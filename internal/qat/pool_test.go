@@ -1,0 +1,163 @@
+package qat
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllocInstanceExhaustion pins the exhaustion path: the error must
+// wrap ErrNoInstances, name the device index, and a device Reset must
+// clear the allocation counters so re-alloc succeeds.
+func TestAllocInstanceExhaustion(t *testing.T) {
+	spec := DeviceSpec{Endpoints: 2, MaxInstancesPerEndpoint: 2, EnginesPerEndpoint: 1}
+	p := NewPool(2, spec)
+	defer p.Close()
+
+	for dev := 0; dev < p.Size(); dev++ {
+		for i := 0; i < 4; i++ {
+			if _, err := p.AllocInstance(dev); err != nil {
+				t.Fatalf("device %d alloc %d: %v", dev, i, err)
+			}
+		}
+		_, err := p.AllocInstance(dev)
+		if err == nil {
+			t.Fatalf("device %d: alloc beyond capacity succeeded", dev)
+		}
+		if !errors.Is(err, ErrNoInstances) {
+			t.Fatalf("device %d: exhaustion error %v does not wrap ErrNoInstances", dev, err)
+		}
+		want := fmt.Sprintf("device %d", dev)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("device %d: exhaustion error %q missing %q", dev, err, want)
+		}
+	}
+
+	// Reset reinitializes the rings: allocation must succeed again.
+	p.Device(1).Reset()
+	inst, err := p.Device(1).AllocInstance()
+	if err != nil {
+		t.Fatalf("post-Reset alloc: %v", err)
+	}
+	// The re-allocated instance must be live end-to-end.
+	done := make(chan struct{})
+	if err := inst.Submit(Request{Op: OpPRF, Work: func() (any, error) { return 42, nil },
+		Callback: func(r Response) {
+			if r.Err != nil {
+				t.Errorf("post-Reset op: %v", r.Err)
+			}
+			close(done)
+		}}); err != nil {
+		t.Fatalf("post-Reset submit: %v", err)
+	}
+	for inst.Available() == 0 {
+	}
+	inst.Poll(0)
+	<-done
+	// Device 0 was not reset and must still be exhausted.
+	if _, err := p.Device(0).AllocInstance(); !errors.Is(err, ErrNoInstances) {
+		t.Fatalf("device 0: want ErrNoInstances after neighbour reset, got %v", err)
+	}
+}
+
+// TestPoolHealthPressure checks the per-device and pool-wide pressure
+// views that admission control and the class-shard router consume.
+func TestPoolHealthPressure(t *testing.T) {
+	spec := DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1, RingCapacity: 8}
+	p := NewPool(2, spec)
+	defer p.Close()
+	i0, err := p.AllocInstance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AllocInstance(1); err != nil {
+		t.Fatal(err)
+	}
+
+	block := make(chan struct{})
+	for k := 0; k < 4; k++ {
+		if err := i0.Submit(Request{Op: OpRSA, Work: func() (any, error) { <-block; return nil, nil }}); err != nil {
+			t.Fatalf("submit %d: %v", k, err)
+		}
+	}
+	h := p.Health()
+	if len(h) != 2 {
+		t.Fatalf("health: %d devices, want 2", len(h))
+	}
+	if h[0].Inflight != 4 || h[0].RingCapacity != 8 {
+		t.Fatalf("device 0 health = %+v, want inflight 4 cap 8", h[0])
+	}
+	if got := h[0].Pressure(); got != 0.5 {
+		t.Fatalf("device 0 pressure = %v, want 0.5", got)
+	}
+	if h[1].Inflight != 0 {
+		t.Fatalf("device 1 health = %+v, want idle", h[1])
+	}
+	inflight, capacity := p.TotalPressure()
+	if inflight != 4 || capacity != 16 {
+		t.Fatalf("total pressure = %d/%d, want 4/16", inflight, capacity)
+	}
+	close(block)
+}
+
+// TestPoolPick checks routing: least-pressure preferred device wins, and
+// a fully saturated preferred set fails over pool-wide.
+func TestPoolPick(t *testing.T) {
+	spec := DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1, RingCapacity: 4}
+	p := NewPool(3, spec)
+	defer p.Close()
+	insts := make([]*Instance, 3)
+	for i := range insts {
+		var err error
+		if insts[i], err = p.AllocInstance(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block := make(chan struct{})
+	defer close(block)
+	fill := func(dev, n int) {
+		for k := 0; k < n; k++ {
+			if err := insts[dev].Submit(Request{Op: OpRSA, Work: func() (any, error) { <-block; return nil, nil }}); err != nil {
+				t.Fatalf("fill dev %d: %v", dev, err)
+			}
+		}
+	}
+	fill(0, 2)
+	if got := p.Pick([]int{0, 1}); got != 1 {
+		t.Fatalf("Pick({0,1}) with dev0 loaded = %d, want 1", got)
+	}
+	// Saturate the whole preferred set: Pick must fail over to device 2.
+	fill(0, 2)
+	fill(1, 4)
+	if got := p.Pick([]int{0, 1}); got != 2 {
+		t.Fatalf("Pick({0,1}) saturated = %d, want failover to 2", got)
+	}
+	// Empty preferred set scans everything.
+	if got := p.Pick(nil); got != 2 {
+		t.Fatalf("Pick(nil) = %d, want 2", got)
+	}
+}
+
+// BenchmarkPoolRoute measures the class-shard hot-path routing primitive:
+// one Pick per submitted op against a pool with allocated capacity.
+func BenchmarkPoolRoute(b *testing.B) {
+	spec := DeviceSpec{Endpoints: 1, EnginesPerEndpoint: 1, RingCapacity: 64}
+	p := NewPool(4, spec)
+	defer p.Close()
+	for dev := 0; dev < p.Size(); dev++ {
+		for k := 0; k < 2; k++ {
+			if _, err := p.AllocInstance(dev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	preferred := []int{0, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := p.Pick(preferred); d < 0 || d >= 4 {
+			b.Fatalf("Pick returned %d", d)
+		}
+	}
+}

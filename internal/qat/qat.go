@@ -104,6 +104,11 @@ var ErrClosed = errors.New("qat: device closed")
 // back to software.
 var ErrDeviceReset = errors.New("qat: endpoint reset")
 
+// ErrNoInstances is the sentinel wrapped by AllocInstance when every
+// endpoint is at MaxInstancesPerEndpoint. The returned error carries the
+// device index; match with errors.Is.
+var ErrNoInstances = errors.New("no free crypto instances")
+
 // Response is the completion record read back from a response ring.
 type Response struct {
 	// Result is the value produced by the request's Work closure.
@@ -204,6 +209,7 @@ func (c Counters) TotalResponses() (n uint64) {
 
 // Device is a simulated QAT acceleration device.
 type Device struct {
+	id        int // position in a Pool; 0 for standalone devices
 	spec      DeviceSpec
 	endpoints []*endpoint
 
@@ -318,6 +324,11 @@ func NewDevice(spec DeviceSpec) *Device {
 // Spec returns the (defaulted) device specification.
 func (d *Device) Spec() DeviceSpec { return d.spec }
 
+// ID returns the device's index within its Pool (0 for a standalone
+// device). The id appears in AllocInstance errors and per-device stats so
+// that multi-device deployments can attribute failures to hardware.
+func (d *Device) ID() int { return d.id }
+
 // AllocInstance allocates a crypto instance, distributing instances evenly
 // across endpoints (the paper's setup: "the allocated QAT instances were
 // distributed evenly from the three QAT endpoints").
@@ -339,7 +350,8 @@ func (d *Device) AllocInstance() (*Instance, error) {
 		}
 		ep.mu.Unlock()
 	}
-	return nil, errors.New("qat: no free crypto instances")
+	return nil, fmt.Errorf("qat: device %d: %w (%d endpoints at max %d instances)",
+		d.id, ErrNoInstances, len(d.endpoints), d.spec.MaxInstancesPerEndpoint)
 }
 
 // Close shuts the device down. In-flight work is completed; subsequent
@@ -465,6 +477,25 @@ func (ep *endpoint) reset() {
 	ep.epoch++
 	ep.resets++
 	ep.mu.Unlock()
+}
+
+// Reset models a whole-device reset: every endpoint resets (in-flight
+// requests fail with ErrDeviceReset instead of executing) and the
+// instance-allocation counters are cleared, so a process that exhausted
+// AllocInstance can re-allocate after the reset — the ring
+// reinitialization a real adf_ctl restart performs. Instances handed out
+// before the reset remain usable for Submit/Poll; their outstanding
+// requests complete with ErrDeviceReset.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	d.nextAlloc = 0
+	d.mu.Unlock()
+	for _, ep := range d.endpoints {
+		ep.reset()
+		ep.mu.Lock()
+		ep.instances = 0
+		ep.mu.Unlock()
+	}
 }
 
 // Resets returns how many times each endpoint has reset.

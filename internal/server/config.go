@@ -117,6 +117,14 @@ type RunConfig struct {
 	// RecordThreshold is the adaptive record-offload cutoff in payload
 	// bytes (default offload.DefaultRecordThreshold; RecordAdaptive only).
 	RecordThreshold int
+	// Placement selects how workers spread offload work across the
+	// devices of a qat.Pool (Options.Pool). The zero value pins all work
+	// to device 0 — the paper's single-device setup, byte-identical to
+	// the pre-placement behavior. PlacementClassShard routes asymmetric
+	// handshake ops and symmetric/PRF ops to disjoint device sets inside
+	// every worker's engine; PlacementConnHash homes each worker (and
+	// with it every connection SO_REUSEPORT hashes to it) on one device.
+	Placement offload.Placement
 
 	// OpTimeout bounds each offloaded crypto operation: past the
 	// deadline the engine abandons the offload and computes the result
@@ -195,12 +203,13 @@ func (rc RunConfig) withDefaults() RunConfig {
 // in internal/offload holds the two stacks together.
 func (rc RunConfig) OffloadPolicy() offload.Policy {
 	p := offload.Policy{
-		Name:   rc.Name,
-		UseQAT: rc.UseQAT,
-		Async:  rc.UseQAT && rc.AsyncMode != minitls.AsyncModeOff,
-		Poll:   rc.pollPolicy(),
-		Notify: rc.Notify,
-		Record: rc.recordPolicy(),
+		Name:      rc.Name,
+		UseQAT:    rc.UseQAT,
+		Async:     rc.UseQAT && rc.AsyncMode != minitls.AsyncModeOff,
+		Poll:      rc.pollPolicy(),
+		Notify:    rc.Notify,
+		Record:    rc.recordPolicy(),
+		Placement: rc.Placement,
 	}
 	if rc.CoalesceSubmits {
 		p.Submit = offload.SubmitCoalesced
@@ -224,6 +233,7 @@ func FromPolicy(p offload.Policy) RunConfig {
 		CoalesceSubmits:  p.Submit == offload.SubmitCoalesced,
 		RecordMode:       p.Record.Mode,
 		RecordThreshold:  p.Record.SizeThreshold,
+		Placement:        p.Placement,
 	}
 	if p.Async {
 		rc.AsyncMode = minitls.AsyncModeFiber

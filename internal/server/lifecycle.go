@@ -117,15 +117,27 @@ func (w *Worker) closeGracefully(c *conn, tag trace.Tag) {
 	w.closeConn(c)
 }
 
+// admissionPressure returns the inflight count and ring capacity the
+// overload policy should judge: under a multi-device placement the
+// pool-wide aggregate (work this worker sheds can land on any device,
+// and other workers' load fills the same rings), otherwise this worker's
+// own engine — the exact legacy view.
+func (w *Worker) admissionPressure() (inflight, ringCap int) {
+	if w.poolWide {
+		return w.pool.TotalPressure()
+	}
+	if w.eng != nil {
+		inflight = w.eng.InflightTotal()
+	}
+	return inflight, w.ringCap
+}
+
 // shedAccept decides admission for a just-accepted connection and, when
 // shedding, aborts it with a TCP reset — the whole exchange costs the
 // server an accept and a close, and the client finds out immediately.
 func (w *Worker) shedAccept(nc *netpoll.Conn) bool {
-	inflight := 0
-	if w.eng != nil {
-		inflight = w.eng.InflightTotal()
-	}
-	if !w.shed.ShedAccept(inflight, w.ringCap, len(w.conns)) {
+	inflight, ringCap := w.admissionPressure()
+	if !w.shed.ShedAccept(inflight, ringCap, len(w.conns)) {
 		return false
 	}
 	w.Stats.ShedAccepts.Add(1)
@@ -140,11 +152,8 @@ func (w *Worker) shedAccept(nc *netpoll.Conn) bool {
 // shedKeepalive decides whether c's current response should carry
 // Connection: close instead of offering keepalive reuse.
 func (w *Worker) shedKeepalive(c *conn) bool {
-	inflight := 0
-	if w.eng != nil {
-		inflight = w.eng.InflightTotal()
-	}
-	if !w.shed.ShedKeepalive(inflight, w.ringCap, len(w.conns)) {
+	inflight, ringCap := w.admissionPressure()
+	if !w.shed.ShedKeepalive(inflight, ringCap, len(w.conns)) {
 		return false
 	}
 	w.Stats.ShedKeepalive.Add(1)

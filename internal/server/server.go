@@ -45,6 +45,13 @@ type Options struct {
 	// configurations). Workers allocate one crypto instance each,
 	// distributed across the device's endpoints.
 	Device *qat.Device
+	// Pool, when set, supplies multiple QAT devices and takes precedence
+	// over Device. How workers spread instances and op classes across the
+	// pool is selected by Run.Placement; with PlacementSingle the pool
+	// behaves exactly like Device = Pool.Device(0). A single Device is
+	// wrapped into a one-device pool internally, so the two fields are
+	// interchangeable for single-device setups.
+	Pool *qat.Pool
 	// Handler serves request paths.
 	Handler Handler
 	// Metrics is the registry behind the /stub_status endpoint and the
@@ -69,6 +76,8 @@ type Options struct {
 type Server struct {
 	workers []*Worker
 	reg     *metrics.Registry
+	pool    *qat.Pool
+	tickets *minitls.TicketKeyRing
 	wg      sync.WaitGroup
 	started atomic.Bool
 }
@@ -93,10 +102,26 @@ func New(opts Options) (*Server, error) {
 	for _, name := range faultCounterNames {
 		reg.Counter(name)
 	}
-	if opts.Device != nil {
+	// Normalize the device surface to a pool: a bare Device becomes a
+	// one-device pool, so the worker allocation path is uniform.
+	pool := opts.Pool
+	if pool == nil && opts.Device != nil {
+		pool = qat.PoolOf(opts.Device)
+	}
+	if pool != nil {
 		// Mirror every injected fault into the registry (nil-injector
-		// safe: SetSink on a nil *fault.Injector is a no-op).
-		opts.Device.Spec().Injector.SetSink(reg.Counter("qat_faults_injected"))
+		// safe: SetSink on a nil *fault.Injector is a no-op). Pool
+		// devices may share one spec — and therefore one injector — so
+		// wire each distinct injector once.
+		seen := make(map[*fault.Injector]bool)
+		for _, d := range pool.Devices() {
+			inj := d.Spec().Injector
+			if seen[inj] {
+				continue
+			}
+			seen[inj] = true
+			inj.SetSink(reg.Counter("qat_faults_injected"))
+		}
 	}
 	if opts.Flight != nil {
 		// Span windows feed off the trace recorder; windowed series join
@@ -104,17 +129,41 @@ func New(opts Options) (*Server, error) {
 		// black-box journal with its kind and endpoint/op.
 		opts.Flight.AttachTrace(opts.Trace)
 		opts.Flight.Register(reg)
-		if opts.Device != nil {
+		if pool != nil {
 			fl := opts.Flight.Journal(flight.SystemWorker)
-			opts.Device.Spec().Injector.SetEventSink(func(k fault.Kind, endpoint, op int) {
-				fl.Note(flight.KindFault, uint8(k), trace.Op(op), int64(endpoint), 0)
-			})
+			seen := make(map[*fault.Injector]bool)
+			for _, d := range pool.Devices() {
+				inj := d.Spec().Injector
+				if seen[inj] {
+					continue
+				}
+				seen[inj] = true
+				inj.SetEventSink(func(k fault.Kind, endpoint, op int) {
+					fl.Note(flight.KindFault, uint8(k), trace.Op(op), int64(endpoint), 0)
+				})
+			}
 		}
 	}
-	s := &Server{reg: reg}
+	s := &Server{reg: reg, pool: pool}
+	// Sharded placements spread connections across workers and devices;
+	// resumption must survive whichever worker a reconnect hashes to, so
+	// provision a shared rotating ticket-key ring when the caller has not
+	// configured any session-ticket key of their own.
+	tlsCfg := opts.TLS
+	if opts.Run.Placement != offload.PlacementSingle &&
+		tlsCfg.TicketKeys == nil && tlsCfg.TicketKey == nil {
+		ring, err := minitls.GenerateTicketKeyRing(0)
+		if err != nil {
+			return nil, err
+		}
+		c := *tlsCfg
+		c.TicketKeys = ring
+		tlsCfg = &c
+	}
+	s.tickets = tlsCfg.TicketKeys
 	addr := opts.Addr
 	for i := 0; i < opts.Workers; i++ {
-		w, err := NewWorker(i, opts.Run, addr, opts.TLS, opts.Device, opts.Handler, reg, opts.Trace, opts.Flight)
+		w, err := NewWorker(i, opts.Run, addr, tlsCfg, pool, opts.Handler, reg, opts.Trace, opts.Flight)
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -125,6 +174,17 @@ func New(opts Options) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Pool returns the device pool the workers allocate from: the Options
+// pool, or the wrapper around a bare Options.Device. Nil for SW servers
+// built without a device.
+func (s *Server) Pool() *qat.Pool { return s.pool }
+
+// TicketKeys returns the shared session-ticket key ring — the one the
+// caller configured, or the ring New provisioned for a sharded
+// placement. Rotating it affects every worker at once. Nil when the
+// server resumes through a static TicketKey or not at all.
+func (s *Server) TicketKeys() *minitls.TicketKeyRing { return s.tickets }
 
 // Start launches every worker loop on its own goroutine.
 func (s *Server) Start() {

@@ -71,6 +71,12 @@ type Worker struct {
 	handler   Handler
 	reg       *metrics.Registry
 
+	// pool is the device pool instances were allocated from; poolWide
+	// marks a multi-device placement, under which admission control reads
+	// the pool's aggregate pressure instead of this worker's engine.
+	pool     *qat.Pool
+	poolWide bool
+
 	poller     *netpoll.Poller
 	listener   *netpoll.Listener
 	notifyPipe *netpoll.NotifyPipe // FD-based async notification
@@ -188,12 +194,12 @@ type conn struct {
 	dlAt    time.Time
 }
 
-// NewWorker builds a worker. dev may be nil for the SW configuration;
+// NewWorker builds a worker. pool may be nil for the SW configuration;
 // reg may be nil to disable the metrics/stub_status surface; tracer may
 // be nil to disable span recording (the /debug/trace endpoint then 404s);
 // fr may be nil to disable the flight recorder (the /debug/flight
 // endpoint then 404s).
-func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat.Device, handler Handler, reg *metrics.Registry, tracer *trace.Recorder, fr *flight.Recorder) (*Worker, error) {
+func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, pool *qat.Pool, handler Handler, reg *metrics.Registry, tracer *trace.Recorder, fr *flight.Recorder) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
 		id:        id,
@@ -232,8 +238,20 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 		w.cleanup()
 		return nil, err
 	}
+	// poolWide: placement is spreading work across several devices, so
+	// admission control must read pool-wide pressure, not one engine's.
+	multi := pool != nil && pool.Size() > 1 && cfg.Placement != offload.PlacementSingle
+	w.pool = pool
+	w.poolWide = multi
+	// homeDev is where single-placement and conn-hash workers allocate
+	// everything: device 0 exactly as before placement existed, or the
+	// worker-hash device of the conn-hash mode.
+	homeDev := 0
+	if multi && cfg.Placement == offload.PlacementConnHash {
+		homeDev = id % pool.Size()
+	}
 	if cfg.UseQAT {
-		if dev == nil {
+		if pool == nil || pool.Size() == 0 {
 			w.cleanup()
 			return nil, errors.New("server: QAT configuration without a device")
 		}
@@ -241,27 +259,60 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 		if n <= 0 {
 			n = 1
 		}
-		insts := make([]*qat.Instance, 0, n)
-		for i := 0; i < n; i++ {
-			inst, err := dev.AllocInstance()
-			if err != nil {
-				w.cleanup()
-				return nil, err
+		var insts []*qat.Instance
+		var instDevs []int
+		engPlacement := offload.PlacementSingle
+		if multi && cfg.Placement == offload.PlacementClassShard {
+			// Class sharding happens inside the engine: the worker owns
+			// instances on every device, and the engine routes each op
+			// class to its lane's device set.
+			engPlacement = cfg.Placement
+			for d := 0; d < pool.Size(); d++ {
+				for i := 0; i < n; i++ {
+					inst, err := pool.AllocInstance(d)
+					if err != nil {
+						w.cleanup()
+						return nil, err
+					}
+					insts = append(insts, inst)
+					instDevs = append(instDevs, d)
+				}
 			}
-			insts = append(insts, inst)
+		} else {
+			// Single placement (the legacy path, byte-identical: nil
+			// InstanceDevices keeps the engine's round-robin untouched)
+			// or conn-hash (the whole worker homes on one device; the
+			// engine stays single-device and the device mapping is only
+			// recorded for per-device pressure views).
+			for i := 0; i < n; i++ {
+				inst, err := pool.AllocInstance(homeDev)
+				if err != nil {
+					w.cleanup()
+					return nil, err
+				}
+				insts = append(insts, inst)
+			}
+			if homeDev != 0 {
+				instDevs = make([]int, len(insts))
+				for i := range instDevs {
+					instDevs[i] = homeDev
+				}
+			}
 		}
 		var err error
 		w.eng, err = engine.New(engine.Config{
-			Instances:    insts,
-			Offload:      cfg.Offload,
-			OpTimeout:    cfg.OpTimeout,
-			MaxRetries:   cfg.MaxRetries,
-			RetryBackoff: cfg.RetryBackoff,
-			Breaker:      cfg.Breaker,
-			Coalesce:     cfg.CoalesceSubmits && cfg.AsyncMode != minitls.AsyncModeOff,
-			Metrics:      reg,
-			Trace:        w.tr,
-			Flight:       w.fl,
+			Instances:       insts,
+			InstanceDevices: instDevs,
+			Placement:       engPlacement,
+			Offload:         cfg.Offload,
+			OpTimeout:       cfg.OpTimeout,
+			MaxRetries:      cfg.MaxRetries,
+			RetryBackoff:    cfg.RetryBackoff,
+			Breaker:         cfg.Breaker,
+			Coalesce:        cfg.CoalesceSubmits && cfg.AsyncMode != minitls.AsyncModeOff,
+			Metrics:         reg,
+			Trace:           w.tr,
+			Flight:          w.fl,
 		})
 		if err != nil {
 			w.cleanup()
@@ -275,8 +326,13 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, dev *qat
 		// compete for ring slots with latency-critical asymmetric ops.
 		// Without a device the engine still runs, all-software.
 		var recInst *qat.Instance
-		if cfg.UseQAT && dev != nil {
-			if recInst, err = dev.AllocInstance(); err != nil {
+		if cfg.UseQAT && pool != nil {
+			recDev := homeDev
+			if multi && cfg.Placement == offload.PlacementClassShard {
+				// Record traffic is symmetric: keep it on the sym shard.
+				recDev = cfg.Placement.SymDevices(pool.Size())[0]
+			}
+			if recInst, err = pool.AllocInstance(recDev); err != nil {
 				w.cleanup()
 				return nil, err
 			}
