@@ -287,8 +287,8 @@ func main() {
 
 	fmt.Printf("\ndevice health:\n")
 	for _, h := range pool.Health() {
-		fmt.Printf("  device %d: instances=%d inflight=%d leaked=%d resets=%d pressure=%.2f\n",
-			h.Device, h.Instances, h.Inflight, h.Leaked, h.Resets, h.Pressure())
+		fmt.Printf("  device %d: state=%s instances=%d inflight=%d leaked=%d resets=%d pressure=%.2f\n",
+			h.Device, h.State, h.Instances, h.Inflight, h.Leaked, h.Resets, h.Pressure())
 	}
 
 	fmt.Printf("\ninstance health:\n")

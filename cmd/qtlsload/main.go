@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"qtls/internal/loadgen"
@@ -32,6 +33,12 @@ func main() {
 		path     = flag.String("path", "/1024", "request path (ab mode, or stime per-connection request)")
 		request  = flag.Bool("request", false, "stime: issue one request per connection")
 		maxVer   = flag.String("max-version", "1.2", "maximum TLS version: 1.2 or 1.3")
+
+		// Invariant thresholds for scripted soaks: violating any exits 1,
+		// so a chaos harness can gate on this tool's exit code.
+		minConns   = flag.Int("min-conns", 0, "exit 1 when fewer connections complete (0 = off)")
+		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 when errors/attempts exceeds this fraction (negative = off; sheds and clean closes don't count)")
+		maxP99     = flag.Duration("max-p99", 0, "exit 1 when the latency p99 exceeds this (0 = off)")
 	)
 	flag.Parse()
 
@@ -76,4 +83,31 @@ func main() {
 		log.Fatalf("unknown -mode %q", *mode)
 	}
 	fmt.Println(res)
+
+	// Soak invariants: report every violation, then gate the exit code.
+	failed := false
+	if *minConns > 0 && res.Connections < int64(*minConns) {
+		fmt.Fprintf(os.Stderr, "FAIL: %d connections < -min-conns %d\n", res.Connections, *minConns)
+		failed = true
+	}
+	if *maxErrRate >= 0 {
+		attempts := res.Connections + res.Errors
+		rate := 0.0
+		if attempts > 0 {
+			rate = float64(res.Errors) / float64(attempts)
+		}
+		if rate > *maxErrRate {
+			fmt.Fprintf(os.Stderr, "FAIL: error rate %.4f > -max-error-rate %.4f (%d/%d)\n",
+				rate, *maxErrRate, res.Errors, attempts)
+			failed = true
+		}
+	}
+	if *maxP99 > 0 && time.Duration(res.Latency.P99) > *maxP99 {
+		fmt.Fprintf(os.Stderr, "FAIL: p99 %v > -max-p99 %v\n",
+			time.Duration(res.Latency.P99).Round(time.Microsecond), *maxP99)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -77,6 +77,8 @@ func main() {
 
 		faultSpec = flag.String("fault", "", "device fault scenario, e.g. 'stall:op=rsa,p=0.1' (see internal/fault)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injector RNG seed")
+		chaosSpec = flag.String("chaos", "", "time-scripted chaos schedule, e.g. 't=5s dev1 stall 10s; t=30s dev0 reset-storm n=4' (implies -lifecycle; per-device injectors)")
+		lifecycle = flag.Bool("lifecycle", false, "enable the device lifecycle manager: quarantine/probation/recovery with live worker re-homing")
 		opTimeout = flag.Duration("op-timeout", 0, "per-op offload deadline before software fallback (0 = off)")
 		maxRetry  = flag.Int("max-retries", 2, "offload retries after retryable device errors")
 		breaker   = flag.Bool("breaker", false, "enable per-instance circuit breakers")
@@ -254,15 +256,57 @@ func main() {
 		log.Print("warning: -fault without -op-timeout; stalled ops will hang their connections")
 	}
 
+	// A chaos schedule replays timed faults against individual devices, so
+	// each device needs its own injector (the -fault rules, if any, seed
+	// every one). Chaos without the lifecycle manager would leave killed
+	// devices dead forever, so -chaos implies -lifecycle.
+	chaos, err := fault.ParseSchedule(*chaosSpec)
+	if err != nil {
+		log.Fatalf("-chaos: %v", err)
+	}
+	if chaos != nil {
+		if !run.UseQAT {
+			log.Fatalf("-chaos needs a QAT configuration (got %s)", run.Name)
+		}
+		*lifecycle = true
+		if *opTimeout <= 0 {
+			log.Print("warning: -chaos without -op-timeout; stalled ops will hang their connections")
+		}
+	}
+	if *lifecycle {
+		if !run.UseQAT {
+			log.Fatalf("-lifecycle needs a QAT configuration (got %s)", run.Name)
+		}
+		run.Lifecycle = &qat.LifecycleConfig{}
+	}
+
 	var pool *qat.Pool
+	var devInjs []*fault.Injector
 	if run.UseQAT {
-		pool = qat.NewPool(*devCount, qat.DeviceSpec{
+		spec := qat.DeviceSpec{
 			Endpoints:          *endpnts,
 			EnginesPerEndpoint: *engines,
 			SymBaseTime:        4 * time.Microsecond,
 			SymPerKB:           time.Microsecond,
 			Injector:           inj,
-		})
+		}
+		if chaos != nil {
+			var rules []fault.Rule
+			if inj != nil {
+				rules = inj.Rules()
+			}
+			devs := make([]*qat.Device, *devCount)
+			devInjs = make([]*fault.Injector, *devCount)
+			for d := range devs {
+				devInjs[d] = fault.NewInjector(*faultSeed+int64(d), rules...)
+				dspec := spec
+				dspec.Injector = devInjs[d]
+				devs[d] = qat.NewDevice(dspec)
+			}
+			pool = qat.PoolOf(devs...)
+		} else {
+			pool = qat.NewPool(*devCount, spec)
+		}
 		defer pool.Close()
 		if inj != nil {
 			log.Printf("%s", inj)
@@ -338,6 +382,38 @@ func main() {
 	if run.AdaptivePoll != nil {
 		log.Printf("adaptive polling: closed-loop thresholds every %s, watch qtls_poll_threshold{class} on /metrics", *adaptInt)
 	}
+	if srv.Lifecycle() != nil {
+		note := ""
+		if run.Breaker == nil {
+			note = " (no -breaker: only reset-storm and wedge detection active)"
+		}
+		log.Printf("lifecycle: quarantine/probation/recovery on %d device(s), qtls_device_state{dev} on /metrics%s",
+			pool.Size(), note)
+	}
+	if chaos != nil {
+		log.Printf("chaos: %s (quiet after %s)", chaos, chaos.Duration())
+		chaosCtx, chaosCancel := context.WithCancel(context.Background())
+		defer chaosCancel()
+		go func() {
+			err := chaos.Apply(chaosCtx,
+				func(dev int) *fault.Injector {
+					if dev >= 0 && dev < len(devInjs) {
+						return devInjs[dev]
+					}
+					return nil
+				},
+				func(dev int) {
+					if dev >= 0 && dev < pool.Size() {
+						pool.Device(dev).Reset()
+					}
+				})
+			if err != nil {
+				log.Printf("chaos: %v", err)
+				return
+			}
+			log.Print("chaos: schedule complete")
+		}()
+	}
 	if fr != nil {
 		log.Printf("flight recorder: GET /debug/flight?n=256, SIGQUIT dumps, windowed *_w60s series on /metrics")
 		quit := make(chan os.Signal, 1)
@@ -364,6 +440,9 @@ func main() {
 						}
 					}
 					line += fmt.Sprintf(" fw_counters=%d", reqs)
+					if lc := srv.Lifecycle(); lc != nil {
+						line += fmt.Sprintf(" devState=%v", lc.States())
+					}
 				}
 				snap := srv.Metrics().Snapshot()
 				if rb := snap["qtls_record_bytes"]; rb > 0 {

@@ -127,6 +127,14 @@ type Config struct {
 	// parallel to the combined Instance+Instances list. nil means all
 	// instances live on device 0 (single-device, the legacy assumption).
 	InstanceDevices []int
+	// HomeDevice is the conn-hash home: under PlacementConnHash both lanes
+	// prefer this device and spill to the rest of the pool only when it is
+	// broken or saturated. Ignored by other placements. Rehome moves it.
+	HomeDevice int
+	// Lifecycle, when set, threads device-lifecycle state into routing:
+	// quarantined devices admit no submissions, probing devices admit a
+	// trickle, breaker opens and op outcomes feed the state machine.
+	Lifecycle *qat.Lifecycle
 
 	// OpTimeout bounds the wait for each offloaded response; once
 	// exceeded the engine abandons the offload, reclaims any leaked ring
@@ -190,6 +198,8 @@ type Engine struct {
 	placement      offload.Placement
 	devOf          []int // device index per instance
 	numDevs        int
+	homeDev        int              // conn-hash home device (see Rehome)
+	lc             *qat.Lifecycle   // nil when lifecycle routing is off
 	lanePref       [numLanes][]bool // device → preferred, per lane
 	laneInsts      [numLanes][]int  // instances on preferred devices
 	laneOther      [numLanes][]int  // instances elsewhere (spill targets)
@@ -289,6 +299,7 @@ func New(cfg Config) (*Engine, error) {
 		e.offload[k] = true
 	}
 	e.fl = cfg.Flight
+	e.lc = cfg.Lifecycle
 	if err := e.initPlacement(cfg); err != nil {
 		return nil, err
 	}
@@ -296,12 +307,18 @@ func New(cfg Config) (*Engine, error) {
 		e.breakers = make([]*fault.Breaker, len(e.insts))
 		for i := range e.breakers {
 			e.breakers[i] = fault.NewBreaker(*cfg.Breaker)
-			if e.fl != nil {
-				// Journal every breaker transition; an open transition also
-				// arms the flight recorder's anomaly dump trigger.
+			if e.fl != nil || e.lc != nil {
+				// Journal every breaker transition (an open transition also
+				// arms the flight recorder's anomaly dump trigger) and feed
+				// opens into the device lifecycle's breaker-density window.
 				idx := i
 				e.breakers[i].SetOnTransition(func(from, to fault.BreakerState) {
-					e.fl.Note(flight.KindBreaker, uint8(to), trace.OpNone, int64(from), int64(idx))
+					if e.fl != nil {
+						e.fl.Note(flight.KindBreaker, uint8(to), trace.OpNone, int64(from), int64(idx))
+					}
+					if e.lc != nil && to == fault.StateOpen {
+						e.lc.NoteBreakerOpen(e.devOf[idx])
+					}
 				})
 			}
 		}
@@ -390,16 +407,25 @@ func (e *Engine) submitIdx(req qat.Request) (int, error) {
 }
 
 func (e *Engine) instAllowed(idx int) bool {
+	if e.lc != nil && !e.lc.Admit(e.devOf[idx]) {
+		return false
+	}
 	if e.breakers == nil {
 		return true
 	}
 	return e.breakers[idx].Allow(time.Now())
 }
 
-// recordResult feeds the instance's circuit breaker; idx < 0 (no instance
-// involved) is ignored.
+// recordResult feeds the instance's circuit breaker and the device
+// lifecycle; idx < 0 (no instance involved) is ignored.
 func (e *Engine) recordResult(idx int, ok bool) {
-	if e.breakers == nil || idx < 0 {
+	if idx < 0 {
+		return
+	}
+	if e.lc != nil {
+		e.lc.NoteResult(e.devOf[idx], ok)
+	}
+	if e.breakers == nil {
 		return
 	}
 	now := time.Now()

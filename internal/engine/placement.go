@@ -70,13 +70,38 @@ func (e *Engine) initPlacement(cfg Config) error {
 	for lane := 0; lane < numLanes; lane++ {
 		e.routeDev[lane].Store(-1)
 	}
+	e.homeDev = cfg.HomeDevice
+	if e.homeDev < 0 || e.homeDev >= e.numDevs {
+		e.homeDev = 0
+	}
 	if !e.placementActive() {
 		return nil
 	}
-	laneSets := [numLanes][]int{
+	e.buildLanes(e.laneSets())
+	return nil
+}
+
+// laneSets derives each lane's preferred device set. Conn-hash placement
+// is special-cased: offload.PlacementConnHash's device sets cover the
+// whole pool (the placement decision is per-connection), so the engine
+// narrows both lanes to the worker's home device and treats the rest of
+// the pool as spill.
+func (e *Engine) laneSets() [numLanes][]int {
+	if e.placement == offload.PlacementConnHash {
+		return [numLanes][]int{
+			flight.PlacementAsym: {e.homeDev},
+			flight.PlacementSym:  {e.homeDev},
+		}
+	}
+	return [numLanes][]int{
 		flight.PlacementAsym: e.placement.AsymDevices(e.numDevs),
 		flight.PlacementSym:  e.placement.SymDevices(e.numDevs),
 	}
+}
+
+// buildLanes (re)derives the per-lane instance partitions from the
+// preferred device sets. Worker-goroutine only (Rehome reuses it live).
+func (e *Engine) buildLanes(laneSets [numLanes][]int) {
 	for lane, set := range laneSets {
 		pref := make([]bool, e.numDevs)
 		for _, d := range set {
@@ -85,6 +110,8 @@ func (e *Engine) initPlacement(cfg Config) error {
 			}
 		}
 		e.lanePref[lane] = pref
+		e.laneInsts[lane] = e.laneInsts[lane][:0]
+		e.laneOther[lane] = e.laneOther[lane][:0]
 		for idx, d := range e.devOf {
 			if pref[d] {
 				e.laneInsts[lane] = append(e.laneInsts[lane], idx)
@@ -93,7 +120,27 @@ func (e *Engine) initPlacement(cfg Config) error {
 			}
 		}
 	}
-	return nil
+}
+
+// HomeDevice returns the conn-hash home device.
+func (e *Engine) HomeDevice() int { return e.homeDev }
+
+// Rehome moves a conn-hash engine's home device: both lanes re-prefer
+// dev, existing in-flight work and instances stay where they are, and
+// subsequent submissions land on the new home. Must be called from the
+// worker goroutine (it rebuilds the lane partitions the submission path
+// reads). No-op for other placements, out-of-range devices or when the
+// home is unchanged; reports whether a move happened.
+func (e *Engine) Rehome(dev int) bool {
+	if e.placement != offload.PlacementConnHash || !e.placementActive() {
+		return false
+	}
+	if dev < 0 || dev >= e.numDevs || dev == e.homeDev {
+		return false
+	}
+	e.homeDev = dev
+	e.buildLanes(e.laneSets())
+	return true
 }
 
 // routeOrder returns the instance indexes a lane's submission should try,

@@ -364,6 +364,37 @@ func (inj *Injector) TotalInjected() int64 {
 	return inj.total
 }
 
+// AddRule installs one rule at runtime and returns a handle for
+// RemoveRule. This is the chaos-schedule primitive: a Schedule applies a
+// fault window by adding a rule at its start time and removing it when
+// the window closes.
+func (inj *Injector) AddRule(r Rule) *Rule {
+	if inj == nil {
+		return nil
+	}
+	h := &r
+	inj.mu.Lock()
+	inj.rules = append(inj.rules, h)
+	inj.mu.Unlock()
+	return h
+}
+
+// RemoveRule removes a rule previously returned by AddRule (matched by
+// identity). Unknown or nil handles are ignored.
+func (inj *Injector) RemoveRule(h *Rule) {
+	if inj == nil || h == nil {
+		return
+	}
+	inj.mu.Lock()
+	for i, r := range inj.rules {
+		if r == h {
+			inj.rules = append(inj.rules[:i], inj.rules[i+1:]...)
+			break
+		}
+	}
+	inj.mu.Unlock()
+}
+
 // Rules returns the injector's rule list (copies, for display).
 func (inj *Injector) Rules() []Rule {
 	if inj == nil {

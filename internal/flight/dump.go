@@ -227,6 +227,34 @@ func (d *Dump) Report(w io.Writer, topK int) {
 		fmt.Fprintf(w, "  +%3ds  %s\n", s, strings.Join(parts, " "))
 	}
 
+	// Placement flips and device-lifecycle transitions, pretty-printed:
+	// these are low-frequency, high-signal events and the generic
+	// kind:code×N timeline hides the fields that matter (which device,
+	// which states, why).
+	var moves []DumpEvent
+	for _, e := range d.Events {
+		if e.Kind == "placement" || e.Kind == "lifecycle" {
+			moves = append(moves, e)
+		}
+	}
+	if len(moves) > 0 {
+		fmt.Fprintf(w, "\nplacement / lifecycle events:\n")
+		for _, e := range moves {
+			at := time.Duration(e.TimeNs - t0).Round(time.Millisecond)
+			switch e.Kind {
+			case "placement":
+				// Code is the lane, DurNs the previous device, Arg the new.
+				fmt.Fprintf(w, "  +%-8v placement  worker=%-3d lane=%-4s dev%d → dev%d\n",
+					at, e.Worker, e.Code, e.DurNs, e.Arg)
+			case "lifecycle":
+				// Code is the reason, DurNs packs from<<8|to, Arg the device.
+				from, to := LifecycleStates(e.DurNs)
+				fmt.Fprintf(w, "  +%-8v lifecycle  dev%d %s → %s (%s)\n",
+					at, e.Arg, from, to, e.Code)
+			}
+		}
+	}
+
 	// Top-k slow spans by duration.
 	slow := make([]DumpEvent, 0, len(d.Events))
 	for _, e := range d.Events {

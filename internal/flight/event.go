@@ -68,6 +68,11 @@ const (
 	// preferred set). Code is the op class's placement lane (asym/sym),
 	// Dur the previous device index and Arg the new one.
 	KindPlacement
+	// KindLifecycle is one device-lifecycle transition (healthy / suspect
+	// / quarantined / probation). Code is the transition reason
+	// (breaker-density, reset-storm, wedge, ...), Dur packs the states as
+	// from<<8|to (see LifecycleStates) and Arg is the device index.
+	KindLifecycle
 
 	numKinds
 )
@@ -95,6 +100,8 @@ func (k Kind) String() string {
 		return "threshold"
 	case KindPlacement:
 		return "placement"
+	case KindLifecycle:
+		return "lifecycle"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -162,7 +169,29 @@ var (
 	// placementNames mirror the engine's placement lanes (PlacementAsym /
 	// PlacementSym codes below).
 	placementNames = [...]string{"asym", "sym"}
+	// lifecycleReasons mirror qat.LifecycleReason ordinals.
+	lifecycleReasons = [...]string{"breaker-density", "reset-storm", "wedge",
+		"probation", "probe-ok", "probe-fail", "decay", "manual"}
+	// lifecycleStates mirror qat.DeviceState ordinals (packed into
+	// KindLifecycle's Dur as from<<8|to).
+	lifecycleStates = [...]string{"healthy", "suspect", "quarantined", "probation"}
 )
+
+// LifecycleStates unpacks a KindLifecycle Dur field (from<<8|to) into
+// state names.
+func LifecycleStates(dur int64) (from, to string) {
+	name := func(s int64) string {
+		if s >= 0 && int(s) < len(lifecycleStates) {
+			return lifecycleStates[s]
+		}
+		return fmt.Sprintf("state(%d)", s)
+	}
+	return name(dur >> 8 & 0xff), name(dur & 0xff)
+}
+
+// PackLifecycleStates packs two qat.DeviceState ordinals into the Dur
+// encoding LifecycleStates reverses.
+func PackLifecycleStates(from, to int64) int64 { return from<<8 | to }
 
 // Placement lanes (KindPlacement codes).
 const (
@@ -193,6 +222,8 @@ func codeName(k Kind, code uint8) string {
 		tab = thresholdNames[:]
 	case KindPlacement:
 		tab = placementNames[:]
+	case KindLifecycle:
+		tab = lifecycleReasons[:]
 	}
 	if int(code) < len(tab) {
 		return tab[code]

@@ -97,8 +97,14 @@ func Bulk(opts BulkOptions) BulkResult {
 			for time.Now().Before(deadline) {
 				raw, err := net.DialTimeout("tcp", opts.Addr, 5*time.Second)
 				if err != nil {
-					errCount.Add(1)
-					return
+					// A refused or reset dial is the server shedding, not a
+					// generic failure — classify it, and keep the client
+					// loop alive (with a short backoff so a dead listener
+					// is not hammered) so the run can observe the recovery
+					// instead of bleeding clients.
+					classifyFailure(err, nil, &shedCount, &cleanCount, &shortCount, &errCount)
+					dialBackoff(deadline)
+					continue
 				}
 				cfg := *opts.TLS
 				tc := minitls.ClientConn(raw, &cfg)

@@ -41,7 +41,9 @@ func TestClassifyFailure(t *testing.T) {
 		{io.ErrShortWrite, "short"},
 		{fmt.Errorf("body: %w", io.ErrUnexpectedEOF), "short"},
 		{errors.New("handshake failure"), "err"},
-		{syscall.ECONNREFUSED, "err"},
+		// A refused dial is the server declining at the door (a draining
+		// server closes its listener first): shed, not error.
+		{syscall.ECONNREFUSED, "shed"},
 	}
 	for _, tc := range cases {
 		shed, clean, short, errs := classifyOne(tc.err)
@@ -73,6 +75,37 @@ func TestShortReadClassifiedSeparately(t *testing.T) {
 	_, _, short, errs = classifyOne(errors.New("minitls: handshake failure"))
 	if short != 0 || errs != 1 {
 		t.Fatalf("handshake error leaked into ShortIO: short=%d err=%d", short, errs)
+	}
+}
+
+// TestDialFailuresDoNotKillClients pins the dial-error path of the bulk
+// and AB loops: a failed dial is classified like any other connection
+// failure and the client loop continues to the deadline. The old path did
+// errCount.Add(1) and returned, so the first refused dial silently killed
+// the client goroutine — a load run against a shedding or recovering
+// server would bleed clients and under-report the recovery.
+func TestDialFailuresDoNotKillClients(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing listens: every dial is refused immediately
+
+	for _, mode := range []string{"bulk", "ab"} {
+		var res Result
+		switch mode {
+		case "bulk":
+			res = Bulk(BulkOptions{Addr: addr, Clients: 2, Duration: 150 * time.Millisecond}).Result
+		case "ab":
+			res = AB(ABOptions{Addr: addr, Clients: 2, Duration: 150 * time.Millisecond})
+		}
+		// A surviving loop retries for the whole window: far more than the
+		// one-failure-per-client the goroutine-killing path produced.
+		if failures := res.Errors + res.Shed; failures < 4 {
+			t.Fatalf("%s: %d dial failures for 2 clients over 150ms — client loops died after the first (%s)",
+				mode, failures, res)
+		}
 	}
 }
 

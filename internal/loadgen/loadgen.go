@@ -205,14 +205,18 @@ func STime(opts STimeOptions) Result {
 
 // classifyFailure sorts one failed connection or request into the shed /
 // clean-close / short-IO / error buckets. A TCP reset is the signature
-// of the server's accept-time shedding (netpoll Conn.Abort); EOF after
-// the peer's close-notify is an orderly server-initiated close, not a
-// failure; a short body read or write (io.ErrUnexpectedEOF /
-// io.ErrShortWrite, surfaced by doRequest) is a transfer truncation,
-// distinct from handshake errors.
+// of the server's accept-time shedding (netpoll Conn.Abort), and a
+// refused dial is the server declining at the earliest possible point (a
+// draining server closes its listener first) — both are the server
+// turning work away, not client-side failures; EOF after the peer's
+// close-notify is an orderly server-initiated close, not a failure; a
+// short body read or write (io.ErrUnexpectedEOF / io.ErrShortWrite,
+// surfaced by doRequest) is a transfer truncation, distinct from
+// handshake errors.
 func classifyFailure(err error, tc *minitls.Conn, shed, clean, short, errs *atomic.Int64) {
 	switch {
-	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ECONNREFUSED):
 		shed.Add(1)
 	case errors.Is(err, io.EOF) && tc != nil && tc.CloseNotifyReceived():
 		clean.Add(1)
@@ -225,6 +229,20 @@ func classifyFailure(err error, tc *minitls.Conn, shed, clean, short, errs *atom
 	default:
 		errs.Add(1)
 	}
+}
+
+// dialBackoff pauses a client loop after a failed dial — long enough not
+// to busy-loop against a dead listener, short enough to notice a
+// recovering one promptly — without sleeping past the run deadline.
+func dialBackoff(deadline time.Time) {
+	const backoff = 50 * time.Millisecond
+	if d := time.Until(deadline); d < backoff {
+		if d > 0 {
+			time.Sleep(d)
+		}
+		return
+	}
+	time.Sleep(backoff)
 }
 
 // oneConnection dials, handshakes, optionally issues one request, and
@@ -363,8 +381,14 @@ func AB(opts ABOptions) Result {
 			for time.Now().Before(deadline) {
 				raw, err := net.DialTimeout("tcp", opts.Addr, 5*time.Second)
 				if err != nil {
-					errCount.Add(1)
-					return
+					// A refused or reset dial is the server shedding, not a
+					// generic failure — classify it, and keep the client
+					// loop alive (with a short backoff so a dead listener
+					// is not hammered) so the run can observe the recovery
+					// instead of bleeding clients.
+					classifyFailure(err, nil, &shedCount, &cleanCount, &shortCount, &errCount)
+					dialBackoff(deadline)
+					continue
 				}
 				cfg := *opts.TLS
 				tc := minitls.ClientConn(raw, &cfg)

@@ -232,8 +232,12 @@ func TestDialFailureCounted(t *testing.T) {
 	if res.Connections != 0 {
 		t.Fatalf("connections to dead port: %s", res)
 	}
-	if res.Errors == 0 {
-		t.Fatal("dial failures should count as errors")
+	// A refused dial is the server declining at the door: shed, not error.
+	if res.Shed == 0 {
+		t.Fatalf("dial failures should be counted (as sheds): %s", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("refused dials misclassified as generic errors: %s", res)
 	}
 }
 

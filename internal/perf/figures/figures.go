@@ -448,7 +448,7 @@ func All(o Opts) []Table {
 		Table1(), Fig7a(o), Fig7b(o), Fig7c(o), Fig8(o),
 		Fig9a(o), Fig9b(o), Fig10(o), Fig11(o),
 		Fig12a(o), Fig12b(o), Fig12c(o), Degraded(o), Overload(o), KTLS(o),
-		Blackbox(o), Adaptive(o), NotifyParity(), Shard(o),
+		Blackbox(o), Adaptive(o), NotifyParity(), Shard(o), Recovery(o),
 	}
 	for _, id := range extraIDs {
 		out = append(out, extraGens[id](o))
@@ -468,6 +468,7 @@ func ByID(id string) (func(Opts) Table, bool) {
 		"blackbox": Blackbox, "adaptive": Adaptive,
 		"notify-parity": func(Opts) Table { return NotifyParity() },
 		"shard":         Shard,
+		"recovery":      Recovery,
 	}
 	if g, ok := gens[id]; ok {
 		return g, true
@@ -480,6 +481,6 @@ func ByID(id string) (func(Opts) Table, bool) {
 func IDs() []string {
 	ids := []string{"table1", "fig7a", "fig7b", "fig7c", "fig8",
 		"fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b", "fig12c",
-		"degraded", "overload", "ktls", "blackbox", "adaptive", "notify-parity", "shard"}
+		"degraded", "overload", "ktls", "blackbox", "adaptive", "notify-parity", "shard", "recovery"}
 	return append(ids, extraIDs...)
 }

@@ -125,8 +125,8 @@ func TestFig12bShape(t *testing.T) {
 
 func TestByIDAndIDs(t *testing.T) {
 	ids := IDs()
-	if want := 19 + len(extraIDs); len(ids) != want {
-		t.Fatalf("want %d experiments (1 table + 11 figures + degraded + overload + ktls + blackbox + adaptive + notify-parity + shard + %d extras), got %d",
+	if want := 20 + len(extraIDs); len(ids) != want {
+		t.Fatalf("want %d experiments (1 table + 11 figures + degraded + overload + ktls + blackbox + adaptive + notify-parity + shard + recovery + %d extras), got %d",
 			want, len(extraIDs), len(ids))
 	}
 	for _, id := range ids {

@@ -1,0 +1,67 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"qtls/internal/perf"
+)
+
+// Recovery is the device kill → degrade → recover timeline: the DES
+// counterpart of the live stack's lifecycle quarantine/probation cycle.
+// 8 QTLS workers are conn-hashed across 2 shrunken devices on the
+// resumption-heavy 1:9 mix; device 1's engine pools stall two buckets
+// into the measured timeline (the kill) and un-stall four buckets in
+// (probation re-admitting the device). Each column is one CPS bucket:
+// the pre-fault plateau, the degraded valley where every offload crowds
+// onto device 0, and the recovery back to the full-throughput plateau as
+// per-submission routing returns home — the re-home-back behavior the
+// chaos soak harness pins on the live stack.
+func Recovery(o Opts) Table {
+	o = o.withDefaults()
+	bucket := o.Measure / 2
+	const (
+		preBuckets      = 2
+		degradedBuckets = 2
+		recovBuckets    = 2
+		nBuckets        = preBuckets + degradedBuckets + recovBuckets
+	)
+	cfg := shardConfig(2)
+	cfg.DegradeAt = o.Warmup + time.Duration(preBuckets)*bucket
+	cfg.DegradeDevice = 1
+	cfg.RecoverAt = o.Warmup + time.Duration(preBuckets+degradedBuckets)*bucket
+
+	m := perf.NewModel(shardParams(), cfg, 1)
+	perf.STimeWorkload{
+		Clients:        320,
+		Spec:           perf.ScriptSpec{Suite: perf.SuiteECDHERSA},
+		ResumeFraction: 0.9,
+	}.Install(m)
+
+	t := Table{
+		ID:     "recovery",
+		Title:  "Device kill and recovery: QTLS 2xQAT conn-hash CPS timeline, full:abbrev = 1:9",
+		XLabel: fmt.Sprintf("timeline bucket (%v each)", bucket),
+		YLabel: "connections per second / reroutes",
+		Notes: "device 1 stalls at the start of the 'kill' buckets and recovers at the start of " +
+			"the 'recovered' buckets; offloads re-route onto device 0 while it is down (CPS dips " +
+			"to roughly the single-device plateau) and return home once it answers again, " +
+			"restoring full throughput — the DES mirror of quarantine, probation and re-homing",
+	}
+	labels := []string{"pre 1", "pre 2", "kill 1", "kill 2", "recovered 1", "recovered 2"}
+	cps := Series{Name: "CPS"}
+	rer := Series{Name: "reroutes"}
+	// Warmup once, then measure back-to-back buckets; DegradeAt/RecoverAt
+	// are absolute virtual times, so they fire at the bucket boundaries
+	// computed above while the bucket loop is running.
+	warmup := o.Warmup
+	for i := 0; i < nBuckets; i++ {
+		st := m.Run(warmup, bucket)
+		warmup = 0
+		t.Columns = append(t.Columns, labels[i])
+		cps.Values = append(cps.Values, st.CPS(bucket))
+		rer.Values = append(rer.Values, float64(st.Reroutes))
+	}
+	t.Series = []Series{cps, rer}
+	return t
+}

@@ -1,0 +1,40 @@
+package figures
+
+import "testing"
+
+// TestRecoveryShape pins the kill → degrade → recover timeline of the
+// recovery figure: the pre-fault plateau, a degraded valley while device
+// 1 is stalled (every offload re-routed onto device 0), and CPS back
+// within 10% of the pre-fault plateau once the device recovers — the DES
+// counterpart of the chaos soak's full-CPS-recovery invariant.
+func TestRecoveryShape(t *testing.T) {
+	tab := Recovery(Quick())
+	checkShape(t, tab, 2)
+	cps := seriesByName(t, tab, "CPS")
+	rer := seriesByName(t, tab, "reroutes")
+
+	pre := (cps.Values[0] + cps.Values[1]) / 2
+	if pre <= 0 {
+		t.Fatalf("pre-fault buckets completed no handshakes: %v", cps.Values)
+	}
+	// The kill buckets lose the dead device's capacity: the device is the
+	// bottleneck in this rig, so CPS must drop visibly below the plateau.
+	degraded := cps.Values[3] // second kill bucket: past the transient
+	if degraded >= 0.9*pre {
+		t.Fatalf("degraded bucket %.0f CPS not below pre-fault plateau %.0f", degraded, pre)
+	}
+	// Offloads homed on the dead device must re-route, not vanish: the
+	// kill buckets record reroutes, the pre-fault buckets none.
+	if rer.Values[0] != 0 || rer.Values[1] != 0 {
+		t.Fatalf("pre-fault buckets rerouted ops: %v", rer.Values)
+	}
+	if rer.Values[2] == 0 && rer.Values[3] == 0 {
+		t.Fatal("kill buckets recorded no reroutes")
+	}
+	// Full recovery: the final bucket is back within 10% of the pre-fault
+	// plateau (the acceptance bar the live chaos soak uses too).
+	final := cps.Values[5]
+	if final < 0.9*pre {
+		t.Fatalf("recovered bucket %.0f CPS below 90%% of pre-fault plateau %.0f", final, pre)
+	}
+}

@@ -116,6 +116,13 @@ type Config struct {
 	DegradeAt time.Duration
 	// DegradeDevice is the device index DegradeAt stalls.
 	DegradeDevice int
+	// RecoverAt, when positive with DegradeAt armed, un-stalls
+	// DegradeDevice's engine pools that far into the run (virtual time
+	// from model start, so RecoverAt > DegradeAt): the kill → degrade →
+	// recover timeline of the lifecycle's probation re-admission. Workers
+	// route per submission, so traffic returns to the recovered device on
+	// its own — the DES counterpart of re-homing back.
+	RecoverAt time.Duration
 }
 
 // FaultScenario degrades the modeled device and arms the engine-side
@@ -397,6 +404,14 @@ func NewModel(p Params, cfg Config, seed int64) *Model {
 					ep.sym.stalled = true
 				}
 			})
+			if cfg.RecoverAt > cfg.DegradeAt {
+				m.sim.After(cfg.RecoverAt, func() {
+					for _, ep := range m.devs[dd].endpoints {
+						ep.asym.stalled = false
+						ep.sym.stalled = false
+					}
+				})
+			}
 		}
 	}
 	if cfg.UseQAT && cfg.Async {

@@ -1,9 +1,17 @@
 package qat
 
 import (
+	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 )
+
+// ErrNoDevice is returned (as a sentinel for Pick/RouteConn's -1) when
+// every pool device is quarantined: there is nowhere to route offload
+// work, and callers must shed or take the software path instead of
+// queueing against a corpse.
+var ErrNoDevice = errors.New("qat: no routable device (all quarantined)")
 
 // Pool owns N identically-specified Devices and hands out crypto
 // instances with per-device health and pressure views. It is the
@@ -17,6 +25,10 @@ import (
 // are invisible to Health/Pressure.
 type Pool struct {
 	devs []*Device
+
+	// lifecycle, when set, filters quarantined devices out of Pick and
+	// RouteConn. Atomic so the hot paths read it without the pool lock.
+	lifecycle atomic.Pointer[Lifecycle]
 
 	mu    sync.Mutex
 	insts [][]*Instance // pool-allocated instances, indexed by device
@@ -73,6 +85,55 @@ func (p *Pool) AllocInstance(dev int) (*Instance, error) {
 	return inst, nil
 }
 
+// setLifecycle registers the lifecycle manager (called by NewLifecycle).
+func (p *Pool) setLifecycle(lc *Lifecycle) { p.lifecycle.Store(lc) }
+
+// Lifecycle returns the pool's lifecycle manager, or nil when none is
+// attached (all devices then count as routable).
+func (p *Pool) Lifecycle() *Lifecycle { return p.lifecycle.Load() }
+
+// routable reports whether lifecycle state permits routing to device i.
+func (p *Pool) routable(i int) bool {
+	lc := p.lifecycle.Load()
+	return lc == nil || lc.Routable(i)
+}
+
+// reclaimDevice reclaims leaked ring slots on every pool-allocated
+// instance of device dev — part of the quarantine drain, after Reset has
+// failed the in-flight work.
+func (p *Pool) reclaimDevice(dev int) {
+	p.mu.Lock()
+	insts := p.insts[dev]
+	p.mu.Unlock()
+	for _, inst := range insts {
+		inst.ReclaimLeaked()
+	}
+}
+
+// deviceInflight sums submitted-but-unpolled requests across device dev's
+// pool-allocated instances (the wedge watchdog's numerator).
+func (p *Pool) deviceInflight(dev int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int
+	for _, inst := range p.insts[dev] {
+		n += inst.Inflight()
+	}
+	return n
+}
+
+// deviceDequeued sums completion counters across device dev's
+// pool-allocated instances (the wedge watchdog's progress signal).
+func (p *Pool) deviceDequeued(dev int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, inst := range p.insts[dev] {
+		n += inst.Stats().Dequeued
+	}
+	return n
+}
+
 // Close shuts every device down.
 func (p *Pool) Close() {
 	for _, d := range p.devs {
@@ -95,6 +156,9 @@ type DeviceHealth struct {
 	RingCapacity int
 	// Resets is the total endpoint reset count on the device.
 	Resets int64
+	// State is the device's lifecycle state (DevHealthy when no lifecycle
+	// manager is attached).
+	State DeviceState
 }
 
 // Pressure is Inflight/RingCapacity, or 0 for a device with no
@@ -120,6 +184,9 @@ func (p *Pool) Health() []DeviceHealth {
 		}
 		for _, r := range d.Resets() {
 			h.Resets += r
+		}
+		if lc := p.lifecycle.Load(); lc != nil {
+			h.State = lc.State(i)
 		}
 		out[i] = h
 	}
@@ -161,18 +228,24 @@ func (p *Pool) TotalPressure() (inflight, capacity int) {
 	return inflight, capacity
 }
 
-// Pick routes one unit of work: it returns the least-pressure device
-// among preferred, failing over to the least-pressure device pool-wide
-// when every preferred device is saturated (pressure >= 1). An empty
-// preferred set scans the whole pool. This is the hot-path primitive the
-// class-shard placement builds on, so it must stay cheap
-// (BenchmarkPoolRoute guards it).
+// Pick routes one unit of work: it returns the least-pressure routable
+// device among preferred, failing over to the least-pressure routable
+// device pool-wide when every preferred device is saturated (pressure
+// >= 1). An empty preferred set scans the whole pool. Quarantined
+// devices are never picked; when every device is quarantined Pick
+// returns -1 (see ErrNoDevice) and the caller must shed or fall back to
+// software. This is the hot-path primitive the class-shard placement
+// builds on, so it must stay cheap (BenchmarkPoolRoute guards it).
 func (p *Pool) Pick(preferred []int) int {
+	lc := p.lifecycle.Load()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	best, bestP := -1, math.Inf(1)
 	for _, i := range preferred {
 		if i < 0 || i >= len(p.devs) {
+			continue
+		}
+		if lc != nil && !lc.Routable(i) {
 			continue
 		}
 		if pr := p.pressureLocked(i); pr < bestP {
@@ -183,18 +256,36 @@ func (p *Pool) Pick(preferred []int) int {
 		return best
 	}
 	for i := range p.devs {
+		if lc != nil && !lc.Routable(i) {
+			continue
+		}
 		if pr := p.pressureLocked(i); pr < bestP {
 			best, bestP = i, pr
 		}
 	}
-	if best < 0 {
+	if best < 0 && lc == nil {
 		best = 0
 	}
 	return best
 }
 
 // RouteConn maps a connection hash to a device index (the conn-hash
-// placement mode).
+// placement mode). When the hashed device is quarantined the hash walks
+// forward to the next routable device, so a connection's home moves
+// deterministically under quarantine and moves back once the device
+// recovers. Returns -1 when every device is quarantined (see ErrNoDevice).
 func (p *Pool) RouteConn(hash uint64) int {
-	return int(hash % uint64(len(p.devs)))
+	n := uint64(len(p.devs))
+	home := int(hash % n)
+	lc := p.lifecycle.Load()
+	if lc == nil {
+		return home
+	}
+	for i := 0; i < len(p.devs); i++ {
+		dev := (home + i) % len(p.devs)
+		if lc.Routable(dev) {
+			return dev
+		}
+	}
+	return -1
 }

@@ -27,6 +27,7 @@ import (
 	"qtls/internal/fault"
 	"qtls/internal/minitls"
 	"qtls/internal/offload"
+	"qtls/internal/qat"
 )
 
 // PollingScheme selects how QAT responses are retrieved (§3.3, §5.6).
@@ -142,6 +143,14 @@ type RunConfig struct {
 	// breaker: instances whose recent offloads keep failing are taken
 	// out of the submission rotation until half-open probes succeed.
 	Breaker *fault.BreakerConfig
+	// Lifecycle, when set, arms the per-device lifecycle manager
+	// (healthy → suspect → quarantined → probation → healthy): breaker
+	// opens, reset storms and wedges quarantine a device, quarantine
+	// drains its in-flight ops through the fallback path, routing and
+	// conn-hash worker homes move off it (and move back after probation
+	// re-admits it). Zero fields of the config take the qat defaults.
+	// Nil keeps devices unmanaged — the pre-lifecycle behavior.
+	Lifecycle *qat.LifecycleConfig
 
 	// Deadlines are the connection-lifecycle deadlines (handshake,
 	// request-header, keepalive-idle, write-stall) enforced by each

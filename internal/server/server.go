@@ -74,12 +74,13 @@ type Options struct {
 
 // Server is a set of event-driven workers sharing one listening port.
 type Server struct {
-	workers []*Worker
-	reg     *metrics.Registry
-	pool    *qat.Pool
-	tickets *minitls.TicketKeyRing
-	wg      sync.WaitGroup
-	started atomic.Bool
+	workers   []*Worker
+	reg       *metrics.Registry
+	pool      *qat.Pool
+	lifecycle *qat.Lifecycle // device lifecycle manager (nil when off)
+	tickets   *minitls.TicketKeyRing
+	wg        sync.WaitGroup
+	started   atomic.Bool
 }
 
 // New builds the workers (not yet running).
@@ -145,6 +146,29 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	s := &Server{reg: reg, pool: pool}
+	if pool != nil && opts.Run.Lifecycle != nil {
+		// Device lifecycle manager: quarantine sick devices, probe them
+		// back. Transitions are journaled as flight lifecycle events and
+		// exported as the qtls_device_state{dev} gauges; workers notice
+		// via the lifecycle epoch and re-home their conn-hash engines.
+		lc := qat.NewLifecycle(pool, *opts.Run.Lifecycle)
+		var fl *flight.Journal
+		if opts.Flight != nil {
+			fl = opts.Flight.Journal(flight.SystemWorker)
+		}
+		gauges := make([]*metrics.Gauge, pool.Size())
+		for d := range gauges {
+			gauges[d] = reg.Gauge(fmt.Sprintf(`qtls_device_state{dev="%d"}`, d))
+		}
+		lc.SetOnTransition(func(tr qat.Transition) {
+			fl.Note(flight.KindLifecycle, uint8(tr.Reason), trace.OpNone,
+				flight.PackLifecycleStates(int64(tr.From), int64(tr.To)), int64(tr.Dev))
+			if tr.Dev >= 0 && tr.Dev < len(gauges) {
+				gauges[tr.Dev].Set(int64(tr.To))
+			}
+		})
+		s.lifecycle = lc
+	}
 	// Sharded placements spread connections across workers and devices;
 	// resumption must survive whichever worker a reconnect hashes to, so
 	// provision a shared rotating ticket-key ring when the caller has not
@@ -186,9 +210,16 @@ func (s *Server) Pool() *qat.Pool { return s.pool }
 // server resumes through a static TicketKey or not at all.
 func (s *Server) TicketKeys() *minitls.TicketKeyRing { return s.tickets }
 
+// Lifecycle returns the device lifecycle manager (nil when Run.Lifecycle
+// was not configured or the server has no pool).
+func (s *Server) Lifecycle() *qat.Lifecycle { return s.lifecycle }
+
 // Start launches every worker loop on its own goroutine.
 func (s *Server) Start() {
 	s.started.Store(true)
+	if s.lifecycle != nil {
+		s.lifecycle.Start()
+	}
 	for _, w := range s.workers {
 		w := w
 		s.wg.Add(1)
@@ -248,6 +279,9 @@ func (s *Server) Stats() Stats {
 // Stop terminates all workers and waits for their loops to exit. It is
 // the hard cutoff: in-flight requests are cancelled, not completed.
 func (s *Server) Stop() {
+	if s.lifecycle != nil {
+		s.lifecycle.Stop()
+	}
 	for _, w := range s.workers {
 		if w != nil {
 			w.Stop()
@@ -274,6 +308,9 @@ func (s *Server) Stop() {
 // expires first, Shutdown falls back to the hard Stop cutoff and returns
 // the context's error.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.lifecycle != nil {
+		s.lifecycle.Stop()
+	}
 	for _, w := range s.workers {
 		if w != nil {
 			w.Drain()

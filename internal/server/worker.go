@@ -77,6 +77,17 @@ type Worker struct {
 	pool     *qat.Pool
 	poolWide bool
 
+	// Device-lifecycle re-homing state: the pool's lifecycle manager (nil
+	// when unmanaged), the last lifecycle epoch this worker acted on, and
+	// the worker's conn-hash home device. The Run loop compares the epoch
+	// once per iteration (one atomic load) and re-derives the home when a
+	// device was quarantined or re-admitted — established connections and
+	// the shared ticket ring are untouched, only where new submissions
+	// land moves.
+	lc      *qat.Lifecycle
+	lcEpoch int64
+	homeDev atomic.Int32
+
 	poller     *netpoll.Poller
 	listener   *netpoll.Listener
 	notifyPipe *netpoll.NotifyPipe // FD-based async notification
@@ -250,6 +261,13 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, pool *qa
 	if multi && cfg.Placement == offload.PlacementConnHash {
 		homeDev = id % pool.Size()
 	}
+	w.homeDev.Store(int32(homeDev))
+	if pool != nil {
+		w.lc = pool.Lifecycle()
+		if w.lc != nil {
+			w.lcEpoch = w.lc.Epoch()
+		}
+	}
 	if cfg.UseQAT {
 		if pool == nil || pool.Size() == 0 {
 			w.cleanup()
@@ -262,10 +280,13 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, pool *qa
 		var insts []*qat.Instance
 		var instDevs []int
 		engPlacement := offload.PlacementSingle
-		if multi && cfg.Placement == offload.PlacementClassShard {
-			// Class sharding happens inside the engine: the worker owns
-			// instances on every device, and the engine routes each op
-			// class to its lane's device set.
+		if multi && cfg.Placement != offload.PlacementSingle {
+			// Class sharding and conn-hash both happen inside the engine:
+			// the worker owns instances on every device. Class-shard routes
+			// each op class to its lane's device set; conn-hash prefers the
+			// worker's home device on both lanes and treats the other
+			// devices as spill (and as re-home targets when the lifecycle
+			// quarantines the home).
 			engPlacement = cfg.Placement
 			for d := 0; d < pool.Size(); d++ {
 				for i := 0; i < n; i++ {
@@ -279,11 +300,8 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, pool *qa
 				}
 			}
 		} else {
-			// Single placement (the legacy path, byte-identical: nil
-			// InstanceDevices keeps the engine's round-robin untouched)
-			// or conn-hash (the whole worker homes on one device; the
-			// engine stays single-device and the device mapping is only
-			// recorded for per-device pressure views).
+			// Single placement: the legacy path, byte-identical — nil
+			// InstanceDevices keeps the engine's round-robin untouched.
 			for i := 0; i < n; i++ {
 				inst, err := pool.AllocInstance(homeDev)
 				if err != nil {
@@ -304,6 +322,8 @@ func NewWorker(id int, cfg RunConfig, addr string, tls *minitls.Config, pool *qa
 			Instances:       insts,
 			InstanceDevices: instDevs,
 			Placement:       engPlacement,
+			HomeDevice:      homeDev,
+			Lifecycle:       w.lc,
 			Offload:         cfg.Offload,
 			OpTimeout:       cfg.OpTimeout,
 			MaxRetries:      cfg.MaxRetries,
@@ -499,6 +519,7 @@ func (w *Worker) Run() {
 		w.processAsyncQueue()
 		w.processRetryQueue()
 		w.pollRecordEngine()
+		w.maybeRehome()
 		// Retried submissions and ops paused by resumed handlers after the
 		// last drain round must not wait out the epoll sleep.
 		w.flushSubmits()
@@ -748,6 +769,48 @@ func (w *Worker) closeConn(c *conn) {
 	c.nc.Close()
 	w.Stats.ClosedConns.Add(1)
 }
+
+// maybeRehome reacts to device-lifecycle transitions: when the lifecycle
+// epoch moved since the last iteration, a conn-hash worker re-derives its
+// home device through the pool's lifecycle-aware RouteConn — off a
+// quarantined device, and back once probation re-admits it. The move is
+// live: established connections, paused offload jobs and the shared
+// ticket ring are untouched; only the engine's lane preference (where new
+// submissions land) changes. Runs on the worker goroutine; costs one
+// atomic load per iteration when nothing changed.
+func (w *Worker) maybeRehome() {
+	if w.lc == nil {
+		return
+	}
+	epoch := w.lc.Epoch()
+	if epoch == w.lcEpoch {
+		return
+	}
+	w.lcEpoch = epoch
+	if w.eng == nil || w.cfg.Placement != offload.PlacementConnHash || !w.poolWide {
+		return
+	}
+	dev := w.pool.RouteConn(uint64(w.id))
+	if dev < 0 {
+		// Every device is quarantined. Stay put: the engine's lifecycle
+		// admission check refuses every instance and ops degrade to the
+		// software path until a device comes back.
+		return
+	}
+	prev := w.eng.HomeDevice()
+	if w.eng.Rehome(dev) {
+		w.homeDev.Store(int32(dev))
+		// Journal the move per lane so the flight dump shows which worker
+		// was re-homed, from where, to where.
+		w.fl.Note(flight.KindPlacement, flight.PlacementAsym, trace.OpNone, int64(prev), int64(dev))
+		w.fl.Note(flight.KindPlacement, flight.PlacementSym, trace.OpNone, int64(prev), int64(dev))
+	}
+}
+
+// HomeDevice returns the worker's current conn-hash home device (0 for
+// other placements). Safe from any goroutine — live observers (chaos
+// harness, qatinfo) read it while the worker re-homes.
+func (w *Worker) HomeDevice() int { return int(w.homeDev.Load()) }
 
 // ConnCount returns the number of live connections (test/diagnostic use;
 // call from the worker goroutine or after Stop).
